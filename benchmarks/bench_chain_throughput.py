@@ -1,0 +1,164 @@
+"""X2 — blockchain performance vs cohort size (the §II-A2 accepted finding).
+
+The paper adopts prior findings that chain performance degrades as
+participants grow (Peng et al.: doubling participants halves throughput;
+Nguyen et al.: block size and throughput trade off through propagation).
+The physical mechanism our simulator reproduces is **fork churn**: denser
+gossip means longer effective propagation, so simultaneous block discovery
+— and therefore stale blocks and reorgs — becomes more frequent as the
+cohort grows, wasting mined capacity.
+
+Setup: capped blocks (4 txs), 1-second target interval, per-link latency
+scaling with cohort density, a 40-transaction backlog, averaged over five
+seeds.  Reported: effective throughput (backlog / drain time) and reorg
+count per cohort size, plus the block-interval ablation from DESIGN.md §5.1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import run_once
+from repro.chain.crypto import KeyPair
+from repro.chain.network import LatencyModel, P2PNetwork
+from repro.chain.node import GenesisSpec, Node, NodeConfig
+from repro.chain.pow import ProofOfWork, RetargetRule
+from repro.chain.runtime import ContractRuntime
+from repro.chain.transaction import Transaction
+from repro.contracts import register_all
+from repro.metrics.tables import render_table
+from repro.utils.events import Simulator
+
+HASHRATE = 1000.0
+SEEDS = range(5)
+
+
+def _build(n_nodes: int, target_interval: float, seed: int):
+    runtime = ContractRuntime()
+    register_all(runtime)
+    keypairs = [KeyPair.from_seed(f"tp-{seed}-{i}") for i in range(n_nodes)]
+    genesis = GenesisSpec(
+        allocations={kp.address: 10**16 for kp in keypairs},
+        # Network-wide retarget equilibrium: n miners at HASHRATE each.
+        difficulty=max(int(n_nodes * HASHRATE * target_interval), 1),
+    )
+    sim = Simulator()
+    network = P2PNetwork(
+        sim,
+        ProofOfWork(
+            np.random.default_rng(seed),
+            retarget=RetargetRule(target_interval=target_interval),
+        ),
+        # Effective propagation grows with cohort density (shared medium).
+        latency=LatencyModel(base=0.05 * n_nodes / 3, jitter=0.02),
+        rng=np.random.default_rng(seed + 1),
+    )
+    nodes = []
+    for kp in keypairs:
+        node = Node(kp, genesis, runtime, NodeConfig(max_txs_per_block=4))
+        network.add_node(node, hashrate=HASHRATE)
+        nodes.append(node)
+    return network, nodes, keypairs
+
+
+def _drain_backlog(n_nodes: int, n_txs: int = 40, target_interval: float = 1.0, seed: int = 0) -> dict:
+    """Broadcast ``n_txs`` transfers; measure time until all are mined."""
+    network, nodes, keypairs = _build(n_nodes, target_interval, seed)
+    txs = []
+    per_sender = n_txs // n_nodes + 1
+    for sender_index, kp in enumerate(keypairs):
+        for nonce in range(per_sender):
+            if len(txs) == n_txs:
+                break
+            tx = Transaction(
+                sender=kp.address,
+                to=keypairs[(sender_index + 1) % n_nodes].address,
+                nonce=nonce,
+                value=1,
+                data=b"\x01" * 128,
+            ).sign_with(kp)
+            txs.append(tx)
+            network.broadcast_transaction(nodes[sender_index].address, tx)
+    network.start_mining()
+    observer = nodes[0]
+    while not all(observer.receipt_of(tx.tx_hash) for tx in txs):
+        if not network.sim.step():
+            raise RuntimeError("drained before all txs mined")
+    elapsed = network.sim.now
+    network.stop_mining()
+    return {
+        "nodes": n_nodes,
+        "elapsed": elapsed,
+        "throughput": n_txs / elapsed,
+        "blocks": network.stats.blocks_mined,
+        "reorgs": network.stats.reorgs,
+    }
+
+
+def _averaged(n_nodes: int, target_interval: float = 1.0) -> dict:
+    runs = [_drain_backlog(n_nodes, target_interval=target_interval, seed=s) for s in SEEDS]
+    return {
+        "nodes": n_nodes,
+        "throughput": float(np.mean([r["throughput"] for r in runs])),
+        "reorgs": float(np.mean([r["reorgs"] for r in runs])),
+        "blocks": float(np.mean([r["blocks"] for r in runs])),
+    }
+
+
+_SWEEP: list[dict] = []
+
+
+def _sweep() -> list[dict]:
+    if not _SWEEP:
+        for n_nodes in (3, 6, 12):
+            _SWEEP.append(_averaged(n_nodes))
+    return _SWEEP
+
+
+def test_throughput_vs_cohort_size(benchmark):
+    """Throughput degrades and fork churn grows as the cohort grows (X2)."""
+    rows = run_once(benchmark, _sweep)
+    print()
+    print(
+        render_table(
+            "X2: chain performance vs participants (mean of 5 seeds)",
+            ["nodes", "tx/s", "mean reorgs", "mean blocks"],
+            [
+                [
+                    str(row["nodes"]),
+                    f"{row['throughput']:.3f}",
+                    f"{row['reorgs']:.1f}",
+                    f"{row['blocks']:.1f}",
+                ]
+                for row in rows
+            ],
+        )
+    )
+    # Large cohorts are slower than small ones (the paper's accepted finding).
+    assert rows[0]["throughput"] > rows[-1]["throughput"]
+    # Fork churn rises monotonically with cohort size.
+    reorgs = [row["reorgs"] for row in rows]
+    assert reorgs[0] <= reorgs[1] <= reorgs[2]
+    assert reorgs[2] > reorgs[0]
+
+
+@pytest.mark.parametrize("target_interval", [0.5, 2.0])
+def test_reorgs_vs_block_interval(benchmark, target_interval):
+    """Ablation (DESIGN.md §5.1): faster blocks mean more fork churn."""
+    result = run_once(benchmark, lambda: _averaged(6, target_interval=target_interval))
+    print()
+    print(
+        f"target_interval={target_interval}s: mean blocks={result['blocks']:.1f}, "
+        f"mean reorgs={result['reorgs']:.1f}, throughput={result['throughput']:.3f} tx/s"
+    )
+    assert result["blocks"] > 0
+
+
+def test_fast_blocks_cause_more_reorgs():
+    """Direct comparison of the fork-churn ablation, per mined block."""
+    fast = _averaged(6, target_interval=0.5)
+    slow = _averaged(6, target_interval=2.0)
+    fast_rate = fast["reorgs"] / max(fast["blocks"], 1)
+    slow_rate = slow["reorgs"] / max(slow["blocks"], 1)
+    assert fast_rate >= slow_rate

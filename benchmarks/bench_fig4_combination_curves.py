@@ -1,0 +1,71 @@
+"""Figure 4 — Blockchain-based FL: accuracy curves per model combination.
+
+Regenerates the six panels of the paper's Figure 4 (three clients x two
+models), one curve per combination, rendered as terminal sparklines.
+
+Shape criteria (paper): for SimpleNN the curves bundle tightly ("the
+similarity of various aggregations is evident"); for Efficient-B0 the
+curves separate, with the full combination on top early and solo lowest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import run_once
+from repro.metrics.figures import combination_figure_series, render_ascii_chart
+
+MODEL_LABELS = {"simple_nn": "SimpleNN", "efficientnet_b0_sim": "Efficient-B0"}
+
+
+def _figure4(experiments, model_kind: str) -> str:
+    result = experiments.decentralized(model_kind)
+    figures = combination_figure_series(result.combination_accuracy)
+    blocks = [
+        render_ascii_chart(curves, title=f"Fig 4 ({MODEL_LABELS[model_kind]}) {panel}")
+        for panel, curves in figures.items()
+    ]
+    return "\n\n".join(blocks)
+
+
+def test_fig4_simple_nn(benchmark, experiments):
+    """Figure 4 SimpleNN panels: curves bundle tightly."""
+    text = run_once(benchmark, lambda: _figure4(experiments, "simple_nn"))
+    print()
+    print(text)
+    result = experiments.decentralized("simple_nn")
+    for peer_id in ("A", "B", "C"):
+        table = result.combination_accuracy[peer_id]
+        # From round 3 on, the spread across combinations stays small.
+        late = np.array([series[2:] for series in table.values()])
+        spread = late.max(axis=0) - late.min(axis=0)
+        assert spread.mean() < 0.08, f"{peer_id}: SimpleNN combos diverged"
+
+
+def test_fig4_efficientnet(benchmark, experiments):
+    """Figure 4 Efficient-B0 panels: combinations separate, full set on top."""
+    text = run_once(benchmark, lambda: _figure4(experiments, "efficientnet_b0_sim"))
+    print()
+    print(text)
+    result = experiments.decentralized("efficientnet_b0_sim")
+    for peer_id in ("A", "B", "C"):
+        table = result.combination_accuracy[peer_id]
+        # Round-1 separation: full set well above solo (paper: 0.79 vs 0.77,
+        # ours wider because the trunk mismatch amplifies early variance).
+        assert table["A,B,C"][0] > table[peer_id][0]
+        # Early spread exceeds the late SimpleNN spread: combos matter here.
+        round1_spread = max(s[0] for s in table.values()) - min(s[0] for s in table.values())
+        assert round1_spread > 0.03
+
+
+def test_fig4_collaboration_beats_isolation(experiments):
+    """Paper: 'it is more beneficial for participating clients to
+    collaborate by combining their local models with others'."""
+    result = experiments.decentralized("efficientnet_b0_sim")
+    for peer_id in ("A", "B", "C"):
+        table = result.combination_accuracy[peer_id]
+        solo_auc = float(np.mean(table[peer_id]))
+        collab_auc = float(
+            np.mean([np.mean(series) for combo, series in table.items() if combo != peer_id])
+        )
+        assert collab_auc > solo_auc - 0.01

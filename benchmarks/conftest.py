@@ -1,0 +1,54 @@
+"""Shared fixtures for the benchmark harness.
+
+Each bench regenerates one of the paper's tables or figures.  Experiments
+are deterministic functions of their config, so a session-scoped cache lets
+the table bench and the figure bench of the same experiment share one run
+(exactly like the paper derives Table I and Figure 3 from the same logs).
+
+Benchmarks that wrap a full federated experiment use
+``benchmark.pedantic(..., rounds=1, iterations=1)`` — the experiment is the
+unit of work being timed, and repeating a deterministic 10-round training
+run adds nothing but wall-clock.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import default_config
+from repro.core.experiment import (
+    run_decentralized_experiment,
+    run_vanilla_experiment,
+)
+
+
+class ExperimentCache:
+    """Memoizes experiment results across benchmark modules."""
+
+    def __init__(self) -> None:
+        self._vanilla = {}
+        self._decentralized = {}
+
+    def vanilla(self, model_kind: str, consider: bool):
+        key = (model_kind, consider)
+        if key not in self._vanilla:
+            config = default_config(model_kind)
+            self._vanilla[key] = run_vanilla_experiment(config, consider=consider)
+        return self._vanilla[key]
+
+    def decentralized(self, model_kind: str):
+        if model_kind not in self._decentralized:
+            config = default_config(model_kind)
+            self._decentralized[model_kind] = run_decentralized_experiment(config)
+        return self._decentralized[model_kind]
+
+
+@pytest.fixture(scope="session")
+def experiments() -> ExperimentCache:
+    """Session-wide experiment result cache."""
+    return ExperimentCache()
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,86 @@
+"""Centralized (Vanilla) vs decentralized (blockchain) federated learning.
+
+Reproduces the paper's cross-setting comparison at reduced scale: the same
+dataset, model, and hyperparameters run through (1) Vanilla FL with a
+central aggregator in both "consider" and "not consider" modes, and (2) the
+fully coupled blockchain deployment — then prints the accuracy trajectories
+side by side.  The expected outcome is the paper's: "a notable similarity
+in inference accuracy between centralized and decentralized FL settings."
+
+Run:  python examples/centralized_vs_decentralized.py
+"""
+
+from __future__ import annotations
+
+from repro.core.config import ExperimentConfig
+from repro.core.experiment import run_decentralized_experiment, run_vanilla_experiment
+from repro.data.synthetic import SyntheticSpec
+from repro.metrics.figures import FigureSeries, render_ascii_chart
+from repro.metrics.tables import render_table
+
+
+def main() -> None:
+    config = ExperimentConfig(
+        model_kind="simple_nn",
+        rounds=4,
+        local_epochs=3,
+        train_samples_per_client=400,
+        test_samples_per_client=250,
+        aggregator_test_samples=250,
+        learning_rate=0.01,
+        seed=31,
+        data_spec=SyntheticSpec(seed=31),
+    )
+
+    print("1/3 centralized, not-consider (plain FedAvg) ...")
+    vanilla_plain = run_vanilla_experiment(config, consider=False)
+    print("2/3 centralized, consider (best combination) ...")
+    vanilla_consider = run_vanilla_experiment(config, consider=True)
+    print("3/3 decentralized over the simulated Ethereum network ...")
+    decentralized = run_decentralized_experiment(config)
+
+    # Per-round series for client A under each setting.
+    series = [
+        FigureSeries("central/not-consider", vanilla_plain.client_accuracy["A"]),
+        FigureSeries("central/consider", vanilla_consider.client_accuracy["A"]),
+        FigureSeries(
+            "blockchain/chosen",
+            [log.chosen_accuracy for log in decentralized.round_logs if log.peer_id == "A"],
+        ),
+    ]
+    print()
+    print(render_ascii_chart(series, title="Client A accuracy by setting"))
+
+    rows = []
+    for client in config.client_ids:
+        chosen = [
+            log.chosen_accuracy
+            for log in decentralized.round_logs
+            if log.peer_id == client
+        ]
+        rows.append(
+            [
+                client,
+                f"{vanilla_plain.final_accuracy(client):.4f}",
+                f"{vanilla_consider.final_accuracy(client):.4f}",
+                f"{chosen[-1]:.4f}",
+            ]
+        )
+    print()
+    print(
+        render_table(
+            "Final-round accuracy per client",
+            ["client", "central (not consider)", "central (consider)", "blockchain"],
+            rows,
+        )
+    )
+    print()
+    print(
+        "The three columns land close together — decentralizing the\n"
+        "aggregator onto the chain costs essentially no accuracy, which is\n"
+        "the paper's justification for removing the single point of failure."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e .`` falls back to the legacy ``setup.py develop`` path
+when no ``[build-system]`` table is present, which works offline.
+Metadata lives in ``pyproject.toml``; setuptools >= 61 reads it from there.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,62 @@
+"""Ethereum-style blockchain substrate (simulated).
+
+The paper deploys a private PoW Ethereum (Geth) network of three peers; this
+package provides the equivalent substrate in-process:
+
+* :mod:`repro.chain.crypto` — deterministic keypairs, signing, addresses.
+* :mod:`repro.chain.transaction` — signed transactions with gas accounting.
+* :mod:`repro.chain.block` / :mod:`repro.chain.merkle` — blocks and roots.
+* :mod:`repro.chain.pow` — hash-puzzle proof of work with retargeting.
+* :mod:`repro.chain.state` — world state (balances, nonces, storage).
+* :mod:`repro.chain.mempool` — pending transaction pool.
+* :mod:`repro.chain.chainstore` — block tree with total-difficulty fork choice.
+* :mod:`repro.chain.runtime` — gas-metered Python smart-contract runtime.
+* :mod:`repro.chain.node` — a full node (validate, execute, mine).
+* :mod:`repro.chain.network` — gossip network with latency and partitions.
+"""
+
+from repro.chain.crypto import KeyPair, Address, sign, verify, recover_check
+from repro.chain.transaction import Transaction, Receipt
+from repro.chain.block import Block, BlockHeader, GENESIS_PARENT
+from repro.chain.merkle import merkle_root, merkle_proof, verify_proof
+from repro.chain.gas import GasSchedule, intrinsic_gas
+from repro.chain.pow import ProofOfWork, mine_header, pow_target, check_pow
+from repro.chain.state import WorldState, AccountState
+from repro.chain.mempool import Mempool
+from repro.chain.chainstore import ChainStore
+from repro.chain.runtime import ContractRuntime, Contract, CallContext
+from repro.chain.node import Node, NodeConfig
+from repro.chain.network import P2PNetwork, LatencyModel
+
+__all__ = [
+    "KeyPair",
+    "Address",
+    "sign",
+    "verify",
+    "recover_check",
+    "Transaction",
+    "Receipt",
+    "Block",
+    "BlockHeader",
+    "GENESIS_PARENT",
+    "merkle_root",
+    "merkle_proof",
+    "verify_proof",
+    "GasSchedule",
+    "intrinsic_gas",
+    "ProofOfWork",
+    "mine_header",
+    "pow_target",
+    "check_pow",
+    "WorldState",
+    "AccountState",
+    "Mempool",
+    "ChainStore",
+    "ContractRuntime",
+    "Contract",
+    "CallContext",
+    "Node",
+    "NodeConfig",
+    "P2PNetwork",
+    "LatencyModel",
+]

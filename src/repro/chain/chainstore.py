@@ -1,0 +1,174 @@
+"""Block tree with total-difficulty fork choice.
+
+Stores every valid block (including uncles/side branches), tracks cumulative
+difficulty per tip, and answers "what is the canonical head?" — heaviest
+chain wins, ties broken by earlier arrival (first-seen rule, as in Geth).
+Reorg detection reports the common ancestor plus the blocks rolled back and
+applied, so the node can rebuild its executed state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.chain.block import Block, GENESIS_PARENT
+from repro.errors import InvalidBlockError, UnknownBlockError
+
+
+@dataclass
+class ReorgInfo:
+    """Result of a head switch."""
+
+    old_head: str
+    new_head: str
+    common_ancestor: str
+    rolled_back: list[str]   # block hashes leaving the canonical chain, tip first
+    applied: list[str]       # block hashes joining the canonical chain, ancestor-side first
+
+    @property
+    def depth(self) -> int:
+        """How many canonical blocks were undone."""
+        return len(self.rolled_back)
+
+
+class ChainStore:
+    """Append-only block DAG plus canonical-head bookkeeping."""
+
+    def __init__(self, genesis: Block) -> None:
+        if genesis.header.parent_hash != GENESIS_PARENT or genesis.number != 0:
+            raise InvalidBlockError("genesis must have number 0 and null parent")
+        self._blocks: dict[str, Block] = {genesis.block_hash: genesis}
+        self._total_difficulty: dict[str, int] = {genesis.block_hash: genesis.header.difficulty}
+        self._arrival: dict[str, int] = {genesis.block_hash: 0}
+        self._arrival_counter = 0
+        self.genesis_hash = genesis.block_hash
+        self.head_hash = genesis.block_hash
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def __contains__(self, block_hash: str) -> bool:
+        return block_hash in self._blocks
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def get(self, block_hash: str) -> Block:
+        """Fetch a block or raise :class:`UnknownBlockError`."""
+        try:
+            return self._blocks[block_hash]
+        except KeyError:
+            raise UnknownBlockError(block_hash) from None
+
+    @property
+    def head(self) -> Block:
+        """Current canonical head block."""
+        return self._blocks[self.head_hash]
+
+    @property
+    def height(self) -> int:
+        """Height of the canonical head."""
+        return self.head.number
+
+    def total_difficulty(self, block_hash: str) -> int:
+        """Cumulative difficulty from genesis to ``block_hash``."""
+        try:
+            return self._total_difficulty[block_hash]
+        except KeyError:
+            raise UnknownBlockError(block_hash) from None
+
+    def canonical_chain(self) -> list[Block]:
+        """Genesis-to-head block list."""
+        chain: list[Block] = []
+        cursor: Optional[str] = self.head_hash
+        while cursor is not None:
+            block = self._blocks[cursor]
+            chain.append(block)
+            cursor = None if block.number == 0 else block.header.parent_hash
+        chain.reverse()
+        return chain
+
+    def block_at_height(self, number: int) -> Optional[Block]:
+        """Canonical block at ``number`` (None if above the head)."""
+        if number < 0 or number > self.height:
+            return None
+        cursor = self.head
+        while cursor.number > number:
+            cursor = self._blocks[cursor.header.parent_hash]
+        return cursor
+
+    def is_canonical(self, block_hash: str) -> bool:
+        """True iff the block lies on the canonical chain."""
+        block = self.get(block_hash)
+        at_height = self.block_at_height(block.number)
+        return at_height is not None and at_height.block_hash == block_hash
+
+    # ------------------------------------------------------------------
+    # Insertion and fork choice
+    # ------------------------------------------------------------------
+
+    def add(self, block: Block) -> Optional[ReorgInfo]:
+        """Insert a block whose parent is known.
+
+        Returns a :class:`ReorgInfo` when the canonical head changed (even
+        for the trivial extend-head case, where ``rolled_back`` is empty),
+        or ``None`` when the block landed on a losing side branch.
+        """
+        block_hash = block.block_hash
+        if block_hash in self._blocks:
+            return None
+        parent_hash = block.header.parent_hash
+        if parent_hash not in self._blocks:
+            raise UnknownBlockError(f"parent {parent_hash} of block {block_hash}")
+        parent = self._blocks[parent_hash]
+        if block.number != parent.number + 1:
+            raise InvalidBlockError(
+                f"block number {block.number} != parent number {parent.number} + 1"
+            )
+        self._blocks[block_hash] = block
+        self._arrival_counter += 1
+        self._arrival[block_hash] = self._arrival_counter
+        self._total_difficulty[block_hash] = (
+            self._total_difficulty[parent_hash] + block.header.difficulty
+        )
+
+        # First-seen tie-break: strictly greater total difficulty wins.
+        if self._total_difficulty[block_hash] > self._total_difficulty[self.head_hash]:
+            return self._switch_head(block_hash)
+        return None
+
+    def _switch_head(self, new_head: str) -> ReorgInfo:
+        old_head = self.head_hash
+        ancestor = self._common_ancestor(old_head, new_head)
+        rolled_back = self._path_down(old_head, ancestor)
+        applied = list(reversed(self._path_down(new_head, ancestor)))
+        self.head_hash = new_head
+        return ReorgInfo(
+            old_head=old_head,
+            new_head=new_head,
+            common_ancestor=ancestor,
+            rolled_back=rolled_back,
+            applied=applied,
+        )
+
+    def _path_down(self, tip: str, ancestor: str) -> list[str]:
+        """Hashes from ``tip`` down to (excluding) ``ancestor``."""
+        path = []
+        cursor = tip
+        while cursor != ancestor:
+            path.append(cursor)
+            cursor = self._blocks[cursor].header.parent_hash
+        return path
+
+    def _common_ancestor(self, a: str, b: str) -> str:
+        block_a, block_b = self._blocks[a], self._blocks[b]
+        while block_a.number > block_b.number:
+            block_a = self._blocks[block_a.header.parent_hash]
+        while block_b.number > block_a.number:
+            block_b = self._blocks[block_b.header.parent_hash]
+        while block_a.block_hash != block_b.block_hash:
+            block_a = self._blocks[block_a.header.parent_hash]
+            block_b = self._blocks[block_b.header.parent_hash]
+        return block_a.block_hash

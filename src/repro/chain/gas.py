@@ -1,0 +1,96 @@
+"""Ethereum-style gas accounting.
+
+The paper configures its private chain "without block size and transaction
+size constraints ... we ensure that the transaction size exceeds the model's
+size" — i.e. gas limits are set generously so model-bearing transactions
+always fit.  We model the same: a gas schedule with Ethereum-like constants,
+an intrinsic-gas function over payload size, and per-operation charging used
+by the contract runtime.  The default block gas limit is effectively
+unbounded, matching the paper; benchmarks can lower it to study contention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import OutOfGasError
+
+
+@dataclass(frozen=True)
+class GasSchedule:
+    """Gas constants, mirroring Ethereum's fee schedule where sensible."""
+
+    tx_base: int = 21_000                 # G_transaction
+    tx_data_zero_byte: int = 4            # G_txdatazero
+    tx_data_nonzero_byte: int = 16        # G_txdatanonzero
+    tx_create: int = 32_000               # G_txcreate
+    sstore_set: int = 20_000              # write a fresh storage slot
+    sstore_update: int = 5_000            # overwrite an existing slot
+    sload: int = 800                      # read a storage slot
+    log_base: int = 375                   # emit an event
+    log_data_byte: int = 8
+    call_base: int = 700                  # contract-to-contract call
+    step: int = 1                         # per metered python-op step
+    memory_byte: int = 3                  # per byte of large value stored
+
+    def data_gas(self, payload: bytes) -> int:
+        """Intrinsic calldata gas: zero bytes are cheaper than nonzero."""
+        zeros = payload.count(0)
+        return zeros * self.tx_data_zero_byte + (len(payload) - zeros) * self.tx_data_nonzero_byte
+
+
+DEFAULT_SCHEDULE = GasSchedule()
+
+#: Effectively unbounded block gas limit, matching the paper's configuration
+#: of Ethereum "without block size and transaction size constraints".
+UNBOUNDED_BLOCK_GAS = 10**15
+
+
+def intrinsic_gas(payload: bytes, is_create: bool = False, schedule: GasSchedule = DEFAULT_SCHEDULE) -> int:
+    """Gas charged before any execution happens (Ethereum yellow-paper g0)."""
+    gas = schedule.tx_base + schedule.data_gas(payload)
+    if is_create:
+        gas += schedule.tx_create
+    return gas
+
+
+class GasMeter:
+    """Tracks gas consumption during contract execution.
+
+    Raises :class:`OutOfGasError` the moment the budget is exhausted; the
+    runtime catches it and rolls back state changes.
+    """
+
+    def __init__(self, limit: int, schedule: GasSchedule = DEFAULT_SCHEDULE) -> None:
+        if limit < 0:
+            raise ValueError("gas limit must be non-negative")
+        self.limit = int(limit)
+        self.used = 0
+        self.schedule = schedule
+
+    @property
+    def remaining(self) -> int:
+        """Gas still available."""
+        return self.limit - self.used
+
+    def charge(self, amount: int, what: str = "op") -> None:
+        """Consume ``amount`` gas or raise :class:`OutOfGasError`."""
+        if amount < 0:
+            raise ValueError("cannot charge negative gas")
+        if self.used + amount > self.limit:
+            self.used = self.limit
+            raise OutOfGasError(f"out of gas charging {amount} for {what} (limit={self.limit})")
+        self.used += amount
+
+    def charge_sstore(self, fresh: bool, value_size: int = 0) -> None:
+        """Charge a storage write, plus a per-byte fee for large values."""
+        base = self.schedule.sstore_set if fresh else self.schedule.sstore_update
+        self.charge(base + value_size * self.schedule.memory_byte, "sstore")
+
+    def charge_sload(self) -> None:
+        """Charge a storage read."""
+        self.charge(self.schedule.sload, "sload")
+
+    def charge_log(self, data_size: int) -> None:
+        """Charge an event emission."""
+        self.charge(self.schedule.log_base + data_size * self.schedule.log_data_byte, "log")

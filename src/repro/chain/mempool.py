@@ -1,0 +1,118 @@
+"""Pending-transaction pool.
+
+Each node keeps a mempool of gossiped-but-unmined transactions.  Admission
+enforces signatures, replay protection, and (optionally) balance coverage;
+block building pops transactions ordered by gas price then nonce, mirroring
+Geth's default miner policy.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.chain.crypto import Address
+from repro.chain.state import WorldState
+from repro.chain.transaction import Transaction
+from repro.errors import MempoolError
+
+
+class Mempool:
+    """Bounded pool of pending transactions keyed by hash."""
+
+    def __init__(self, max_size: int = 100_000) -> None:
+        self.max_size = max_size
+        self._by_hash: dict[str, Transaction] = {}
+
+    def __len__(self) -> int:
+        return len(self._by_hash)
+
+    def __contains__(self, tx_hash: str) -> bool:
+        return tx_hash in self._by_hash
+
+    def pending(self) -> list[Transaction]:
+        """All pending transactions (unordered)."""
+        return list(self._by_hash.values())
+
+    def add(self, tx: Transaction, state: Optional[WorldState] = None) -> bool:
+        """Admit ``tx``; returns ``False`` for benign duplicates.
+
+        Raises :class:`MempoolError` for invalid transactions (bad signature,
+        stale nonce, unaffordable cost, pool full).  ``state`` enables the
+        stateful checks; without it only the signature is checked.
+        """
+        tx_hash = tx.tx_hash
+        if tx_hash in self._by_hash:
+            return False
+        if len(self._by_hash) >= self.max_size:
+            raise MempoolError(f"mempool full ({self.max_size})")
+        if not tx.verify_signature():
+            raise MempoolError(f"rejecting unsigned/forged tx {tx_hash[:10]}")
+        if state is not None:
+            account_nonce = state.nonce_of(tx.sender)
+            if tx.nonce < account_nonce:
+                raise MempoolError(
+                    f"stale nonce {tx.nonce} < account nonce {account_nonce} for {tx.sender}"
+                )
+            if state.balance_of(tx.sender) < tx.max_cost():
+                raise MempoolError(
+                    f"{tx.sender} cannot cover max cost {tx.max_cost()}"
+                )
+        self._by_hash[tx_hash] = tx
+        return True
+
+    def remove(self, tx_hashes: Iterable[str]) -> int:
+        """Drop mined/invalidated transactions; returns how many were present."""
+        removed = 0
+        for tx_hash in tx_hashes:
+            if self._by_hash.pop(tx_hash, None) is not None:
+                removed += 1
+        return removed
+
+    def select(self, state: WorldState, max_count: Optional[int] = None, max_gas: Optional[int] = None) -> list[Transaction]:
+        """Choose transactions for a block candidate.
+
+        Ordering: gas price descending, then per-sender nonce ascending.
+        Transactions whose nonce is not currently executable (gap) are
+        skipped but kept in the pool.
+        """
+        per_sender: dict[Address, list[Transaction]] = {}
+        for tx in self._by_hash.values():
+            per_sender.setdefault(tx.sender, []).append(tx)
+        for txs in per_sender.values():
+            txs.sort(key=lambda tx: tx.nonce)
+
+        chosen: list[Transaction] = []
+        gas_budget = max_gas if max_gas is not None else float("inf")
+        next_nonce = {sender: state.nonce_of(sender) for sender in per_sender}
+        # Repeatedly take the best-priced executable transaction.
+        while True:
+            if max_count is not None and len(chosen) >= max_count:
+                break
+            candidates = []
+            for sender, txs in per_sender.items():
+                if txs and txs[0].nonce == next_nonce[sender]:
+                    candidates.append(txs[0])
+            if not candidates:
+                break
+            candidates.sort(key=lambda tx: (-tx.gas_price, tx.sender, tx.nonce))
+            best = None
+            for tx in candidates:
+                if tx.gas_limit <= gas_budget:
+                    best = tx
+                    break
+            if best is None:
+                break
+            per_sender[best.sender].pop(0)
+            next_nonce[best.sender] += 1
+            gas_budget -= best.gas_limit
+            chosen.append(best)
+        return chosen
+
+    def drop_stale(self, state: WorldState) -> int:
+        """Purge transactions whose nonce is already consumed on-chain."""
+        stale = [
+            tx_hash
+            for tx_hash, tx in self._by_hash.items()
+            if tx.nonce < state.nonce_of(tx.sender)
+        ]
+        return self.remove(stale)

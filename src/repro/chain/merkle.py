@@ -1,0 +1,82 @@
+"""Binary Merkle tree over transaction hashes.
+
+Block headers commit to their transaction list through a Merkle root, and
+light verification of "transaction T is in block B" uses Merkle proofs —
+this is the non-repudiation backbone the paper relies on: once a model
+submission is under a mined root, its author cannot deny it.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.utils.hashing import hash_concat, sha256_bytes
+
+#: Root of an empty tree (hash of a domain-separation constant).
+EMPTY_ROOT = sha256_bytes(b"repro-merkle-empty")
+
+_LEAF_PREFIX = b"\x00"
+_NODE_PREFIX = b"\x01"
+
+
+def _leaf_hash(data: bytes) -> bytes:
+    return sha256_bytes(_LEAF_PREFIX + data)
+
+
+def _node_hash(left: bytes, right: bytes) -> bytes:
+    return hash_concat(_NODE_PREFIX, left, right)
+
+
+def _build_levels(leaves: Sequence[bytes]) -> list[list[bytes]]:
+    """Return all tree levels, bottom (hashed leaves) first."""
+    level = [_leaf_hash(leaf) for leaf in leaves]
+    levels = [level]
+    while len(level) > 1:
+        if len(level) % 2 == 1:
+            # Duplicate the last node (Bitcoin-style padding); prefixing
+            # leaf vs node hashes prevents second-preimage tricks.
+            level = level + [level[-1]]
+        level = [_node_hash(level[i], level[i + 1]) for i in range(0, len(level), 2)]
+        levels.append(level)
+    return levels
+
+
+def merkle_root(leaves: Sequence[bytes]) -> bytes:
+    """Root hash of ``leaves`` (raw byte strings, e.g. tx hashes)."""
+    if not leaves:
+        return EMPTY_ROOT
+    return _build_levels(leaves)[-1][0]
+
+
+def merkle_proof(leaves: Sequence[bytes], index: int) -> list[tuple[str, bytes]]:
+    """Inclusion proof for ``leaves[index]``.
+
+    Returns a list of ``(side, sibling_hash)`` pairs from leaf to root, where
+    ``side`` is ``"L"`` if the sibling is on the left.
+    """
+    if not 0 <= index < len(leaves):
+        raise IndexError(f"leaf index {index} out of range for {len(leaves)} leaves")
+    levels = _build_levels(leaves)
+    proof: list[tuple[str, bytes]] = []
+    position = index
+    for level in levels[:-1]:
+        padded = level + [level[-1]] if len(level) % 2 == 1 else level
+        if position % 2 == 0:
+            proof.append(("R", padded[position + 1]))
+        else:
+            proof.append(("L", padded[position - 1]))
+        position //= 2
+    return proof
+
+
+def verify_proof(leaf: bytes, proof: Sequence[tuple[str, bytes]], root: bytes) -> bool:
+    """Check that ``leaf`` is under ``root`` given a :func:`merkle_proof`."""
+    current = _leaf_hash(leaf)
+    for side, sibling in proof:
+        if side == "L":
+            current = _node_hash(sibling, current)
+        elif side == "R":
+            current = _node_hash(current, sibling)
+        else:
+            return False
+    return current == root

@@ -1,0 +1,415 @@
+"""A full blockchain node: validate, execute, mine, and serve reads.
+
+Equivalent of one Geth process in the paper's deployment.  Each node keeps:
+
+* a :class:`ChainStore` of all known blocks,
+* the executed :class:`WorldState` at the canonical head (plus per-block
+  state snapshots so reorgs restore cheaply),
+* a :class:`Mempool`, and
+* the shared :class:`ContractRuntime` class registry.
+
+Transaction execution follows Ethereum's recipe: charge intrinsic gas,
+buy gas up front, run the transfer/deployment/call, refund unused gas, pay
+the miner fee.  Failed executions (revert / out-of-gas) still consume gas
+and bump the nonce but roll back their state effects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.chain.block import Block, BlockHeader, make_genesis
+from repro.chain.chainstore import ChainStore, ReorgInfo
+from repro.chain.crypto import Address, KeyPair
+from repro.chain.gas import GasMeter, GasSchedule, DEFAULT_SCHEDULE, UNBOUNDED_BLOCK_GAS, intrinsic_gas
+from repro.chain.mempool import Mempool
+from repro.chain.pow import RetargetRule, check_pow
+from repro.chain.runtime import ContractRuntime
+from repro.chain.state import WorldState
+from repro.chain.transaction import Receipt, Transaction
+from repro.errors import (
+    ChainError,
+    ContractRevertError,
+    InsufficientFundsError,
+    InvalidBlockError,
+    InvalidTransactionError,
+    MempoolError,
+    NonceError,
+    OutOfGasError,
+)
+
+
+@dataclass
+class NodeConfig:
+    """Node parameters.
+
+    ``verify_pow`` distinguishes the two sealing modes: real nonce search
+    (tests, small difficulty) versus statistically simulated sealing driven
+    by the network simulator (``verify_pow=False``).
+    """
+
+    block_gas_limit: int = UNBOUNDED_BLOCK_GAS
+    verify_pow: bool = False
+    block_reward: int = 2_000_000_000
+    max_txs_per_block: Optional[int] = None
+    retarget: RetargetRule = field(default_factory=RetargetRule)
+    keep_state_snapshots: bool = True
+    schedule: GasSchedule = DEFAULT_SCHEDULE
+
+
+@dataclass
+class GenesisSpec:
+    """Initial allocation shared by every node of a network."""
+
+    allocations: dict[Address, int] = field(default_factory=dict)
+    timestamp: float = 0.0
+    difficulty: int = 1
+
+    def build_state(self) -> WorldState:
+        """World state implied by the allocation."""
+        state = WorldState()
+        for address, balance in sorted(self.allocations.items()):
+            state.credit(address, balance)
+        return state
+
+    def build_genesis(self) -> Block:
+        """Genesis block committing to the allocation state."""
+        return make_genesis(
+            self.build_state().state_root(),
+            timestamp=self.timestamp,
+            difficulty=self.difficulty,
+        )
+
+
+class Node:
+    """One blockchain participant (validator + miner + RPC surface)."""
+
+    def __init__(
+        self,
+        keypair: KeyPair,
+        genesis_spec: GenesisSpec,
+        runtime: ContractRuntime,
+        config: Optional[NodeConfig] = None,
+    ) -> None:
+        self.keypair = keypair
+        self.address: Address = keypair.address
+        self.config = config if config is not None else NodeConfig()
+        self.runtime = runtime
+        self.genesis_spec = genesis_spec
+
+        genesis = genesis_spec.build_genesis()
+        self.store = ChainStore(genesis)
+        self.state = genesis_spec.build_state()
+        self.mempool = Mempool()
+        self.receipts: dict[str, Receipt] = {}
+        self._state_snapshots: dict[str, dict] = {}
+        if self.config.keep_state_snapshots:
+            self._state_snapshots[genesis.block_hash] = self.state.snapshot()
+        self._orphans: dict[str, list[Block]] = {}
+        self.blocks_mined = 0
+        self.reorgs_seen = 0
+
+    # ------------------------------------------------------------------
+    # RPC-style reads
+    # ------------------------------------------------------------------
+
+    @property
+    def head(self) -> Block:
+        """Canonical head block."""
+        return self.store.head
+
+    @property
+    def height(self) -> int:
+        """Canonical chain height."""
+        return self.store.height
+
+    def balance_of(self, address: Address) -> int:
+        """Balance at the canonical head."""
+        return self.state.balance_of(address)
+
+    def nonce_of(self, address: Address) -> int:
+        """Account nonce at the canonical head."""
+        return self.state.nonce_of(address)
+
+    def receipt_of(self, tx_hash: str) -> Optional[Receipt]:
+        """Receipt for a mined transaction, if this node executed it."""
+        return self.receipts.get(tx_hash)
+
+    def has_contract(self, address: Address) -> bool:
+        """True iff a contract is deployed at ``address`` in head state."""
+        return self.state.has_account(address) and self.state.account(address).is_contract
+
+    def get_logs(
+        self,
+        address: Optional[Address] = None,
+        topic: Optional[str] = None,
+        from_block: int = 0,
+        to_block: Optional[int] = None,
+    ) -> list:
+        """Query contract events from canonical receipts (``eth_getLogs``).
+
+        Filters by emitting contract ``address`` and/or event ``topic`` over
+        the canonical block range.  Only transactions this node executed
+        (i.e. whose blocks it imported) are visible — the same property a
+        real node has.
+        """
+        upper = to_block if to_block is not None else self.height
+        matches = []
+        for block in self.store.canonical_chain():
+            if block.number < from_block or block.number > upper:
+                continue
+            for tx in block.transactions:
+                receipt = self.receipts.get(tx.tx_hash)
+                if receipt is None or not receipt.success:
+                    continue
+                for entry in receipt.logs:
+                    if address is not None and entry.address != address:
+                        continue
+                    if topic is not None and entry.topic != topic:
+                        continue
+                    matches.append(entry)
+        return matches
+
+    def call_contract(self, contract_address: Address, method: str, **args: Any) -> Any:
+        """Read-only contract call against head state (``eth_call``)."""
+        return self.runtime.read_only_call(
+            self.state,
+            contract_address,
+            method,
+            caller=self.address,
+            block_number=self.height,
+            timestamp=self.head.header.timestamp,
+            **args,
+        )
+
+    # ------------------------------------------------------------------
+    # Transaction intake
+    # ------------------------------------------------------------------
+
+    def submit_transaction(self, tx: Transaction) -> bool:
+        """Admit a signed transaction into the mempool."""
+        return self.mempool.add(tx, state=self.state)
+
+    def next_nonce_for(self, sender: Address) -> int:
+        """Nonce a wallet should use next: head nonce plus pending count."""
+        pending = sum(1 for tx in self.mempool.pending() if tx.sender == sender)
+        return self.state.nonce_of(sender) + pending
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def _execute_transaction(
+        self,
+        state: WorldState,
+        tx: Transaction,
+        block_number: int,
+        timestamp: float,
+        miner: Address,
+    ) -> Receipt:
+        """Execute one transaction against ``state`` (mutates it)."""
+        if not tx.verify_signature():
+            raise InvalidTransactionError(f"bad signature on {tx.tx_hash[:10]}")
+        if state.nonce_of(tx.sender) != tx.nonce:
+            raise NonceError(
+                f"tx nonce {tx.nonce} != account nonce {state.nonce_of(tx.sender)}"
+            )
+        base_cost = intrinsic_gas(tx.data, is_create=tx.is_create, schedule=self.config.schedule)
+        if base_cost > tx.gas_limit:
+            raise InvalidTransactionError(
+                f"gas limit {tx.gas_limit} below intrinsic gas {base_cost}"
+            )
+        if state.balance_of(tx.sender) < tx.max_cost():
+            raise InsufficientFundsError(
+                f"{tx.sender} cannot cover {tx.max_cost()}"
+            )
+
+        # Buy gas up front, as Ethereum does.
+        state.debit(tx.sender, tx.gas_limit * tx.gas_price)
+        state.bump_nonce(tx.sender)
+
+        meter = GasMeter(tx.gas_limit, self.config.schedule)
+        meter.charge(base_cost, "intrinsic")
+        snapshot = state.snapshot()
+        receipt = Receipt(tx_hash=tx.tx_hash, success=True, gas_used=0, block_number=block_number)
+        try:
+            if tx.value:
+                state.transfer(tx.sender, tx.to if tx.to else tx.sender, tx.value)
+            if tx.is_create:
+                address, logs = self.runtime.deploy(state, meter, tx, block_number, timestamp)
+                receipt.contract_address = address
+                receipt.logs = logs
+            elif tx.is_call:
+                result, logs = self.runtime.execute_call(state, meter, tx, block_number, timestamp)
+                receipt.return_value = result
+                receipt.logs = logs
+        except (ContractRevertError, OutOfGasError, InsufficientFundsError, ChainError) as exc:
+            state.restore(snapshot)
+            receipt.success = False
+            receipt.revert_reason = str(exc)
+            if isinstance(exc, OutOfGasError):
+                meter.used = meter.limit
+
+        receipt.gas_used = meter.used
+        # Refund unused gas; fee goes to the miner.
+        state.credit(tx.sender, (tx.gas_limit - meter.used) * tx.gas_price)
+        state.credit(miner, meter.used * tx.gas_price)
+        return receipt
+
+    def _execute_block(self, state: WorldState, block: Block) -> list[Receipt]:
+        """Execute every transaction of ``block`` plus the coinbase reward."""
+        receipts = []
+        for tx in block.transactions:
+            receipt = self._execute_transaction(
+                state,
+                tx,
+                block_number=block.number,
+                timestamp=block.header.timestamp,
+                miner=block.header.miner,
+            )
+            receipt.block_hash = block.block_hash
+            receipts.append(receipt)
+        state.credit(block.header.miner, self.config.block_reward)
+        return receipts
+
+    # ------------------------------------------------------------------
+    # Block building (mining)
+    # ------------------------------------------------------------------
+
+    def build_block_candidate(self, timestamp: float, difficulty: Optional[int] = None) -> Block:
+        """Assemble and execute a block candidate on top of the head.
+
+        The candidate's header commits to the post-execution state root; the
+        caller (test or network simulator) seals it with a nonce.
+        """
+        parent = self.head
+        if difficulty is None:
+            parent_interval = max(timestamp - parent.header.timestamp, 0.0)
+            difficulty = self.config.retarget.next_difficulty(
+                parent.header.difficulty, parent_interval
+            )
+        txs = self.mempool.select(
+            self.state,
+            max_count=self.config.max_txs_per_block,
+            max_gas=self.config.block_gas_limit,
+        )
+        scratch = self.state.copy()
+        header = BlockHeader(
+            parent_hash=parent.block_hash,
+            number=parent.number + 1,
+            timestamp=max(timestamp, parent.header.timestamp + 1e-9),
+            miner=self.address,
+            difficulty=difficulty,
+            tx_root="",
+            state_root="",
+            gas_limit=self.config.block_gas_limit,
+        )
+        block = Block(header=header, transactions=txs)
+        receipts = self._execute_block(scratch, block)
+        header.gas_used = sum(receipt.gas_used for receipt in receipts)
+        header.tx_root = block.compute_tx_root()
+        header.state_root = scratch.state_root()
+        return block
+
+    # ------------------------------------------------------------------
+    # Block import
+    # ------------------------------------------------------------------
+
+    def validate_block(self, block: Block) -> None:
+        """Stateless checks + PoW check (if enabled); raises on failure."""
+        if not block.body_matches_header():
+            raise InvalidBlockError("tx root mismatch")
+        if block.header.parent_hash not in self.store:
+            raise InvalidBlockError(f"unknown parent {block.header.parent_hash}")
+        parent = self.store.get(block.header.parent_hash)
+        if block.header.timestamp <= parent.header.timestamp:
+            raise InvalidBlockError("timestamp not after parent")
+        if self.config.verify_pow and not check_pow(block.header):
+            raise InvalidBlockError("PoW seal invalid")
+        for tx in block.transactions:
+            if not tx.verify_signature():
+                raise InvalidBlockError(f"block contains forged tx {tx.tx_hash[:10]}")
+
+    def import_block(self, block: Block) -> Optional[ReorgInfo]:
+        """Validate, store, and (if canonical) execute ``block``.
+
+        Returns the reorg info when the head moved.  Unknown-parent blocks
+        are parked as orphans and retried when the parent arrives.
+        """
+        if block.block_hash in self.store:
+            return None
+        if block.header.parent_hash not in self.store:
+            self._orphans.setdefault(block.header.parent_hash, []).append(block)
+            return None
+        self.validate_block(block)
+        reorg = self.store.add(block)
+        if reorg is not None:
+            self._apply_head_change(reorg)
+            if reorg.rolled_back:
+                self.reorgs_seen += 1
+        self._adopt_orphans(block.block_hash)
+        return reorg
+
+    def _adopt_orphans(self, parent_hash: str) -> None:
+        for orphan in self._orphans.pop(parent_hash, []):
+            try:
+                self.import_block(orphan)
+            except InvalidBlockError:
+                continue
+
+    def _apply_head_change(self, reorg: ReorgInfo) -> None:
+        """Re-execute state along the new canonical branch.
+
+        Transactions from rolled-back blocks are re-injected into the
+        mempool (as Geth does) so work mined on a losing branch is not
+        silently dropped; stale ones are purged after the new state is in.
+        """
+        rolled_back_txs = [
+            tx
+            for block_hash in reorg.rolled_back
+            for tx in self.store.get(block_hash).transactions
+        ]
+        base_hash = reorg.common_ancestor
+        if self.config.keep_state_snapshots and base_hash in self._state_snapshots:
+            state = WorldState()
+            state.restore(self._state_snapshots[base_hash])
+        else:
+            state = self._replay_to(base_hash)
+        for block_hash in reorg.applied:
+            block = self.store.get(block_hash)
+            receipts = self._execute_block(state, block)
+            if block.header.state_root != state.state_root():
+                raise InvalidBlockError(
+                    f"state root mismatch executing {block_hash[:10]}"
+                )
+            for receipt in receipts:
+                self.receipts[receipt.tx_hash] = receipt
+            if self.config.keep_state_snapshots:
+                self._state_snapshots[block_hash] = state.snapshot()
+            self.mempool.remove(tx.tx_hash for tx in block.transactions)
+        self.state = state
+        for tx in rolled_back_txs:
+            try:
+                self.mempool.add(tx, state=self.state)
+            except MempoolError:
+                continue  # already mined on the new branch, or stale
+        self.mempool.drop_stale(self.state)
+
+    def _replay_to(self, block_hash: str) -> WorldState:
+        """Rebuild state by replaying from genesis to ``block_hash``."""
+        path: list[Block] = []
+        cursor = self.store.get(block_hash)
+        while cursor.number > 0:
+            path.append(cursor)
+            cursor = self.store.get(cursor.header.parent_hash)
+        state = self.genesis_spec.build_state()
+        for block in reversed(path):
+            self._execute_block(state, block)
+        return state
+
+    def seal_and_import(self, block: Block, nonce: int) -> Optional[ReorgInfo]:
+        """Attach a nonce to a locally built candidate and import it."""
+        block.header.nonce = nonce
+        self.blocks_mined += 1
+        return self.import_block(block)

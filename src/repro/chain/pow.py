@@ -1,0 +1,115 @@
+"""Proof-of-work consensus: hash puzzle, mining, difficulty retargeting.
+
+The paper's private Ethereum runs PoW ("the computation cost from PoW
+consensus cannot be avoided; however, Ethereum enables openness").  We model
+the standard hash puzzle: a header is sealed when
+``H(header_payload || nonce) < 2**256 / difficulty``.
+
+Mining in the simulator is *instantaneous in wall-clock* but consumes
+*simulated time* drawn from the exponential distribution that real PoW
+follows (memoryless trials), so block intervals and leader election are
+statistically faithful without burning CPU.  ``mine_header`` also supports a
+bounded real nonce search for tests that validate the puzzle end-to-end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.chain.block import BlockHeader
+from repro.utils.hashing import sha256_bytes
+
+_MAX_TARGET = 2**256
+
+
+def pow_target(difficulty: int) -> int:
+    """Numeric target: a sealed hash must be strictly below this."""
+    if difficulty < 1:
+        raise ValueError(f"difficulty must be >= 1, got {difficulty}")
+    return _MAX_TARGET // difficulty
+
+
+def _seal_value(header: BlockHeader, nonce: int) -> int:
+    digest = sha256_bytes(header.sealing_payload() + int(nonce).to_bytes(8, "big"))
+    return int.from_bytes(digest, "big")
+
+
+def check_pow(header: BlockHeader) -> bool:
+    """Verify the header's nonce satisfies its declared difficulty."""
+    return _seal_value(header, header.nonce) < pow_target(header.difficulty)
+
+
+def mine_header(header: BlockHeader, max_attempts: int = 1_000_000, start_nonce: int = 0) -> bool:
+    """Search for a sealing nonce by brute force; mutates ``header.nonce``.
+
+    Returns ``True`` on success.  Intended for low difficulties in tests and
+    benchmarks; the network simulation uses :class:`ProofOfWork` instead.
+    """
+    target = pow_target(header.difficulty)
+    for nonce in range(start_nonce, start_nonce + max_attempts):
+        if _seal_value(header, nonce) < target:
+            header.nonce = nonce
+            return True
+    return False
+
+
+@dataclass
+class RetargetRule:
+    """Ethereum-flavoured difficulty adjustment.
+
+    If the parent interval was below ``target_interval``, difficulty rises by
+    ``1/adjustment_quotient`` of itself; if above, it falls, bounded below by
+    ``min_difficulty``.
+    """
+
+    target_interval: float = 13.0
+    adjustment_quotient: int = 16
+    min_difficulty: int = 1
+
+    def next_difficulty(self, parent_difficulty: int, parent_interval: float) -> int:
+        """Difficulty for a child given the parent's difficulty and interval."""
+        step = max(parent_difficulty // self.adjustment_quotient, 1)
+        if parent_interval < self.target_interval:
+            adjusted = parent_difficulty + step
+        elif parent_interval > self.target_interval:
+            adjusted = parent_difficulty - step
+        else:
+            adjusted = parent_difficulty
+        return max(adjusted, self.min_difficulty)
+
+
+class ProofOfWork:
+    """Statistical PoW used by the network simulation.
+
+    Each miner has a hashrate (hashes per simulated second).  The time to
+    find a block at difficulty ``d`` is exponential with mean
+    ``d / hashrate`` in expectation (success probability per hash is
+    ``1/d``).  ``sample_mining_time`` draws that time; the event engine
+    schedules block discovery accordingly, which makes leader election
+    proportional to hashrate — exactly the property the paper's three equal
+    VMs rely on for fairness.
+    """
+
+    def __init__(self, rng: np.random.Generator, retarget: RetargetRule | None = None) -> None:
+        self.rng = rng
+        self.retarget = retarget if retarget is not None else RetargetRule()
+
+    def expected_time(self, difficulty: int, hashrate: float) -> float:
+        """Mean simulated seconds to seal at ``difficulty`` with ``hashrate``."""
+        if hashrate <= 0:
+            raise ValueError("hashrate must be positive")
+        return difficulty / hashrate
+
+    def sample_mining_time(self, difficulty: int, hashrate: float) -> float:
+        """Draw one exponential mining duration."""
+        return float(self.rng.exponential(self.expected_time(difficulty, hashrate)))
+
+    def sample_nonce(self) -> int:
+        """Draw a pseudo-nonce recorded in simulated-sealed headers."""
+        return int(self.rng.integers(0, 2**63))
+
+    def next_difficulty(self, parent_difficulty: int, parent_interval: float) -> int:
+        """Delegate to the retarget rule."""
+        return self.retarget.next_difficulty(parent_difficulty, parent_interval)

@@ -1,0 +1,142 @@
+"""World state: account balances, nonces, and contract storage.
+
+The state is a snapshot-able mapping from address to :class:`AccountState`.
+Contract storage is a per-account key/value dict whose values must be
+canonically serializable so state roots are deterministic across nodes.
+Snapshots power transaction-level rollback (revert/out-of-gas) and block-level
+rollback (reorgs re-execute from the fork point).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.chain.crypto import Address
+from repro.errors import InsufficientFundsError
+from repro.utils.hashing import hash_object
+
+
+@dataclass
+class AccountState:
+    """State of one account (externally owned or contract)."""
+
+    balance: int = 0
+    nonce: int = 0
+    contract_name: Optional[str] = None
+    storage: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def is_contract(self) -> bool:
+        """True for accounts hosting deployed contract code."""
+        return self.contract_name is not None
+
+    def to_dict(self) -> dict:
+        return {
+            "balance": self.balance,
+            "nonce": self.nonce,
+            "contract_name": self.contract_name,
+            "storage": self.storage,
+        }
+
+
+class WorldState:
+    """Mutable world state with snapshot/restore support."""
+
+    def __init__(self) -> None:
+        self._accounts: dict[Address, AccountState] = {}
+
+    # ------------------------------------------------------------------
+    # Account access
+    # ------------------------------------------------------------------
+
+    def account(self, address: Address) -> AccountState:
+        """Return (creating lazily) the account at ``address``."""
+        if address not in self._accounts:
+            self._accounts[address] = AccountState()
+        return self._accounts[address]
+
+    def has_account(self, address: Address) -> bool:
+        """True if the account exists without creating it."""
+        return address in self._accounts
+
+    def addresses(self) -> list[Address]:
+        """Sorted list of known addresses."""
+        return sorted(self._accounts)
+
+    def balance_of(self, address: Address) -> int:
+        """Balance, zero for unknown accounts (no account creation)."""
+        account = self._accounts.get(address)
+        return account.balance if account else 0
+
+    def nonce_of(self, address: Address) -> int:
+        """Nonce, zero for unknown accounts."""
+        account = self._accounts.get(address)
+        return account.nonce if account else 0
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def credit(self, address: Address, amount: int) -> None:
+        """Add ``amount`` to the account balance."""
+        if amount < 0:
+            raise ValueError("credit amount must be non-negative")
+        self.account(address).balance += amount
+
+    def debit(self, address: Address, amount: int) -> None:
+        """Subtract ``amount``; raises :class:`InsufficientFundsError`."""
+        if amount < 0:
+            raise ValueError("debit amount must be non-negative")
+        account = self.account(address)
+        if account.balance < amount:
+            raise InsufficientFundsError(
+                f"{address} balance {account.balance} < debit {amount}"
+            )
+        account.balance -= amount
+
+    def transfer(self, src: Address, dst: Address, amount: int) -> None:
+        """Atomic balance move from ``src`` to ``dst``."""
+        self.debit(src, amount)
+        self.credit(dst, amount)
+
+    def bump_nonce(self, address: Address) -> int:
+        """Increment and return the account nonce."""
+        account = self.account(address)
+        account.nonce += 1
+        return account.nonce
+
+    def deploy(self, address: Address, contract_name: str, initial_storage: Optional[dict] = None) -> None:
+        """Mark an address as hosting a contract with optional seed storage."""
+        account = self.account(address)
+        account.contract_name = contract_name
+        if initial_storage:
+            account.storage.update(initial_storage)
+
+    # ------------------------------------------------------------------
+    # Snapshot / root
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Deep-copy snapshot for rollback."""
+        return {address: copy.deepcopy(account) for address, account in self._accounts.items()}
+
+    def restore(self, snap: dict) -> None:
+        """Restore a snapshot taken by :meth:`snapshot`."""
+        self._accounts = {address: copy.deepcopy(account) for address, account in snap.items()}
+
+    def state_root(self) -> str:
+        """Deterministic hash over the full state (storage included)."""
+        return hash_object(
+            {address: account.to_dict() for address, account in self._accounts.items()}
+        )
+
+    def copy(self) -> "WorldState":
+        """Independent deep copy of the whole state."""
+        clone = WorldState()
+        clone.restore(self.snapshot())
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WorldState(accounts={len(self._accounts)})"

@@ -1,0 +1,187 @@
+"""Signed transactions and execution receipts.
+
+A transaction is either a value transfer, a contract deployment (``to`` is
+``None``), or a contract call (``to`` is a contract address, ``method`` and
+``args`` describe the invocation).  The FL peers use contract calls to
+submit model commitments and read aggregation state — exactly the web3
+interaction pattern of the paper's NodeJS pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.chain.crypto import Address, KeyPair, Signature, recover_check
+from repro.errors import InvalidSignatureError
+from repro.utils.hashing import keccak_like
+from repro.utils.serialization import canonical_dumps
+
+
+@dataclass
+class Transaction:
+    """An Ethereum-style transaction.
+
+    Attributes
+    ----------
+    sender:
+        Address of the originating account.
+    to:
+        Destination address, or ``None`` for contract creation.
+    nonce:
+        Sender's transaction count; enforces ordering and replay protection.
+    value:
+        Wei-like units transferred to ``to``.
+    gas_limit / gas_price:
+        Standard Ethereum fee fields.
+    method / args:
+        For contract calls: the method name and canonical-serializable args.
+    data:
+        Raw payload bytes (used for intrinsic-gas sizing; carries the model
+        weight commitment for FL submissions).
+    """
+
+    sender: Address
+    to: Optional[Address]
+    nonce: int
+    value: int = 0
+    gas_limit: int = 10_000_000
+    gas_price: int = 1
+    method: str = ""
+    args: dict[str, Any] = field(default_factory=dict)
+    data: bytes = b""
+    signature: Optional[Signature] = None
+    public_bundle: Optional[dict] = None
+
+    # ------------------------------------------------------------------
+    # Identity and signing
+    # ------------------------------------------------------------------
+
+    def signing_payload(self) -> bytes:
+        """Canonical bytes covered by the signature (everything but it)."""
+        return canonical_dumps(
+            {
+                "sender": self.sender,
+                "to": self.to,
+                "nonce": self.nonce,
+                "value": self.value,
+                "gas_limit": self.gas_limit,
+                "gas_price": self.gas_price,
+                "method": self.method,
+                "args": self.args,
+                "data": self.data,
+            }
+        )
+
+    def digest(self) -> bytes:
+        """32-byte digest of the signing payload."""
+        from repro.utils.hashing import sha256_bytes
+
+        return sha256_bytes(self.signing_payload())
+
+    @property
+    def tx_hash(self) -> str:
+        """Transaction hash (includes the signature, like Ethereum)."""
+        sig = self.signature.to_dict() if self.signature else None
+        return keccak_like(self.signing_payload() + canonical_dumps({"sig": sig}))
+
+    def sign_with(self, keypair: KeyPair) -> "Transaction":
+        """Sign in place with ``keypair`` and return ``self``.
+
+        Raises :class:`InvalidSignatureError` if the keypair's address does
+        not match the declared sender — catching wiring bugs early.
+        """
+        if keypair.address != self.sender:
+            raise InvalidSignatureError(
+                f"keypair address {keypair.address} != tx sender {self.sender}"
+            )
+        self.signature = keypair.sign(self.digest())
+        self.public_bundle = keypair.public_bundle
+        return self
+
+    def verify_signature(self) -> bool:
+        """True iff the signature verifies and recovers the declared sender."""
+        if self.signature is None or self.public_bundle is None:
+            return False
+        return recover_check(self.public_bundle, self.digest(), self.signature, self.sender)
+
+    # ------------------------------------------------------------------
+    # Classification helpers
+    # ------------------------------------------------------------------
+
+    @property
+    def is_create(self) -> bool:
+        """True for contract-deployment transactions."""
+        return self.to is None
+
+    @property
+    def is_call(self) -> bool:
+        """True for contract-call transactions."""
+        return self.to is not None and bool(self.method)
+
+    def max_cost(self) -> int:
+        """Upper bound on sender debit: value + gas_limit * gas_price."""
+        return self.value + self.gas_limit * self.gas_price
+
+    def to_dict(self) -> dict:
+        """Wire representation (used by gossip and tests)."""
+        return {
+            "sender": self.sender,
+            "to": self.to,
+            "nonce": self.nonce,
+            "value": self.value,
+            "gas_limit": self.gas_limit,
+            "gas_price": self.gas_price,
+            "method": self.method,
+            "args": self.args,
+            "data": self.data,
+            "signature": self.signature.to_dict() if self.signature else None,
+            "public_bundle": self.public_bundle,
+        }
+
+    @staticmethod
+    def from_dict(payload: dict) -> "Transaction":
+        """Inverse of :meth:`to_dict`."""
+        sig = payload.get("signature")
+        return Transaction(
+            sender=payload["sender"],
+            to=payload["to"],
+            nonce=payload["nonce"],
+            value=payload.get("value", 0),
+            gas_limit=payload.get("gas_limit", 10_000_000),
+            gas_price=payload.get("gas_price", 1),
+            method=payload.get("method", ""),
+            args=payload.get("args", {}),
+            data=payload.get("data", b""),
+            signature=Signature.from_dict(sig) if sig else None,
+            public_bundle=payload.get("public_bundle"),
+        )
+
+
+@dataclass
+class LogEntry:
+    """An event emitted by a contract during execution."""
+
+    address: Address
+    topic: str
+    payload: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class Receipt:
+    """Execution result of a transaction included in a block."""
+
+    tx_hash: str
+    success: bool
+    gas_used: int
+    block_hash: str = ""
+    block_number: int = -1
+    contract_address: Optional[Address] = None
+    return_value: Any = None
+    revert_reason: str = ""
+    logs: list[LogEntry] = field(default_factory=list)
+
+    @property
+    def failed(self) -> bool:
+        """Convenience inverse of ``success``."""
+        return not self.success

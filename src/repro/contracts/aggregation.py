@@ -1,0 +1,147 @@
+"""Aggregation coordination contract.
+
+Implements the round lifecycle of Section III-B: a round opens, peers
+submit (tracked by the :class:`ModelStore`), and the coordinator answers the
+central question of the paper — *wait or not to wait* — by exposing
+quorum state for any wait-for-k policy.  It also supports the paper's
+second operating mode ("agreeing on a common block of local updates"):
+peers vote for the aggregated-model hash they computed, and a hash reaching
+the vote threshold becomes the round's canonical global model.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.chain.runtime import CallContext, Contract
+
+_STORE_KEY = "model_store_address"
+_ROUND_PREFIX = "round:"          # round:<id> -> round record
+_VOTE_PREFIX = "vote:"            # vote:<id>:<address> -> hash voted for
+_TALLY_PREFIX = "tally:"          # tally:<id> -> {hash: count}
+
+
+def _round_key(round_id: int) -> str:
+    return f"{_ROUND_PREFIX}{int(round_id):08d}"
+
+
+class AggregationCoordinator(Contract):
+    """Round lifecycle + wait-for-k quorum + global-model finalization."""
+
+    NAME = "aggregation_coordinator"
+
+    def init(
+        self,
+        ctx: CallContext,
+        model_store_address: str,
+        quorum: int = 1,
+        vote_threshold: int = 2,
+    ) -> None:
+        """Bind to a model store; set defaults for quorum and votes.
+
+        ``quorum`` is the minimum submissions before ``quorum_reached``
+        reports true (the k of wait-for-k); ``vote_threshold`` is the number
+        of matching finalization votes that canonizes a global model.
+        """
+        ctx.require(quorum >= 1, "quorum must be >= 1")
+        ctx.require(vote_threshold >= 1, "vote_threshold must be >= 1")
+        ctx.sstore(_STORE_KEY, model_store_address)
+        ctx.sstore("default_quorum", int(quorum))
+        ctx.sstore("vote_threshold", int(vote_threshold))
+        ctx.sstore("current_round", -1)
+
+    # ------------------------------------------------------------------
+    # Round lifecycle
+    # ------------------------------------------------------------------
+
+    def open_round(self, ctx: CallContext, round_id: int, quorum: Optional[int] = None) -> dict:
+        """Open a round; any participant may do it (no central party)."""
+        ctx.require(round_id >= 0, "round_id must be non-negative")
+        key = _round_key(round_id)
+        ctx.require(ctx.sload(key) is None, "round already open")
+        record = {
+            "round_id": int(round_id),
+            "opened_by": ctx.sender,
+            "opened_at_block": ctx.block_number,
+            "opened_at": ctx.timestamp,
+            "quorum": int(quorum) if quorum is not None else int(ctx.sload("default_quorum", 1)),
+            "finalized_hash": None,
+            "finalized_at": None,
+        }
+        ctx.sstore(key, record)
+        current = int(ctx.sload("current_round", -1))
+        if round_id > current:
+            ctx.sstore("current_round", int(round_id))
+        ctx.log("RoundOpened", round_id=int(round_id), opened_by=ctx.sender)
+        return record
+
+    def submission_count(self, ctx: CallContext, round_id: int) -> int:
+        """Delegate count to the bound model store."""
+        store = ctx.sload(_STORE_KEY)
+        return int(ctx.call(store, "submission_count", round_id=round_id))
+
+    def quorum_reached(self, ctx: CallContext, round_id: int) -> bool:
+        """Has the round collected at least its quorum of submissions?
+
+        This is the on-chain primitive behind *wait-for-k*: an asynchronous
+        aggregator proceeds as soon as this flips true instead of waiting
+        for the full cohort.
+        """
+        record = ctx.sload(_round_key(round_id))
+        ctx.require(record is not None, "round not open")
+        return self.submission_count(ctx, round_id) >= record["quorum"]
+
+    def round_info(self, ctx: CallContext, round_id: int) -> Optional[dict]:
+        """Round record, or ``None`` if never opened."""
+        return ctx.sload(_round_key(round_id))
+
+    def current_round(self, ctx: CallContext) -> int:
+        """Highest round id ever opened (-1 before the first)."""
+        return int(ctx.sload("current_round", -1))
+
+    # ------------------------------------------------------------------
+    # Global-model finalization votes (operating mode 2)
+    # ------------------------------------------------------------------
+
+    def vote_global(self, ctx: CallContext, round_id: int, aggregate_hash: str) -> dict[str, Any]:
+        """Vote that ``aggregate_hash`` is the round's global model.
+
+        One vote per address per round; changing a vote is a revert (votes
+        are evidence).  When the tally reaches ``vote_threshold``, the hash
+        is finalized — any peer becoming "the aggregator" without a fixed
+        single aggregator, exactly the paper's single-point-of-failure fix.
+        """
+        record = ctx.sload(_round_key(round_id))
+        ctx.require(record is not None, "round not open")
+        ctx.require(bool(aggregate_hash), "aggregate_hash required")
+        vote_key = f"{_VOTE_PREFIX}{int(round_id):08d}:{ctx.sender}"
+        ctx.require(ctx.sload(vote_key) is None, "already voted this round")
+        ctx.sstore(vote_key, aggregate_hash)
+        tally_key = f"{_TALLY_PREFIX}{int(round_id):08d}"
+        tally = dict(ctx.sload(tally_key, {}))
+        tally[aggregate_hash] = int(tally.get(aggregate_hash, 0)) + 1
+        ctx.sstore(tally_key, tally)
+        ctx.log("GlobalVote", round_id=int(round_id), voter=ctx.sender, aggregate_hash=aggregate_hash)
+
+        threshold = int(ctx.sload("vote_threshold", 1))
+        if tally[aggregate_hash] >= threshold and record["finalized_hash"] is None:
+            record = dict(record)
+            record["finalized_hash"] = aggregate_hash
+            record["finalized_at"] = ctx.timestamp
+            ctx.sstore(_round_key(round_id), record)
+            ctx.log("GlobalFinalized", round_id=int(round_id), aggregate_hash=aggregate_hash)
+        return {"tally": tally[aggregate_hash], "finalized": record["finalized_hash"] is not None}
+
+    def finalized_hash(self, ctx: CallContext, round_id: int) -> Optional[str]:
+        """The canonized global-model hash, or ``None``."""
+        record = ctx.sload(_round_key(round_id))
+        ctx.require(record is not None, "round not open")
+        return record["finalized_hash"]
+
+    def vote_tally(self, ctx: CallContext, round_id: int) -> dict:
+        """Current vote counts per candidate hash."""
+        return dict(ctx.sload(f"{_TALLY_PREFIX}{int(round_id):08d}", {}))
+
+    def vote_of(self, ctx: CallContext, round_id: int, address: str) -> Optional[str]:
+        """What ``address`` voted for, or ``None``."""
+        return ctx.sload(f"{_VOTE_PREFIX}{int(round_id):08d}:{address}")

@@ -1,0 +1,108 @@
+"""Participant registry contract.
+
+Gate-keeps the FL cohort: the deployer is the initial admin; participants
+register themselves (open enrollment, permissionless-Ethereum style) or the
+admin can pre-register and ban.  The model store and coordinator consult
+this registry before accepting submissions, mirroring "only authorized
+devices can contribute updates" (BFLC) while staying permissionless at the
+chain layer like the paper argues for.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.chain.runtime import CallContext, Contract
+
+_ADMIN_KEY = "admin"
+_OPEN_KEY = "open_enrollment"
+_MEMBER_PREFIX = "member:"
+_BANNED_PREFIX = "banned:"
+
+
+class ParticipantRegistry(Contract):
+    """On-chain membership list for the FL cohort."""
+
+    NAME = "participant_registry"
+
+    def init(self, ctx: CallContext, open_enrollment: bool = True) -> None:
+        """Deployer becomes admin; enrollment defaults to open."""
+        ctx.sstore(_ADMIN_KEY, ctx.sender)
+        ctx.sstore(_OPEN_KEY, bool(open_enrollment))
+        ctx.sstore("member_count", 0)
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+
+    def register(self, ctx: CallContext, display_name: str = "") -> dict[str, Any]:
+        """Self-register the sender as a participant."""
+        ctx.require(bool(ctx.sload(_OPEN_KEY)), "enrollment closed")
+        ctx.require(not ctx.sload(_BANNED_PREFIX + ctx.sender, False), "address banned")
+        key = _MEMBER_PREFIX + ctx.sender
+        ctx.require(ctx.sload(key) is None, "already registered")
+        record = {
+            "address": ctx.sender,
+            "display_name": display_name,
+            "registered_at_block": ctx.block_number,
+        }
+        ctx.sstore(key, record)
+        ctx.sstore("member_count", int(ctx.sload("member_count", 0)) + 1)
+        ctx.log("ParticipantRegistered", address=ctx.sender, display_name=display_name)
+        return record
+
+    def admit(self, ctx: CallContext, address: str, display_name: str = "") -> None:
+        """Admin-only enrollment of another address."""
+        ctx.require(ctx.sender == ctx.sload(_ADMIN_KEY), "admin only")
+        key = _MEMBER_PREFIX + address
+        ctx.require(ctx.sload(key) is None, "already registered")
+        ctx.sstore(key, {
+            "address": address,
+            "display_name": display_name,
+            "registered_at_block": ctx.block_number,
+        })
+        ctx.sstore("member_count", int(ctx.sload("member_count", 0)) + 1)
+        ctx.log("ParticipantRegistered", address=address, display_name=display_name)
+
+    def ban(self, ctx: CallContext, address: str, reason: str = "") -> None:
+        """Admin-only ban: removes membership and blocks re-registration.
+
+        This is the enforcement hook for "strong evidence against detected
+        abnormal clients" — the evidence itself lives in the model store.
+        """
+        ctx.require(ctx.sender == ctx.sload(_ADMIN_KEY), "admin only")
+        ctx.sstore(_BANNED_PREFIX + address, True)
+        if ctx.sload(_MEMBER_PREFIX + address) is not None:
+            ctx.sdelete(_MEMBER_PREFIX + address)
+            ctx.sstore("member_count", int(ctx.sload("member_count", 0)) - 1)
+        ctx.log("ParticipantBanned", address=address, reason=reason)
+
+    def close_enrollment(self, ctx: CallContext) -> None:
+        """Admin-only: freeze the cohort."""
+        ctx.require(ctx.sender == ctx.sload(_ADMIN_KEY), "admin only")
+        ctx.sstore(_OPEN_KEY, False)
+        ctx.log("EnrollmentClosed")
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+
+    def is_member(self, ctx: CallContext, address: str) -> bool:
+        """True iff ``address`` is an active participant."""
+        return ctx.sload(_MEMBER_PREFIX + address) is not None
+
+    def is_banned(self, ctx: CallContext, address: str) -> bool:
+        """True iff ``address`` has been banned."""
+        return bool(ctx.sload(_BANNED_PREFIX + address, False))
+
+    def member_count(self, ctx: CallContext) -> int:
+        """Number of active participants."""
+        return int(ctx.sload("member_count", 0))
+
+    def members(self, ctx: CallContext) -> list[str]:
+        """Sorted active participant addresses."""
+        return [key[len(_MEMBER_PREFIX):] for key in ctx.skeys(_MEMBER_PREFIX)]
+
+    def admin(self, ctx: CallContext) -> str:
+        """Current admin address."""
+        return ctx.sload(_ADMIN_KEY)

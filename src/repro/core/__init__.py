@@ -1,0 +1,45 @@
+"""The paper's contribution: fully coupled blockchain-based FL.
+
+Every peer is simultaneously data holder, trainer, miner, and aggregator
+(:mod:`repro.core.peer`); the decentralized orchestrator
+(:mod:`repro.core.decentralized`) runs communication rounds over the
+simulated Ethereum network, reproducing Tables II-IV and Figure 4; the
+round state machine (:mod:`repro.core.rounds`) tracks wait-for-k progress;
+:mod:`repro.core.nonrepudiation` assembles and verifies the on-chain
+authorship evidence; :mod:`repro.core.config` and
+:mod:`repro.core.experiment` define and run the calibrated experiments.
+"""
+
+from repro.core.offchain import OffchainStore
+from repro.core.rounds import RoundState, RoundTracker
+from repro.core.peer import FullPeer, PeerConfig
+from repro.core.decentralized import DecentralizedFL, DecentralizedConfig, PeerRoundLog
+from repro.core.nonrepudiation import EvidenceBundle, collect_evidence, verify_evidence
+from repro.core.config import ExperimentConfig, default_config, calibrated_spec
+from repro.core.experiment import (
+    run_vanilla_experiment,
+    run_decentralized_experiment,
+    VanillaExperimentResult,
+    DecentralizedExperimentResult,
+)
+
+__all__ = [
+    "OffchainStore",
+    "RoundState",
+    "RoundTracker",
+    "FullPeer",
+    "PeerConfig",
+    "DecentralizedFL",
+    "DecentralizedConfig",
+    "PeerRoundLog",
+    "EvidenceBundle",
+    "collect_evidence",
+    "verify_evidence",
+    "ExperimentConfig",
+    "default_config",
+    "calibrated_spec",
+    "run_vanilla_experiment",
+    "run_decentralized_experiment",
+    "VanillaExperimentResult",
+    "DecentralizedExperimentResult",
+]

@@ -1,0 +1,98 @@
+"""Calibrated experiment configuration.
+
+Single source of truth for the parameters reproducing the paper's setup:
+three clients A/B/C, ten communication rounds, five local epochs, two model
+complexities, and a synthetic-dataset difficulty calibrated so accuracy
+trajectories land near the paper's (see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.data.synthetic import SyntheticSpec
+from repro.errors import ConfigError
+from repro.fl.trainer import TrainConfig
+
+#: The paper's three clients.
+CLIENT_IDS = ("A", "B", "C")
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Everything a table-reproducing run needs."""
+
+    model_kind: str = "simple_nn"          # "simple_nn" | "efficientnet_b0_sim"
+    rounds: int = 10
+    local_epochs: int = 5
+    batch_size: int = 32
+    learning_rate: float = 0.008
+    client_ids: tuple[str, ...] = CLIENT_IDS
+    train_samples_per_client: int = 800
+    test_samples_per_client: int = 500
+    aggregator_test_samples: int = 500
+    client_skew: float = 1.0               # per-client label heterogeneity
+    backbone_sigma: float = 0.55           # RBF width of the pretrained trunk
+    backbone_mismatch: float = 0.075       # pretrained-domain mismatch
+    seed: int = 42
+    data_spec: SyntheticSpec = field(default_factory=SyntheticSpec)
+
+    def __post_init__(self) -> None:
+        if self.model_kind not in ("simple_nn", "efficientnet_b0_sim"):
+            raise ConfigError(f"unknown model kind {self.model_kind!r}")
+        if self.rounds < 1:
+            raise ConfigError("rounds must be >= 1")
+        if len(self.client_ids) < 2:
+            raise ConfigError("need at least two clients")
+
+    def train_config(self) -> TrainConfig:
+        """Local-training hyperparameters for this experiment."""
+        return TrainConfig(
+            epochs=self.local_epochs,
+            batch_size=self.batch_size,
+            learning_rate=self.learning_rate,
+        )
+
+
+def calibrated_spec(model_kind: str = "simple_nn", seed: int = 1234) -> SyntheticSpec:
+    """Dataset difficulty calibrated for the reproduction.
+
+    One shared spec keeps the task identical across models (as CIFAR-10
+    is); the knobs were tuned so that, over ten rounds of 3-client FedAvg:
+
+    * ``simple_nn`` climbs steadily through the 0.4-0.6 range (paper:
+      0.28 -> 0.60), limited by having to learn the antipodal hard-class
+      features from noisy pixels from scratch, and
+    * ``efficientnet_b0_sim`` starts near 0.78 and plateaus in the mid
+      0.8s (paper: 0.79 -> 0.86), limited by label noise.
+    """
+    del model_kind  # same data for both models, like CIFAR-10 in the paper
+    return SyntheticSpec(seed=seed)
+
+
+#: Calibrated per-model learning rates: the from-scratch MLP needs a small
+#: step on noisy 3072-dim inputs; the linear head on frozen RBF features
+#: tolerates (and needs, for the paper's fast round-1 rise) a large one.
+MODEL_LEARNING_RATES = {"simple_nn": 0.008, "efficientnet_b0_sim": 0.5}
+
+
+def default_config(model_kind: str, seed: int = 42) -> ExperimentConfig:
+    """Paper-faithful configuration for one model family."""
+    return ExperimentConfig(
+        model_kind=model_kind,
+        learning_rate=MODEL_LEARNING_RATES[model_kind],
+        seed=seed,
+        data_spec=calibrated_spec(model_kind),
+    )
+
+
+def quick_config(model_kind: str, seed: int = 42) -> ExperimentConfig:
+    """Small/fast variant for tests: fewer rounds, less data."""
+    return replace(
+        default_config(model_kind, seed=seed),
+        rounds=2,
+        local_epochs=1,
+        train_samples_per_client=200,
+        test_samples_per_client=150,
+        aggregator_test_samples=150,
+    )

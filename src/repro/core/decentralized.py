@@ -1,0 +1,511 @@
+"""Decentralized blockchain-based FL orchestrator (Tables II-IV, Figure 4).
+
+Wires :class:`~repro.core.peer.FullPeer` objects into the simulated
+Ethereum network and drives communication rounds end to end:
+
+1. a peer deploys the contract suite (registry, model store, coordinator)
+   and everyone registers — all mined through PoW like any other tx;
+2. each round, every peer trains locally (simulated duration), uploads its
+   weights off-chain, and broadcasts a ``submit_model`` transaction;
+3. miners include the submissions in blocks; each peer polls its *own*
+   chain view until its waiting policy fires (wait-for-all reproduces the
+   paper's tables; wait-for-k drives the async trade-off benchmark);
+4. the peer then enumerates model combinations against its private test
+   set, logs the full accuracy table, adopts the best combination, and
+   moves on (ties broken uniformly at random, as the paper specifies).
+
+The result object holds, for every (peer, round, combination), the accuracy
+that Tables II-IV report, plus the timing telemetry behind the headline
+speed/precision claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.chain.crypto import Address, KeyPair
+from repro.chain.node import GenesisSpec, Node, NodeConfig
+from repro.chain.network import LatencyModel, P2PNetwork
+from repro.chain.pow import ProofOfWork, RetargetRule
+from repro.chain.runtime import ContractRuntime
+from repro.contracts import register_all
+from repro.core.offchain import OffchainStore
+from repro.core.peer import FullPeer, PeerConfig
+from repro.core.rounds import RoundTracker
+from repro.data.dataset import Dataset
+from repro.errors import ConfigError, NetworkError, RoundError
+from repro.fl.aggregation import ModelUpdate, fedavg
+from repro.fl.async_policy import AsyncPolicy, WaitForAll
+from repro.fl.selection import enumerate_combinations
+from repro.nn.model import Sequential
+from repro.utils.events import Simulator
+from repro.utils.rng import RngFactory
+
+#: Initial balance funding each peer's gas spend.
+PEER_ALLOCATION = 10**15
+
+
+@dataclass
+class DecentralizedConfig:
+    """Parameters of the decentralized deployment.
+
+    ``mode`` selects between the paper's two operating modes (§III-B):
+
+    * ``"personalized"`` — each peer customizes its aggregation with an
+      arbitrary subset of local models (decentralized learning; the
+      default, and what Tables II-IV report);
+    * ``"global_vote"`` — peers aggregate the full visible set, vote the
+      resulting hash on chain, and adopt whichever aggregate reaches the
+      finalization threshold: a common global model without a fixed single
+      aggregator.
+
+    ``enable_reputation`` adds the incentive extension: after aggregating,
+    each peer rates the others on the reputation ledger according to
+    whether their solo models passed its local fitness check.
+    """
+
+    rounds: int = 10
+    policy: AsyncPolicy = field(default_factory=WaitForAll)
+    mode: str = "personalized"
+    enable_reputation: bool = False
+    reputation_fitness_margin: float = 0.10
+    target_block_interval: float = 13.0
+    latency: LatencyModel = field(default_factory=LatencyModel)
+    hashrate: float = 1000.0
+    max_round_time: float = 100_000.0
+    poll_interval: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.rounds < 1:
+            raise ConfigError(f"rounds must be >= 1, got {self.rounds}")
+        if self.mode not in ("personalized", "global_vote"):
+            raise ConfigError(f"unknown mode {self.mode!r}")
+
+
+@dataclass
+class PeerRoundLog:
+    """One peer's view of one round."""
+
+    peer_id: str
+    round_id: int
+    combination_accuracy: dict[str, float] = field(default_factory=dict)
+    chosen_combination: tuple[str, ...] = ()
+    chosen_accuracy: float = 0.0
+    models_used: int = 0          # size of the adopted combination
+    updates_visible: int = 0      # updates on-chain when aggregation ran
+    submitted_at: float = 0.0
+    ready_at: float = 0.0
+    aggregated_at: float = 0.0
+
+    @property
+    def wait_time(self) -> float:
+        """Simulated seconds between own submission and policy readiness."""
+        return max(self.ready_at - self.submitted_at, 0.0)
+
+
+class DecentralizedFL:
+    """Drives the full blockchain-FL deployment."""
+
+    def __init__(
+        self,
+        peer_configs: list[PeerConfig],
+        train_sets: dict[str, Dataset],
+        test_sets: dict[str, Dataset],
+        model_builder: Callable[[np.random.Generator], Sequential],
+        config: DecentralizedConfig,
+        rng_factory: Optional[RngFactory] = None,
+    ) -> None:
+        if len(peer_configs) < 2:
+            raise ConfigError("decentralized FL needs at least two peers")
+        self.config = config
+        self.rngs = rng_factory if rng_factory is not None else RngFactory(0)
+
+        # --- chain fabric -------------------------------------------------
+        self.sim = Simulator()
+        self.pow = ProofOfWork(
+            self.rngs.get("pow"),
+            retarget=RetargetRule(target_interval=config.target_block_interval),
+        )
+        self.runtime = ContractRuntime()
+        register_all(self.runtime)
+        self.offchain = OffchainStore()
+
+        keypairs = {pc.peer_id: KeyPair.from_seed(f"peer-{pc.peer_id}") for pc in peer_configs}
+        # Start at the retarget equilibrium so the very first blocks already
+        # arrive near the target interval (a real private net warms up the
+        # same way via its genesis difficulty).
+        equilibrium_difficulty = max(int(config.hashrate * config.target_block_interval), 1)
+        genesis = GenesisSpec(
+            allocations={kp.address: PEER_ALLOCATION for kp in keypairs.values()},
+            difficulty=equilibrium_difficulty,
+        )
+        self.network = P2PNetwork(
+            self.sim,
+            self.pow,
+            latency=config.latency,
+            rng=self.rngs.get("network"),
+        )
+        self.peers: dict[str, FullPeer] = {}
+        for pc in peer_configs:
+            node = Node(keypairs[pc.peer_id], genesis, self.runtime, NodeConfig())
+            self.network.add_node(node, hashrate=config.hashrate)
+            self.peers[pc.peer_id] = FullPeer(
+                config=pc,
+                keypair=keypairs[pc.peer_id],
+                node=node,
+                offchain=self.offchain,
+                train_set=train_sets[pc.peer_id],
+                test_set=test_sets[pc.peer_id],
+                model_builder=model_builder,
+                rng=self.rngs.get("peer", pc.peer_id),
+            )
+        self.peer_ids = [pc.peer_id for pc in peer_configs]
+        self.id_of_address: dict[Address, str] = {
+            peer.address: peer_id for peer_id, peer in self.peers.items()
+        }
+        self.trackers: dict[str, RoundTracker] = {
+            peer_id: RoundTracker(peer_id, config.policy, cohort_size=len(self.peers))
+            for peer_id in self.peer_ids
+        }
+        self.round_logs: list[PeerRoundLog] = []
+        self.reputation_address: Optional[Address] = None
+        self._deployed = False
+
+    # ------------------------------------------------------------------
+    # Deployment phase
+    # ------------------------------------------------------------------
+
+    def deploy_contracts(self) -> None:
+        """Deploy registry/store/coordinator and register every peer.
+
+        The first peer deploys (any peer could — no special role beyond
+        paying the gas); all contract addresses are deterministic, so every
+        peer derives them locally, like reading a Truffle artifact.
+        """
+        deployer = self.peers[self.peer_ids[0]]
+        registry_tx = deployer.make_transaction(
+            to=None, args={"contract": "participant_registry", "open_enrollment": True}
+        )
+        registry_address = self.runtime.contract_address(deployer.address, registry_tx.nonce)
+        self.network.broadcast_transaction(deployer.address, registry_tx)
+
+        store_tx = deployer.make_transaction(
+            to=None, args={"contract": "model_store", "registry_address": registry_address}
+        )
+        store_address = self.runtime.contract_address(deployer.address, store_tx.nonce)
+        self.network.broadcast_transaction(deployer.address, store_tx)
+
+        coord_tx = deployer.make_transaction(
+            to=None,
+            args={
+                "contract": "aggregation_coordinator",
+                "model_store_address": store_address,
+                "quorum": len(self.peers),
+                "vote_threshold": (len(self.peers) // 2) + 1,
+            },
+        )
+        coordinator_address = self.runtime.contract_address(deployer.address, coord_tx.nonce)
+        self.network.broadcast_transaction(deployer.address, coord_tx)
+
+        reputation_tx = deployer.make_transaction(
+            to=None, args={"contract": "reputation_ledger", "initial_score": 100}
+        )
+        self.reputation_address = self.runtime.contract_address(
+            deployer.address, reputation_tx.nonce
+        )
+        self.network.broadcast_transaction(deployer.address, reputation_tx)
+
+        for peer_id in self.peer_ids:
+            peer = self.peers[peer_id]
+            peer.model_store_address = store_address
+            peer.coordinator_address = coordinator_address
+
+        # Phase 1: mine the deployments everywhere before anyone registers,
+        # otherwise registration transactions execute against an address
+        # with no code yet and revert.
+        self.network.start_mining()
+        self._wait_until(
+            lambda: all(
+                peer.node.has_contract(coordinator_address)
+                and peer.node.has_contract(self.reputation_address)
+                for peer in self.peers.values()
+            ),
+            "contract deployment",
+        )
+
+        # Phase 2: every peer self-registers (open enrollment).
+        for peer_id in self.peer_ids:
+            peer = self.peers[peer_id]
+            register_tx = peer.make_transaction(
+                to=registry_address, method="register", args={"display_name": peer_id}
+            )
+            self.network.broadcast_transaction(peer.address, register_tx)
+        self._wait_until(
+            lambda: all(self._is_registered(peer, registry_address) for peer in self.peers.values()),
+            "participant registration",
+        )
+        self._deployed = True
+
+    def _is_registered(self, peer: FullPeer, registry_address: Address) -> bool:
+        if not peer.node.has_contract(registry_address):
+            return False
+        return all(
+            peer.node.call_contract(registry_address, "is_member", address=other.address)
+            for other in self.peers.values()
+        )
+
+    def _registry_address(self) -> Address:
+        deployer = self.peers[self.peer_ids[0]]
+        return self.runtime.contract_address(deployer.address, 0)
+
+    def _wait_until(self, predicate: Callable[[], bool], what: str, deadline: Optional[float] = None) -> float:
+        """Advance simulation until ``predicate`` holds; returns the time."""
+        limit = self.sim.now + (deadline if deadline is not None else self.config.max_round_time)
+        while self.sim.now <= limit:
+            if predicate():
+                return self.sim.now
+            if not self.sim.step():
+                raise NetworkError(f"simulation drained while waiting for {what}")
+        raise RoundError(f"timed out waiting for {what} at t={self.sim.now:.1f}")
+
+    # ------------------------------------------------------------------
+    # Round execution
+    # ------------------------------------------------------------------
+
+    def run_round(self, round_id: int) -> list[PeerRoundLog]:
+        """Execute one communication round for every peer."""
+        if not self._deployed:
+            raise RoundError("deploy_contracts() must run before rounds")
+        coordinator = self.peers[self.peer_ids[0]]
+        open_tx = coordinator.make_transaction(
+            to=coordinator.coordinator_address,
+            method="open_round",
+            args={"round_id": round_id},
+        )
+        self.network.broadcast_transaction(coordinator.address, open_tx)
+
+        round_start = self.sim.now
+        submitted_at: dict[str, float] = {}
+        updates_by_peer: dict[str, ModelUpdate] = {}
+
+        # Train locally (real computation now, simulated completion later).
+        for peer_id in self.peer_ids:
+            peer = self.peers[peer_id]
+            tracker = self.trackers[peer_id]
+            tracker.open_round(round_id, round_start)
+            update, tx = peer.train_and_commit(round_id)
+            updates_by_peer[peer_id] = update
+            duration = peer.sample_training_time()
+
+            def submit(peer_id=peer_id, peer=peer, tx=tx, duration=duration) -> None:
+                self.trackers[peer_id].mark_trained(round_id, self.sim.now)
+                self.network.broadcast_transaction(peer.address, tx)
+                self.trackers[peer_id].mark_submitted(round_id, self.sim.now)
+                submitted_at[peer_id] = self.sim.now
+
+            self.sim.schedule_in(duration, submit, label=f"train-{peer_id}-r{round_id}")
+
+        # Each peer waits (per policy) on its own chain view, then aggregates.
+        logs: list[PeerRoundLog] = []
+        pending = set(self.peer_ids)
+        ready_at: dict[str, float] = {}
+
+        def poll() -> bool:
+            for peer_id in sorted(pending):
+                if peer_id not in submitted_at:
+                    continue
+                peer = self.peers[peer_id]
+                visible = len(peer.visible_submissions(round_id))
+                if self.trackers[peer_id].check_ready(round_id, visible, self.sim.now):
+                    ready_at[peer_id] = self.sim.now
+                    pending.discard(peer_id)
+            return not pending
+
+        self._wait_until(poll, f"round {round_id} quorum")
+
+        updates_by_view: dict[str, list[ModelUpdate]] = {}
+        for peer_id in self.peer_ids:
+            peer = self.peers[peer_id]
+            updates = peer.fetch_updates(round_id, self.id_of_address)
+            if not updates:
+                raise RoundError(f"{peer_id}: no updates visible in round {round_id}")
+            updates_by_view[peer_id] = updates
+
+        if self.config.mode == "global_vote":
+            logs = self._global_vote_round(round_id, updates_by_view)
+        else:
+            logs = [
+                self._aggregate_for(self.peers[peer_id], round_id, updates_by_view[peer_id])
+                for peer_id in self.peer_ids
+            ]
+        for log in logs:
+            log.submitted_at = submitted_at[log.peer_id]
+            log.ready_at = ready_at[log.peer_id]
+            log.aggregated_at = self.sim.now
+            self.trackers[log.peer_id].mark_aggregated(round_id, self.sim.now)
+            self.round_logs.append(log)
+
+        if self.config.enable_reputation:
+            self._rate_round(round_id, updates_by_view)
+        return logs
+
+    def _aggregate_for(self, peer: FullPeer, round_id: int, updates: list[ModelUpdate]) -> PeerRoundLog:
+        """Enumerate combinations on the peer's test set; adopt the best."""
+        results = enumerate_combinations(
+            updates, peer.client.model, peer.client.test_set, aggregator=fedavg
+        )
+        log = PeerRoundLog(peer_id=peer.peer_id, round_id=round_id)
+        for result in results:
+            log.combination_accuracy[result.label] = result.accuracy
+        top_acc = results[0].accuracy
+        tied = [result for result in results if result.accuracy == top_acc]
+        chosen = tied[int(peer.rng.integers(0, len(tied)))] if len(tied) > 1 else tied[0]
+        log.chosen_combination = chosen.members
+        log.chosen_accuracy = chosen.accuracy
+        log.models_used = len(chosen.members)
+        log.updates_visible = len(updates)
+        peer.adopt(chosen.weights)
+        return log
+
+    def _global_vote_round(
+        self, round_id: int, updates_by_view: dict[str, list[ModelUpdate]]
+    ) -> list[PeerRoundLog]:
+        """Operating mode 2: vote a common global model on chain.
+
+        Every peer aggregates everything it can see, uploads the aggregate
+        off-chain, and votes its hash through the coordinator.  Once a hash
+        reaches the finalization threshold, all peers adopt it — a global
+        model without a fixed single aggregator (the paper's single-point-
+        of-failure fix in its FL-flavoured mode).
+        """
+        for peer_id in self.peer_ids:
+            peer = self.peers[peer_id]
+            aggregate = fedavg(updates_by_view[peer_id])
+            aggregate_hash = self.offchain.put_weights(aggregate)
+            vote_tx = peer.make_transaction(
+                to=peer.coordinator_address,
+                method="vote_global",
+                args={"round_id": round_id, "aggregate_hash": aggregate_hash},
+            )
+            self.network.broadcast_transaction(peer.address, vote_tx)
+
+        def finalized_everywhere() -> bool:
+            return all(
+                peer.node.call_contract(
+                    peer.coordinator_address, "finalized_hash", round_id=round_id
+                )
+                is not None
+                for peer in self.peers.values()
+            )
+
+        self._wait_until(finalized_everywhere, f"round {round_id} finalization")
+
+        logs = []
+        for peer_id in self.peer_ids:
+            peer = self.peers[peer_id]
+            final_hash = peer.node.call_contract(
+                peer.coordinator_address, "finalized_hash", round_id=round_id
+            )
+            weights = self.offchain.get_weights(final_hash)
+            accuracy = peer.evaluate_weights(weights)
+            peer.adopt(weights)
+            members = tuple(
+                sorted(update.client_id for update in updates_by_view[peer_id])
+            )
+            log = PeerRoundLog(
+                peer_id=peer_id,
+                round_id=round_id,
+                combination_accuracy={",".join(members): accuracy},
+                chosen_combination=members,
+                chosen_accuracy=accuracy,
+                models_used=len(members),
+                updates_visible=len(updates_by_view[peer_id]),
+            )
+            logs.append(log)
+        return logs
+
+    def _rate_round(self, round_id: int, updates_by_view: dict[str, list[ModelUpdate]]) -> None:
+        """Reputation extension: rate peers by local fitness evaluation.
+
+        A peer whose solo model scores within ``reputation_fitness_margin``
+        of the rater's own solo model earns +5; one that falls further
+        behind (an abnormal/noisy model) earns -10, building the on-chain
+        record used to exclude low-credibility peers.
+        """
+        for rater_id in self.peer_ids:
+            rater = self.peers[rater_id]
+            own = next(
+                (u for u in updates_by_view[rater_id] if u.client_id == rater_id), None
+            )
+            if own is None:
+                continue
+            own_accuracy = rater.evaluate_weights(own.weights)
+            for update in updates_by_view[rater_id]:
+                if update.client_id == rater_id:
+                    continue
+                subject = self.peers[update.client_id]
+                fit = rater.evaluate_weights(update.weights)
+                delta = 5 if fit >= own_accuracy - self.config.reputation_fitness_margin else -10
+                rate_tx = rater.make_transaction(
+                    to=self.reputation_address,
+                    method="rate",
+                    args={
+                        "round_id": round_id,
+                        "subject": subject.address,
+                        "delta": delta,
+                        "reason": f"fitness {fit:.3f} vs own {own_accuracy:.3f}",
+                    },
+                )
+                self.network.broadcast_transaction(rater.address, rate_tx)
+
+    def reputation_of(self, peer_id: str, viewer_id: Optional[str] = None) -> int:
+        """Current on-chain reputation score of ``peer_id``."""
+        viewer = self.peers[viewer_id if viewer_id is not None else self.peer_ids[0]]
+        return int(
+            viewer.node.call_contract(
+                self.reputation_address, "score_of", address=self.peers[peer_id].address
+            )
+        )
+
+    def run(self) -> list[PeerRoundLog]:
+        """Deploy (if needed) and run every configured round."""
+        if not self._deployed:
+            self.deploy_contracts()
+        for round_id in range(1, self.config.rounds + 1):
+            self.run_round(round_id)
+        if self.config.enable_reputation:
+            # Let the final round's rating transactions get mined before
+            # the chain quiesces.
+            self.network.run_for(5 * self.config.target_block_interval)
+        self.network.stop_mining()
+        return self.round_logs
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def combination_series(self, peer_id: str, combination: str) -> list[float]:
+        """Per-round accuracy of one combination row (a Table II-IV row)."""
+        return [
+            log.combination_accuracy[combination]
+            for log in self.round_logs
+            if log.peer_id == peer_id and combination in log.combination_accuracy
+        ]
+
+    def wait_time_summary(self) -> dict[str, float]:
+        """Mean wait time per peer (the speed metric)."""
+        totals: dict[str, list[float]] = {}
+        for log in self.round_logs:
+            totals.setdefault(log.peer_id, []).append(log.wait_time)
+        return {peer_id: float(np.mean(times)) for peer_id, times in sorted(totals.items())}
+
+    def chain_stats(self) -> dict:
+        """Network counters plus per-node chain heights."""
+        stats = self.network.stats.as_dict()
+        stats["heights"] = {peer_id: peer.node.height for peer_id, peer in sorted(self.peers.items())}
+        stats["offchain_blobs"] = len(self.offchain)
+        stats["offchain_bytes"] = self.offchain.total_bytes()
+        return stats

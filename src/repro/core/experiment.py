@@ -1,0 +1,211 @@
+"""Experiment runners producing the paper's tables and figures.
+
+``run_vanilla_experiment`` regenerates Table I / Figure 3 series for one
+aggregation type; ``run_decentralized_experiment`` regenerates Tables
+II-IV / Figure 4.  Both are deterministic functions of their config.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Optional
+
+import numpy as np
+
+from repro.core.config import ExperimentConfig
+from repro.core.decentralized import DecentralizedConfig, DecentralizedFL, PeerRoundLog
+from repro.core.peer import PeerConfig
+from repro.data.dataset import Dataset
+from repro.data.synthetic import SyntheticImageDataset, client_class_probs
+from repro.fl.async_policy import AsyncPolicy, WaitForAll
+from repro.fl.client import ClientConfig, FLClient
+from repro.fl.vanilla import VanillaConfig, VanillaFL, VanillaRoundLog
+from repro.nn.models import build_model
+from repro.utils.rng import RngFactory
+
+
+@dataclass
+class VanillaExperimentResult:
+    """Table I slice: per-client accuracy series for one aggregation type."""
+
+    config: ExperimentConfig
+    aggregation_type: str
+    client_accuracy: dict[str, list[float]]
+    round_logs: list[VanillaRoundLog] = field(default_factory=list)
+
+    def final_accuracy(self, client_id: str) -> float:
+        """Accuracy after the last round."""
+        return self.client_accuracy[client_id][-1]
+
+
+@dataclass
+class DecentralizedExperimentResult:
+    """Tables II-IV: per-peer, per-combination accuracy series."""
+
+    config: ExperimentConfig
+    combination_accuracy: dict[str, dict[str, list[float]]]  # peer -> combo -> series
+    wait_times: dict[str, float]
+    chain_stats: dict
+    round_logs: list[PeerRoundLog] = field(default_factory=list)
+
+    def series(self, peer_id: str, combination: str) -> list[float]:
+        """One table row."""
+        return self.combination_accuracy[peer_id][combination]
+
+
+def _build_datasets(
+    config: ExperimentConfig, rngs: RngFactory
+) -> tuple[SyntheticImageDataset, dict[str, Dataset], dict[str, Dataset], Dataset]:
+    """Per-client train/test splits plus the aggregator's default test set.
+
+    Every split samples the *same* underlying distribution through
+    independent streams — the IID-ish setting of the paper's deployment
+    (three VMs fed from one dataset).
+    """
+    factory = SyntheticImageDataset(config.data_spec)
+    train_sets: dict[str, Dataset] = {}
+    test_sets: dict[str, Dataset] = {}
+    for index, client_id in enumerate(config.client_ids):
+        probs = client_class_probs(
+            index,
+            len(config.client_ids),
+            config.data_spec.num_classes,
+            skew=config.client_skew,
+        )
+        train_sets[client_id] = factory.sample(
+            config.train_samples_per_client,
+            rngs.get("data", "train", client_id),
+            name=f"train/{client_id}",
+            class_probs=probs,
+        )
+        test_sets[client_id] = factory.sample(
+            config.test_samples_per_client,
+            rngs.get("data", "test", client_id),
+            name=f"test/{client_id}",
+        )
+    aggregator_test = factory.sample(
+        config.aggregator_test_samples,
+        rngs.get("data", "test", "aggregator"),
+        name="test/aggregator",
+    )
+    return factory, train_sets, test_sets, aggregator_test
+
+
+def _model_builder(config: ExperimentConfig, factory: SyntheticImageDataset):
+    """Shared-architecture builder; init seed comes from the caller's rng.
+
+    The transfer-learning model receives the domain-pretrained backbone
+    derived from the dataset factory (see DESIGN.md §2 for the
+    substitution); SimpleNN trains from scratch.
+    """
+    if config.model_kind == "efficientnet_b0_sim":
+        backbone = factory.pretrained_backbone(mismatch=config.backbone_mismatch)
+        return partial(build_model, config.model_kind, backbone=backbone, sigma=config.backbone_sigma)
+    return partial(build_model, config.model_kind)
+
+
+def run_vanilla_experiment(
+    config: ExperimentConfig,
+    consider: bool,
+) -> VanillaExperimentResult:
+    """Centralized FL, one aggregation type (half of Table I)."""
+    rngs = RngFactory(config.seed)
+    factory, train_sets, test_sets, aggregator_test = _build_datasets(config, rngs)
+    builder = _model_builder(config, factory)
+    # All clients start from identical initial weights (the shared model),
+    # matching both the paper's deployment and standard FedAvg.
+    init_rng_seed = rngs.integers("model-init")
+    clients = [
+        FLClient(
+            ClientConfig(client_id=client_id, train_config=config.train_config(), model_kind=config.model_kind),
+            train_sets[client_id],
+            test_sets[client_id],
+            lambda rng, _seed=init_rng_seed: builder(np.random.default_rng(_seed)),
+            rngs.get("client", client_id),
+        )
+        for client_id in config.client_ids
+    ]
+    driver = VanillaFL(
+        clients,
+        aggregator_test,
+        VanillaConfig(rounds=config.rounds, consider=consider),
+        model_builder=lambda rng: builder(np.random.default_rng(init_rng_seed)),
+        rng=rngs.get("tie-break"),
+    )
+    logs = driver.run()
+    return VanillaExperimentResult(
+        config=config,
+        aggregation_type="consider" if consider else "not_consider",
+        client_accuracy={client_id: driver.accuracy_series(client_id) for client_id in config.client_ids},
+        round_logs=logs,
+    )
+
+
+def run_decentralized_experiment(
+    config: ExperimentConfig,
+    policy: Optional[AsyncPolicy] = None,
+    chain_config: Optional[DecentralizedConfig] = None,
+    training_times: Optional[dict[str, float]] = None,
+) -> DecentralizedExperimentResult:
+    """Blockchain-based FL (Tables II-IV / Figure 4).
+
+    ``policy`` defaults to wait-for-all, the setting under which the paper
+    tabulates every combination; pass :class:`~repro.fl.async_policy.WaitForK`
+    for the asynchronous trade-off benchmark.  ``training_times`` optionally
+    assigns each client a simulated local-training duration (heterogeneous
+    devices — the situation that motivates not waiting); the default is a
+    homogeneous 30 s, matching the paper's three equal VMs.
+    """
+    rngs = RngFactory(config.seed)
+    factory, train_sets, test_sets, _ = _build_datasets(config, rngs)
+    builder = _model_builder(config, factory)
+    init_rng_seed = rngs.integers("model-init")
+
+    dec_config = chain_config if chain_config is not None else DecentralizedConfig()
+    if policy is not None:
+        dec_config = DecentralizedConfig(
+            rounds=dec_config.rounds,
+            policy=policy,
+            target_block_interval=dec_config.target_block_interval,
+            latency=dec_config.latency,
+            hashrate=dec_config.hashrate,
+            max_round_time=dec_config.max_round_time,
+            poll_interval=dec_config.poll_interval,
+        )
+    dec_config.rounds = config.rounds
+
+    peer_configs = [
+        PeerConfig(
+            peer_id=client_id,
+            train_config=config.train_config(),
+            model_kind=config.model_kind,
+            training_time=(
+                training_times[client_id] if training_times is not None else 30.0
+            ),
+        )
+        for client_id in config.client_ids
+    ]
+    driver = DecentralizedFL(
+        peer_configs,
+        train_sets,
+        test_sets,
+        model_builder=lambda rng: builder(np.random.default_rng(init_rng_seed)),
+        config=dec_config,
+        rng_factory=rngs.spawn("chain"),
+    )
+    logs = driver.run()
+
+    combination_accuracy: dict[str, dict[str, list[float]]] = {}
+    for log in logs:
+        peer_table = combination_accuracy.setdefault(log.peer_id, {})
+        for combo, acc in log.combination_accuracy.items():
+            peer_table.setdefault(combo, []).append(acc)
+
+    return DecentralizedExperimentResult(
+        config=config,
+        combination_accuracy=combination_accuracy,
+        wait_times=driver.wait_time_summary(),
+        chain_stats=driver.chain_stats(),
+        round_logs=logs,
+    )

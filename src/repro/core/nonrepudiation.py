@@ -1,0 +1,128 @@
+"""Non-repudiation evidence: prove who committed which model.
+
+The paper's Case 3: "ensuring non-repudiation of the participant about
+their models ... providing strong evidence against detected abnormal
+clients."  The evidence bundle for a (round, author) pair contains:
+
+* the signed ``submit_model`` transaction (authorship — only the key holder
+  could sign it),
+* the Merkle proof placing that transaction in a mined block (inclusion),
+* the block header chain linking that block to the canonical head
+  (finality under PoW), and
+* the committed weights hash (binding to exact bytes).
+
+``verify_evidence`` checks all four against a verifier's own chain view, so
+an accused peer cannot deny authorship and an accuser cannot fabricate it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.chain.block import Block
+from repro.chain.merkle import merkle_proof, verify_proof
+from repro.chain.node import Node
+from repro.chain.transaction import Transaction
+from repro.errors import ChainError
+from repro.nn.serialize import weights_hash
+
+
+@dataclass
+class EvidenceBundle:
+    """Portable authorship proof for one model submission."""
+
+    author: str               # chain address
+    round_id: int
+    committed_hash: str       # weights hash the author signed over
+    transaction: Transaction
+    block_hash: str
+    block_number: int
+    tx_index: int
+    proof: list[tuple[str, bytes]]
+    tx_root: str
+
+
+def collect_evidence(node: Node, author: str, round_id: int, model_store_address: str) -> EvidenceBundle:
+    """Assemble the evidence bundle from a node's canonical chain.
+
+    Scans canonical blocks for the author's ``submit_model`` transaction of
+    ``round_id`` and builds the Merkle inclusion proof.
+    """
+    for block in node.store.canonical_chain():
+        for index, tx in enumerate(block.transactions):
+            if (
+                tx.sender == author
+                and tx.to == model_store_address
+                and tx.method == "submit_model"
+                and tx.args.get("round_id") == round_id
+            ):
+                leaves = block.tx_hashes()
+                return EvidenceBundle(
+                    author=author,
+                    round_id=round_id,
+                    committed_hash=tx.args["weights_hash"],
+                    transaction=tx,
+                    block_hash=block.block_hash,
+                    block_number=block.number,
+                    tx_index=index,
+                    proof=merkle_proof(leaves, index),
+                    tx_root=block.header.tx_root,
+                )
+    raise ChainError(
+        f"no submission by {author[:10]}... for round {round_id} on canonical chain"
+    )
+
+
+def verify_evidence(node: Node, evidence: EvidenceBundle, weights=None) -> bool:
+    """Check an evidence bundle against this verifier's chain view.
+
+    Verifies: (1) the transaction signature recovers the claimed author;
+    (2) the transaction commits to the claimed hash and round; (3) the
+    Merkle proof places it under the block's tx root; (4) the block is on
+    this node's canonical chain; and optionally (5) supplied ``weights``
+    hash to the committed value (binding the accusation to exact bytes).
+    """
+    tx = evidence.transaction
+    if not tx.verify_signature() or tx.sender != evidence.author:
+        return False
+    if tx.method != "submit_model" or tx.args.get("round_id") != evidence.round_id:
+        return False
+    if tx.args.get("weights_hash") != evidence.committed_hash:
+        return False
+
+    leaf = bytes.fromhex(tx.tx_hash[2:])
+    root = bytes.fromhex(evidence.tx_root[2:])
+    if not verify_proof(leaf, evidence.proof, root):
+        return False
+
+    if not _on_canonical_chain(node, evidence):
+        return False
+
+    if weights is not None and weights_hash(weights) != evidence.committed_hash:
+        return False
+    return True
+
+
+def _on_canonical_chain(node: Node, evidence: EvidenceBundle) -> bool:
+    """Check the committed transaction reached this node's canonical chain.
+
+    Fast path: the evidence's block is known and canonical here.  Fallback:
+    under PoW different nodes may have included the same transaction in
+    different (competing) blocks, so authorship evidence remains valid as
+    long as the *transaction* is canonical on the verifier — search for it
+    by hash.
+    """
+    try:
+        block: Block = node.store.get(evidence.block_hash)
+    except ChainError:
+        block = None
+    if block is not None and block.header.tx_root == evidence.tx_root and node.store.is_canonical(
+        evidence.block_hash
+    ):
+        return True
+    wanted = evidence.transaction.tx_hash
+    for canonical_block in node.store.canonical_chain():
+        for tx in canonical_block.transactions:
+            if tx.tx_hash == wanted:
+                return True
+    return False

@@ -1,0 +1,74 @@
+"""Content-addressed off-chain weight store (the IPFS stand-in).
+
+Full model weights are too large for economical on-chain storage (the paper
+works around this by lifting Ethereum's size limits; related systems use
+IPFS).  We store serialized weights in a content-addressed map shared by
+the cohort: the key IS the hash committed on chain, so fetching by the
+committed hash guarantees integrity — a peer cannot be served different
+bytes than the author committed to.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import SerializationError
+from repro.nn.serialize import weights_from_bytes, weights_to_bytes
+from repro.utils.hashing import keccak_like
+
+
+class OffchainStore:
+    """Shared content-addressed blob store."""
+
+    def __init__(self) -> None:
+        self._blobs: dict[str, bytes] = {}
+        self.puts = 0
+        self.gets = 0
+
+    def put(self, payload: bytes) -> str:
+        """Store bytes; returns their content hash (idempotent)."""
+        key = keccak_like(payload)
+        if key not in self._blobs:
+            self._blobs[key] = bytes(payload)
+        self.puts += 1
+        return key
+
+    def get(self, key: str) -> bytes:
+        """Fetch bytes by content hash; raises if unknown."""
+        try:
+            blob = self._blobs[key]
+        except KeyError:
+            raise SerializationError(f"no off-chain blob for {key[:16]}...") from None
+        self.gets += 1
+        return blob
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._blobs
+
+    def __len__(self) -> int:
+        return len(self._blobs)
+
+    # -- typed helpers ------------------------------------------------------
+
+    def put_weights(self, weights: dict[str, np.ndarray]) -> str:
+        """Serialize and store a weight dict; returns the commitment hash."""
+        return self.put(weights_to_bytes(weights))
+
+    def get_weights(self, key: str) -> dict[str, np.ndarray]:
+        """Fetch and deserialize a weight dict, verifying content integrity."""
+        payload = self.get(key)
+        if keccak_like(payload) != key:  # defensive: store corruption
+            raise SerializationError(f"content hash mismatch for {key[:16]}...")
+        return weights_from_bytes(payload)
+
+    def total_bytes(self) -> int:
+        """Total stored payload size (for the model-size telemetry)."""
+        return sum(len(blob) for blob in self._blobs.values())
+
+    def maybe_get_weights(self, key: str) -> Optional[dict[str, np.ndarray]]:
+        """Like :meth:`get_weights` but returns ``None`` when missing."""
+        if key not in self._blobs:
+            return None
+        return self.get_weights(key)

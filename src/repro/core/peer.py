@@ -1,0 +1,177 @@
+"""The fully coupled peer: data holder + trainer + miner + aggregator.
+
+One :class:`FullPeer` owns a blockchain :class:`~repro.chain.node.Node`
+(so it mines and validates), an :class:`~repro.fl.client.FLClient` (so it
+trains), and the wiring between them: committing local models on chain,
+reading other peers' commitments back, fetching weights off-chain, and
+running the personalized combination aggregation of Section III.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.chain.crypto import Address, KeyPair
+from repro.chain.node import Node
+from repro.chain.transaction import Transaction
+from repro.core.offchain import OffchainStore
+from repro.data.dataset import Dataset
+from repro.errors import ConfigError
+from repro.fl.aggregation import ModelUpdate
+from repro.fl.client import ClientConfig, FLClient
+from repro.fl.trainer import TrainConfig
+from repro.nn.model import Sequential
+from repro.nn.serialize import weights_hash
+
+
+@dataclass
+class PeerConfig:
+    """Identity plus FL hyperparameters for one peer."""
+
+    peer_id: str                      # display id, e.g. "A"
+    train_config: TrainConfig
+    model_kind: str = "simple_nn"
+    training_time: float = 30.0       # simulated seconds of local training
+    training_time_jitter: float = 5.0
+
+    def __post_init__(self) -> None:
+        if not self.peer_id:
+            raise ConfigError("peer_id must be non-empty")
+        if self.training_time <= 0:
+            raise ConfigError("training_time must be positive")
+
+
+class FullPeer:
+    """One fully coupled participant of the decentralized deployment."""
+
+    def __init__(
+        self,
+        config: PeerConfig,
+        keypair: KeyPair,
+        node: Node,
+        offchain: OffchainStore,
+        train_set: Dataset,
+        test_set: Dataset,
+        model_builder: Callable[[np.random.Generator], Sequential],
+        rng: np.random.Generator,
+    ) -> None:
+        self.config = config
+        self.peer_id = config.peer_id
+        self.keypair = keypair
+        self.node = node
+        self.offchain = offchain
+        self.rng = rng
+        self.client = FLClient(
+            ClientConfig(
+                client_id=config.peer_id,
+                train_config=config.train_config,
+                model_kind=config.model_kind,
+            ),
+            train_set,
+            test_set,
+            model_builder,
+            rng,
+        )
+        self.model_store_address: Optional[Address] = None
+        self.coordinator_address: Optional[Address] = None
+
+    @property
+    def address(self) -> Address:
+        """On-chain address of this peer."""
+        return self.keypair.address
+
+    # ------------------------------------------------------------------
+    # Transactions
+    # ------------------------------------------------------------------
+
+    def make_transaction(self, to: Optional[Address], method: str = "", args: Optional[dict] = None, data: bytes = b"") -> Transaction:
+        """Build and sign a transaction from this peer's account."""
+        tx = Transaction(
+            sender=self.address,
+            to=to,
+            nonce=self.node.next_nonce_for(self.address),
+            method=method,
+            args=args or {},
+            data=data,
+        )
+        return tx.sign_with(self.keypair)
+
+    def sample_training_time(self) -> float:
+        """Simulated duration of this round's local training."""
+        jitter = self.config.training_time_jitter
+        extra = float(self.rng.uniform(0.0, jitter)) if jitter > 0 else 0.0
+        return self.config.training_time + extra
+
+    # ------------------------------------------------------------------
+    # FL protocol steps
+    # ------------------------------------------------------------------
+
+    def train_and_commit(self, round_id: int) -> tuple[ModelUpdate, Transaction]:
+        """Local training, off-chain upload, and on-chain commitment tx.
+
+        Returns the update (for local bookkeeping) and the signed
+        ``submit_model`` transaction ready for broadcast.
+        """
+        if self.model_store_address is None:
+            raise ConfigError(f"{self.peer_id}: model store address not set")
+        update = self.client.train_local(round_id)
+        commitment = self.offchain.put_weights(update.weights)
+        assert commitment == weights_hash(update.weights)
+        tx = self.make_transaction(
+            to=self.model_store_address,
+            method="submit_model",
+            args={
+                "round_id": round_id,
+                "weights_hash": commitment,
+                "num_samples": update.num_samples,
+                "model_kind": self.config.model_kind,
+                "reported_accuracy": update.reported_accuracy,
+            },
+            data=commitment.encode("ascii"),
+        )
+        return update, tx
+
+    def visible_submissions(self, round_id: int) -> list[dict]:
+        """Commitments this peer's node can see on its canonical chain."""
+        if self.model_store_address is None:
+            raise ConfigError(f"{self.peer_id}: model store address not set")
+        return self.node.call_contract(
+            self.model_store_address, "round_submissions", round_id=round_id
+        )
+
+    def fetch_updates(self, round_id: int, id_of: dict[Address, str]) -> list[ModelUpdate]:
+        """Materialize :class:`ModelUpdate` objects from on-chain commitments.
+
+        ``id_of`` maps chain addresses to display peer ids.  Submissions
+        whose weights have not propagated to the off-chain store yet are
+        skipped (they will be visible next check).
+        """
+        updates = []
+        for record in self.visible_submissions(round_id):
+            weights = self.offchain.maybe_get_weights(record["weights_hash"])
+            if weights is None:
+                continue
+            updates.append(
+                ModelUpdate(
+                    client_id=id_of.get(record["author"], record["author"]),
+                    weights=weights,
+                    num_samples=record["num_samples"],
+                    round_id=round_id,
+                    reported_accuracy=record["reported_accuracy"],
+                )
+            )
+        return updates
+
+    def evaluate_weights(self, weights: dict[str, np.ndarray]) -> float:
+        """Fitness of ``weights`` on this peer's private test set."""
+        return self.client.evaluate_weights(weights)
+
+    def adopt(self, weights: dict[str, np.ndarray]) -> None:
+        """Install the chosen aggregated model for the next round."""
+        self.client.apply_global(weights)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FullPeer(id={self.peer_id!r}, address={self.address[:10]}...)"

@@ -1,0 +1,111 @@
+"""Round state machine for the decentralized protocol.
+
+Tracks, per communication round, which peers have visible on-chain
+submissions and when each waiting policy fired — the raw material of the
+speed side of the speed/precision trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from repro.errors import RoundError
+from repro.fl.async_policy import AsyncPolicy
+
+
+class RoundState(Enum):
+    """Lifecycle of one round from a single peer's perspective."""
+
+    IDLE = "idle"
+    TRAINING = "training"
+    SUBMITTED = "submitted"
+    WAITING = "waiting"
+    AGGREGATED = "aggregated"
+
+
+@dataclass
+class RoundTimeline:
+    """Timestamps (simulated seconds) of one peer's round milestones."""
+
+    round_id: int
+    opened_at: float = 0.0
+    training_done_at: Optional[float] = None
+    submitted_at: Optional[float] = None
+    quorum_at: Optional[float] = None
+    aggregated_at: Optional[float] = None
+
+    @property
+    def wait_time(self) -> Optional[float]:
+        """Seconds spent between submitting and reaching quorum."""
+        if self.submitted_at is None or self.quorum_at is None:
+            return None
+        return max(self.quorum_at - self.submitted_at, 0.0)
+
+    @property
+    def total_time(self) -> Optional[float]:
+        """Seconds from round open to aggregation."""
+        if self.aggregated_at is None:
+            return None
+        return self.aggregated_at - self.opened_at
+
+
+@dataclass
+class RoundTracker:
+    """Per-peer state machine with policy-based readiness checks."""
+
+    peer_id: str
+    policy: AsyncPolicy
+    cohort_size: int
+    state: RoundState = RoundState.IDLE
+    current_round: int = -1
+    timelines: dict[int, RoundTimeline] = field(default_factory=dict)
+
+    def open_round(self, round_id: int, now: float) -> RoundTimeline:
+        """Begin a round (moves to TRAINING)."""
+        if round_id in self.timelines:
+            raise RoundError(f"{self.peer_id}: round {round_id} already opened")
+        timeline = RoundTimeline(round_id=round_id, opened_at=now)
+        self.timelines[round_id] = timeline
+        self.current_round = round_id
+        self.state = RoundState.TRAINING
+        return timeline
+
+    def mark_trained(self, round_id: int, now: float) -> None:
+        """Local training finished."""
+        self._timeline(round_id).training_done_at = now
+        self.state = RoundState.SUBMITTED
+
+    def mark_submitted(self, round_id: int, now: float) -> None:
+        """Model commitment broadcast to the chain."""
+        self._timeline(round_id).submitted_at = now
+        self.state = RoundState.WAITING
+
+    def check_ready(self, round_id: int, submissions_visible: int, now: float) -> bool:
+        """Evaluate the waiting policy; record the first time it fires."""
+        timeline = self._timeline(round_id)
+        elapsed = now - timeline.opened_at
+        ready = self.policy.ready(submissions_visible, self.cohort_size, elapsed)
+        if ready and timeline.quorum_at is None:
+            timeline.quorum_at = now
+        return ready
+
+    def mark_aggregated(self, round_id: int, now: float) -> None:
+        """Aggregation complete (moves to AGGREGATED)."""
+        self._timeline(round_id).aggregated_at = now
+        self.state = RoundState.AGGREGATED
+
+    def _timeline(self, round_id: int) -> RoundTimeline:
+        try:
+            return self.timelines[round_id]
+        except KeyError:
+            raise RoundError(f"{self.peer_id}: round {round_id} never opened") from None
+
+    def wait_times(self) -> dict[int, float]:
+        """Completed wait times per round (speed metric)."""
+        return {
+            round_id: timeline.wait_time
+            for round_id, timeline in sorted(self.timelines.items())
+            if timeline.wait_time is not None
+        }

@@ -1,0 +1,85 @@
+"""Dataset container and batching utilities (the DataLoader stand-in)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.errors import DataError, ShapeError
+
+
+@dataclass
+class Dataset:
+    """Immutable pair of feature array and integer label array."""
+
+    x: np.ndarray
+    y: np.ndarray
+    name: str = "dataset"
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ShapeError(f"{len(self.x)} samples vs {len(self.y)} labels")
+        if self.y.ndim != 1:
+            raise ShapeError(f"labels must be 1-D, got shape {self.y.shape}")
+
+    def __len__(self) -> int:
+        return len(self.x)
+
+    def subset(self, indices: np.ndarray, name: Optional[str] = None) -> "Dataset":
+        """Row-select a new dataset (copies, so slices are independent)."""
+        return Dataset(self.x[indices].copy(), self.y[indices].copy(), name or self.name)
+
+    def flattened(self) -> "Dataset":
+        """View with images flattened to vectors (for MLP models)."""
+        return Dataset(self.x.reshape(len(self.x), -1), self.y, self.name)
+
+    def class_counts(self, num_classes: int) -> np.ndarray:
+        """Histogram of labels."""
+        return np.bincount(self.y, minlength=num_classes)
+
+    def take(self, n: int) -> "Dataset":
+        """First ``n`` samples."""
+        if n > len(self):
+            raise DataError(f"cannot take {n} from {len(self)} samples")
+        return Dataset(self.x[:n].copy(), self.y[:n].copy(), self.name)
+
+
+def batch_iterator(
+    dataset: Dataset,
+    batch_size: int,
+    rng: Optional[np.random.Generator] = None,
+    drop_last: bool = False,
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Yield ``(x, y)`` minibatches, shuffled when ``rng`` is given."""
+    if batch_size < 1:
+        raise DataError(f"batch_size must be >= 1, got {batch_size}")
+    indices = np.arange(len(dataset))
+    if rng is not None:
+        rng.shuffle(indices)
+    for start in range(0, len(indices), batch_size):
+        batch = indices[start : start + batch_size]
+        if drop_last and len(batch) < batch_size:
+            break
+        yield dataset.x[batch], dataset.y[batch]
+
+
+def train_test_split(
+    dataset: Dataset,
+    test_fraction: float,
+    rng: np.random.Generator,
+) -> tuple[Dataset, Dataset]:
+    """Shuffle-split into train/test datasets."""
+    if not 0.0 < test_fraction < 1.0:
+        raise DataError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    indices = np.arange(len(dataset))
+    rng.shuffle(indices)
+    n_test = max(int(round(len(dataset) * test_fraction)), 1)
+    test_idx, train_idx = indices[:n_test], indices[n_test:]
+    if len(train_idx) == 0:
+        raise DataError("split left no training samples")
+    return (
+        dataset.subset(train_idx, f"{dataset.name}/train"),
+        dataset.subset(test_idx, f"{dataset.name}/test"),
+    )

@@ -1,0 +1,123 @@
+"""Federated data partitioning: IID, Dirichlet non-IID, and label shards.
+
+The paper's three clients train on their own slices; heterogeneity across
+clients is what makes "abnormal (noisy) models" appear naturally.  The
+Dirichlet partitioner is the standard non-IID benchmark knob (lower alpha =
+more skew).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.errors import PartitionError
+
+
+@dataclass
+class PartitionPlan:
+    """Named client slices of one source dataset."""
+
+    client_datasets: dict[str, Dataset]
+
+    def sizes(self) -> dict[str, int]:
+        """Samples per client."""
+        return {client: len(dataset) for client, dataset in self.client_datasets.items()}
+
+    def label_distribution(self, num_classes: int) -> dict[str, np.ndarray]:
+        """Per-client label histograms (for heterogeneity reporting)."""
+        return {
+            client: dataset.class_counts(num_classes)
+            for client, dataset in self.client_datasets.items()
+        }
+
+
+def _validate(dataset: Dataset, client_ids: list[str]) -> None:
+    if not client_ids:
+        raise PartitionError("need at least one client")
+    if len(set(client_ids)) != len(client_ids):
+        raise PartitionError("client ids must be unique")
+    if len(dataset) < len(client_ids):
+        raise PartitionError(f"{len(dataset)} samples cannot cover {len(client_ids)} clients")
+
+
+def partition_iid(dataset: Dataset, client_ids: list[str], rng: np.random.Generator) -> PartitionPlan:
+    """Shuffle and deal samples round-robin into equal-ish IID slices."""
+    _validate(dataset, client_ids)
+    indices = np.arange(len(dataset))
+    rng.shuffle(indices)
+    splits = np.array_split(indices, len(client_ids))
+    return PartitionPlan(
+        {
+            client: dataset.subset(split, f"{dataset.name}/{client}")
+            for client, split in zip(client_ids, splits)
+        }
+    )
+
+
+def partition_dirichlet(
+    dataset: Dataset,
+    client_ids: list[str],
+    rng: np.random.Generator,
+    alpha: float = 0.5,
+    num_classes: int | None = None,
+    min_per_client: int = 1,
+) -> PartitionPlan:
+    """Label-skewed split: class ``c``'s samples divide by Dirichlet(alpha).
+
+    Small ``alpha`` concentrates each class on few clients (strong non-IID);
+    large ``alpha`` approaches IID.  Retries until every client has at least
+    ``min_per_client`` samples, then raises if infeasible.
+    """
+    _validate(dataset, client_ids)
+    if alpha <= 0:
+        raise PartitionError(f"alpha must be positive, got {alpha}")
+    classes = int(num_classes if num_classes is not None else dataset.y.max() + 1)
+    n_clients = len(client_ids)
+    for _attempt in range(20):
+        buckets: list[list[int]] = [[] for _ in range(n_clients)]
+        for class_id in range(classes):
+            class_idx = np.flatnonzero(dataset.y == class_id)
+            if len(class_idx) == 0:
+                continue
+            rng.shuffle(class_idx)
+            proportions = rng.dirichlet([alpha] * n_clients)
+            cuts = (np.cumsum(proportions)[:-1] * len(class_idx)).astype(int)
+            for bucket, part in zip(buckets, np.split(class_idx, cuts)):
+                bucket.extend(part.tolist())
+        if all(len(bucket) >= min_per_client for bucket in buckets):
+            return PartitionPlan(
+                {
+                    client: dataset.subset(np.array(sorted(bucket)), f"{dataset.name}/{client}")
+                    for client, bucket in zip(client_ids, buckets)
+                }
+            )
+    raise PartitionError(
+        f"could not give every client >= {min_per_client} samples (alpha={alpha})"
+    )
+
+
+def partition_shards(
+    dataset: Dataset,
+    client_ids: list[str],
+    rng: np.random.Generator,
+    shards_per_client: int = 2,
+) -> PartitionPlan:
+    """McMahan-style pathological non-IID: sort by label, deal shards."""
+    _validate(dataset, client_ids)
+    n_clients = len(client_ids)
+    total_shards = n_clients * shards_per_client
+    if total_shards > len(dataset):
+        raise PartitionError(f"{total_shards} shards exceed {len(dataset)} samples")
+    order = np.argsort(dataset.y, kind="stable")
+    shards = np.array_split(order, total_shards)
+    shard_ids = np.arange(total_shards)
+    rng.shuffle(shard_ids)
+    assignments = np.array_split(shard_ids, n_clients)
+    plan = {}
+    for client, shard_group in zip(client_ids, assignments):
+        indices = np.concatenate([shards[s] for s in shard_group])
+        plan[client] = dataset.subset(np.sort(indices), f"{dataset.name}/{client}")
+    return PartitionPlan(plan)

@@ -1,0 +1,57 @@
+"""Input transforms: normalization and light augmentation.
+
+Augmentations operate on NHWC image batches; ``augment_batch`` composes
+them the way a torchvision pipeline would.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+def normalize(x: np.ndarray, mean: float | np.ndarray = 0.0, std: float | np.ndarray = 1.0) -> np.ndarray:
+    """Standardize: ``(x - mean) / std`` (std floored to avoid division by 0)."""
+    return (x - mean) / np.maximum(std, 1e-8)
+
+
+def per_dataset_stats(x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Channel-wise mean/std for NHWC images, global mean/std otherwise."""
+    if x.ndim == 4:
+        axes = (0, 1, 2)
+        return x.mean(axis=axes), x.std(axis=axes)
+    return np.asarray(x.mean()), np.asarray(x.std())
+
+
+def _require_nhwc(x: np.ndarray) -> None:
+    if x.ndim != 4:
+        raise ShapeError(f"expected NHWC batch, got shape {x.shape}")
+
+
+def random_flip(x: np.ndarray, rng: np.random.Generator, p: float = 0.5) -> np.ndarray:
+    """Horizontally flip each image with probability ``p``."""
+    _require_nhwc(x)
+    out = x.copy()
+    flips = rng.random(len(x)) < p
+    out[flips] = out[flips, :, ::-1, :]
+    return out
+
+def random_crop_shift(x: np.ndarray, rng: np.random.Generator, max_shift: int = 2) -> np.ndarray:
+    """Shift each image by up to ``max_shift`` pixels (zero padded)."""
+    _require_nhwc(x)
+    n, h, w, c = x.shape
+    out = np.zeros_like(x)
+    shifts = rng.integers(-max_shift, max_shift + 1, size=(n, 2))
+    for i, (dy, dx) in enumerate(shifts):
+        src_y = slice(max(0, -dy), min(h, h - dy))
+        src_x = slice(max(0, -dx), min(w, w - dx))
+        dst_y = slice(max(0, dy), min(h, h + dy))
+        dst_x = slice(max(0, dx), min(w, w + dx))
+        out[i, dst_y, dst_x, :] = x[i, src_y, src_x, :]
+    return out
+
+
+def augment_batch(x: np.ndarray, rng: np.random.Generator, flip_p: float = 0.5, max_shift: int = 2) -> np.ndarray:
+    """Standard light augmentation: random flip then random shift."""
+    return random_crop_shift(random_flip(x, rng, flip_p), rng, max_shift)

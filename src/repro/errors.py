@@ -1,0 +1,133 @@
+"""Shared exception hierarchy for the ``repro`` library.
+
+Every subsystem raises subclasses of :class:`ReproError` so that callers can
+catch library failures without also swallowing programming errors such as
+``TypeError``.  The hierarchy mirrors the package layout: chain errors,
+contract errors, neural-network errors, federated-learning errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+# ---------------------------------------------------------------------------
+# Blockchain substrate
+# ---------------------------------------------------------------------------
+
+
+class ChainError(ReproError):
+    """Base class for blockchain-substrate failures."""
+
+
+class InvalidTransactionError(ChainError):
+    """A transaction failed static or stateful validation."""
+
+
+class InvalidBlockError(ChainError):
+    """A block failed validation (header, PoW, or body checks)."""
+
+
+class InvalidSignatureError(ChainError):
+    """A signature did not verify against the claimed sender."""
+
+
+class UnknownBlockError(ChainError):
+    """A referenced block hash is not present in the chain store."""
+
+
+class InsufficientFundsError(InvalidTransactionError):
+    """Sender balance cannot cover value + max gas cost."""
+
+
+class NonceError(InvalidTransactionError):
+    """Transaction nonce does not match the sender account nonce."""
+
+
+class OutOfGasError(ChainError):
+    """Contract execution exceeded the transaction gas limit."""
+
+
+class ContractError(ChainError):
+    """Base class for smart-contract level failures."""
+
+
+class ContractNotFoundError(ContractError):
+    """A call targeted an address with no deployed contract."""
+
+
+class ContractRevertError(ContractError):
+    """A contract explicitly reverted; state changes are rolled back."""
+
+    def __init__(self, reason: str = "") -> None:
+        super().__init__(reason or "execution reverted")
+        self.reason = reason
+
+
+class MempoolError(ChainError):
+    """Mempool admission failure (duplicate, underpriced, full)."""
+
+
+class NetworkError(ChainError):
+    """Simulated p2p network failure (unknown peer, partitioned link)."""
+
+
+# ---------------------------------------------------------------------------
+# Neural-network substrate
+# ---------------------------------------------------------------------------
+
+
+class NNError(ReproError):
+    """Base class for neural-network substrate failures."""
+
+
+class ShapeError(NNError):
+    """An array did not have the expected shape."""
+
+
+class SerializationError(NNError):
+    """Model weights could not be serialized or deserialized."""
+
+
+class NotBuiltError(NNError):
+    """A layer was used before its parameters were initialized."""
+
+
+# ---------------------------------------------------------------------------
+# Data substrate
+# ---------------------------------------------------------------------------
+
+
+class DataError(ReproError):
+    """Base class for dataset and partitioning failures."""
+
+
+class PartitionError(DataError):
+    """A requested partition is infeasible (too many clients, empty shard)."""
+
+
+# ---------------------------------------------------------------------------
+# Federated learning
+# ---------------------------------------------------------------------------
+
+
+class FLError(ReproError):
+    """Base class for federated-learning failures."""
+
+
+class AggregationError(FLError):
+    """Model aggregation failed (no models, mismatched parameters)."""
+
+
+class SelectionError(FLError):
+    """Combination selection failed (no candidate passed the filter)."""
+
+
+class RoundError(FLError):
+    """A federated round could not complete (quorum never reached)."""
+
+
+class ConfigError(ReproError):
+    """An experiment configuration is inconsistent."""

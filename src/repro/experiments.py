@@ -1,0 +1,160 @@
+"""Command-line experiment runner: regenerate any paper artifact.
+
+Usage::
+
+    python -m repro.experiments table1 [--model simple_nn|efficientnet_b0_sim]
+    python -m repro.experiments table2            # client A combinations
+    python -m repro.experiments table3            # client B
+    python -m repro.experiments table4            # client C
+    python -m repro.experiments fig3              # vanilla curves
+    python -m repro.experiments fig4              # combination curves
+    python -m repro.experiments tradeoff          # wait-for-k sweep
+    python -m repro.experiments all               # everything
+
+Each command runs the calibrated full-size experiment (10 rounds, 3 peers)
+and prints the corresponding table or figure series.  Results are
+deterministic per ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.core.config import default_config
+from repro.core.decentralized import DecentralizedConfig
+from repro.core.experiment import run_decentralized_experiment, run_vanilla_experiment
+from repro.fl.async_policy import WaitForAll, WaitForK
+from repro.metrics.figures import (
+    combination_figure_series,
+    render_ascii_chart,
+    vanilla_figure_series,
+)
+from repro.metrics.tables import format_combination_table, format_table1, render_table
+
+MODEL_LABELS = {"simple_nn": "Simple NN", "efficientnet_b0_sim": "Efficient-B0"}
+_PEER_OF_TABLE = {"table2": "A", "table3": "B", "table4": "C"}
+
+
+def _table1(model_kind: str, seed: int) -> str:
+    config = default_config(model_kind, seed=seed)
+    consider = run_vanilla_experiment(config, consider=True)
+    not_consider = run_vanilla_experiment(config, consider=False)
+    series = {
+        client: {
+            "consider": consider.client_accuracy[client],
+            "not_consider": not_consider.client_accuracy[client],
+        }
+        for client in config.client_ids
+    }
+    return format_table1(MODEL_LABELS[model_kind], series)
+
+
+def _combination_table(model_kind: str, peer_id: str, seed: int) -> str:
+    config = default_config(model_kind, seed=seed)
+    result = run_decentralized_experiment(config)
+    return format_combination_table(
+        MODEL_LABELS[model_kind], peer_id, result.combination_accuracy[peer_id]
+    )
+
+
+def _fig3(model_kind: str, seed: int) -> str:
+    config = default_config(model_kind, seed=seed)
+    consider = run_vanilla_experiment(config, consider=True)
+    not_consider = run_vanilla_experiment(config, consider=False)
+    series = {
+        client: {
+            "consider": consider.client_accuracy[client],
+            "not consider": not_consider.client_accuracy[client],
+        }
+        for client in config.client_ids
+    }
+    blocks = [
+        render_ascii_chart(curves, title=f"Fig 3 ({MODEL_LABELS[model_kind]}) {panel}")
+        for panel, curves in vanilla_figure_series(series).items()
+    ]
+    return "\n\n".join(blocks)
+
+
+def _fig4(model_kind: str, seed: int) -> str:
+    config = default_config(model_kind, seed=seed)
+    result = run_decentralized_experiment(config)
+    blocks = [
+        render_ascii_chart(curves, title=f"Fig 4 ({MODEL_LABELS[model_kind]}) {panel}")
+        for panel, curves in combination_figure_series(result.combination_accuracy).items()
+    ]
+    return "\n\n".join(blocks)
+
+
+def _tradeoff(model_kind: str, seed: int) -> str:
+    config = default_config(model_kind, seed=seed)
+    rows = []
+    for policy in (WaitForK(1), WaitForK(2), WaitForAll()):
+        result = run_decentralized_experiment(
+            config, chain_config=DecentralizedConfig(policy=policy)
+        )
+        mean_wait = float(np.mean(list(result.wait_times.values())))
+        final_acc = float(np.mean([log.chosen_accuracy for log in result.round_logs[-3:]]))
+        visible = float(np.mean([log.updates_visible for log in result.round_logs]))
+        rows.append(
+            [policy.describe(), f"{mean_wait:.1f}", f"{final_acc:.4f}", f"{visible:.2f}"]
+        )
+    return render_table(
+        f"Wait-or-not sweep ({MODEL_LABELS[model_kind]})",
+        ["policy", "mean wait (sim s)", "final acc", "models visible"],
+        rows,
+    )
+
+
+COMMANDS = {
+    "table1": _table1,
+    "fig3": _fig3,
+    "fig4": _fig4,
+    "tradeoff": _tradeoff,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "artifact",
+        choices=["table1", "table2", "table3", "table4", "fig3", "fig4", "tradeoff", "all"],
+        help="which paper artifact to regenerate",
+    )
+    parser.add_argument(
+        "--model",
+        choices=["simple_nn", "efficientnet_b0_sim", "both"],
+        default="both",
+        help="model family (default: both, as in the paper's tables)",
+    )
+    parser.add_argument("--seed", type=int, default=42, help="experiment seed")
+    args = parser.parse_args(argv)
+
+    model_kinds = (
+        ["simple_nn", "efficientnet_b0_sim"] if args.model == "both" else [args.model]
+    )
+    artifacts = (
+        ["table1", "table2", "table3", "table4", "fig3", "fig4", "tradeoff"]
+        if args.artifact == "all"
+        else [args.artifact]
+    )
+
+    for artifact in artifacts:
+        for model_kind in model_kinds:
+            if artifact in _PEER_OF_TABLE:
+                text = _combination_table(model_kind, _PEER_OF_TABLE[artifact], args.seed)
+            else:
+                text = COMMANDS[artifact](model_kind, args.seed)
+            print(text)
+            print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

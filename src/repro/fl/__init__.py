@@ -1,0 +1,64 @@
+"""Federated-learning core (chain-agnostic).
+
+Implements the training/aggregation machinery both evaluation settings use:
+
+* local training (:mod:`repro.fl.trainer`, :mod:`repro.fl.client`),
+* FedAvg and robust baselines (:mod:`repro.fl.aggregation`),
+* the "consider" combination search and fitness-threshold filtering
+  (:mod:`repro.fl.selection`),
+* wait-for-all / wait-for-k asynchronous policies (:mod:`repro.fl.async_policy`),
+* the centralized Vanilla FL orchestrator (:mod:`repro.fl.vanilla`), and
+* poisoning/noise attackers for abnormal-model experiments
+  (:mod:`repro.fl.poisoning`).
+"""
+
+from repro.fl.client import FLClient, ClientConfig
+from repro.fl.trainer import LocalTrainer, TrainConfig, TrainResult
+from repro.fl.aggregation import (
+    fedavg,
+    uniform_average,
+    coordinate_median,
+    trimmed_mean,
+    ModelUpdate,
+)
+from repro.fl.selection import (
+    enumerate_combinations,
+    best_combination,
+    threshold_filter,
+    greedy_combination,
+    CombinationResult,
+)
+from repro.fl.async_policy import WaitForAll, WaitForK, Deadline, AsyncPolicy
+from repro.fl.vanilla import VanillaFL, VanillaConfig, VanillaRoundLog
+from repro.fl.poisoning import LabelFlipAttacker, NoiseAttacker, ScaleAttacker
+from repro.fl.evaluation import evaluate_on, evaluate_weights
+
+__all__ = [
+    "FLClient",
+    "ClientConfig",
+    "LocalTrainer",
+    "TrainConfig",
+    "TrainResult",
+    "fedavg",
+    "uniform_average",
+    "coordinate_median",
+    "trimmed_mean",
+    "ModelUpdate",
+    "enumerate_combinations",
+    "best_combination",
+    "threshold_filter",
+    "greedy_combination",
+    "CombinationResult",
+    "WaitForAll",
+    "WaitForK",
+    "Deadline",
+    "AsyncPolicy",
+    "VanillaFL",
+    "VanillaConfig",
+    "VanillaRoundLog",
+    "LabelFlipAttacker",
+    "NoiseAttacker",
+    "ScaleAttacker",
+    "evaluate_on",
+    "evaluate_weights",
+]

@@ -1,0 +1,113 @@
+"""Centralized (Vanilla) federated learning — the paper's first setting.
+
+Three clients train locally for five epochs; a central aggregator combines
+their updates and returns the global model.  Two aggregator behaviours are
+compared (Table I / Figure 3):
+
+* ``not consider`` — plain FedAvg over all received updates (traditional).
+* ``consider`` — the aggregator holds a "default test set" and installs the
+  best-scoring *combination* of the received updates instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.errors import ConfigError, RoundError
+from repro.fl.aggregation import ModelUpdate, fedavg
+from repro.fl.client import FLClient
+from repro.fl.selection import best_combination
+from repro.nn.model import Sequential
+
+
+@dataclass
+class VanillaConfig:
+    """Orchestration parameters (paper defaults: 10 rounds, consider on/off)."""
+
+    rounds: int = 10
+    consider: bool = False
+
+    def __post_init__(self) -> None:
+        if self.rounds < 1:
+            raise ConfigError(f"rounds must be >= 1, got {self.rounds}")
+
+
+@dataclass
+class VanillaRoundLog:
+    """What happened in one communication round."""
+
+    round_id: int
+    aggregation_type: str                       # "consider" | "not_consider"
+    selected_members: tuple[str, ...]           # which updates formed the global
+    aggregator_accuracy: float                  # on the aggregator's default test set
+    client_accuracy: dict[str, float] = field(default_factory=dict)  # per client test set
+
+
+class VanillaFL:
+    """Centralized FL driver producing the Table I accuracy series."""
+
+    def __init__(
+        self,
+        clients: list[FLClient],
+        aggregator_test_set: Dataset,
+        config: VanillaConfig,
+        model_builder: Callable[[np.random.Generator], Sequential],
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if not clients:
+            raise ConfigError("need at least one client")
+        self.clients = clients
+        self.aggregator_test_set = aggregator_test_set
+        self.config = config
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        # The aggregator needs a scratch architecture to score combinations.
+        self._scratch_model = model_builder(np.random.default_rng(0))
+        self.round_logs: list[VanillaRoundLog] = []
+
+    def _aggregate(self, updates: list[ModelUpdate]) -> tuple[dict[str, np.ndarray], tuple[str, ...], float]:
+        """Return (global weights, members used, aggregator-test accuracy)."""
+        if not updates:
+            raise RoundError("no updates received")
+        if self.config.consider:
+            result = best_combination(
+                updates,
+                self._scratch_model,
+                self.aggregator_test_set,
+                rng=self.rng,
+            )
+            return result.weights, result.members, result.accuracy
+        weights = fedavg(updates)
+        from repro.fl.evaluation import evaluate_weights
+
+        acc = evaluate_weights(self._scratch_model, weights, self.aggregator_test_set)
+        return weights, tuple(sorted(update.client_id for update in updates)), acc
+
+    def run_round(self, round_id: int) -> VanillaRoundLog:
+        """One communication round: train all, aggregate, redistribute."""
+        updates = [client.train_local(round_id) for client in self.clients]
+        global_weights, members, agg_acc = self._aggregate(updates)
+        log = VanillaRoundLog(
+            round_id=round_id,
+            aggregation_type="consider" if self.config.consider else "not_consider",
+            selected_members=members,
+            aggregator_accuracy=agg_acc,
+        )
+        for client in self.clients:
+            client.apply_global(global_weights)
+            log.client_accuracy[client.client_id] = client.evaluate()
+        self.round_logs.append(log)
+        return log
+
+    def run(self) -> list[VanillaRoundLog]:
+        """Run all configured rounds; returns the full log."""
+        for round_id in range(1, self.config.rounds + 1):
+            self.run_round(round_id)
+        return self.round_logs
+
+    def accuracy_series(self, client_id: str) -> list[float]:
+        """Per-round accuracy for one client (a Table I row)."""
+        return [log.client_accuracy[client_id] for log in self.round_logs]

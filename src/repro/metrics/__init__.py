@@ -1,0 +1,27 @@
+"""Reporting: table formatters (Tables I-IV), figure series (Figs 3-4),
+round recorders, and timing summaries."""
+
+from repro.metrics.recorder import RoundRecorder, RoundRecord
+from repro.metrics.tables import (
+    format_table1,
+    format_combination_table,
+    render_table,
+    series_row,
+)
+from repro.metrics.figures import FigureSeries, vanilla_figure_series, combination_figure_series, render_ascii_chart
+from repro.metrics.timing import TimingSummary, summarize_durations
+
+__all__ = [
+    "RoundRecorder",
+    "RoundRecord",
+    "format_table1",
+    "format_combination_table",
+    "render_table",
+    "series_row",
+    "FigureSeries",
+    "vanilla_figure_series",
+    "combination_figure_series",
+    "render_ascii_chart",
+    "TimingSummary",
+    "summarize_durations",
+]

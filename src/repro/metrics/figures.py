@@ -1,0 +1,76 @@
+"""Figure-series extraction and terminal rendering for Figs 3 and 4.
+
+A "figure" here is the underlying data series (what matplotlib would plot)
+plus an ASCII sparkline renderer so benchmark output shows the curve shapes
+directly in the terminal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+@dataclass
+class FigureSeries:
+    """One plotted line: a label and per-round values."""
+
+    label: str
+    values: list[float] = field(default_factory=list)
+
+    def final(self) -> float:
+        """Last value (the usual summary statistic)."""
+        return self.values[-1] if self.values else float("nan")
+
+
+def vanilla_figure_series(
+    client_series: dict[str, dict[str, list[float]]],
+) -> dict[str, list[FigureSeries]]:
+    """Figure 3 data: per client, the consider / not-consider curves."""
+    figures: dict[str, list[FigureSeries]] = {}
+    for client_id in sorted(client_series):
+        figures[f"Client {client_id}"] = [
+            FigureSeries(label=agg_type, values=list(series))
+            for agg_type, series in sorted(client_series[client_id].items())
+        ]
+    return figures
+
+
+def combination_figure_series(
+    combination_series: dict[str, dict[str, list[float]]],
+) -> dict[str, list[FigureSeries]]:
+    """Figure 4 data: per peer, one curve per model combination."""
+    figures: dict[str, list[FigureSeries]] = {}
+    for peer_id in sorted(combination_series):
+        figures[f"Client {peer_id}"] = [
+            FigureSeries(label=combo, values=list(series))
+            for combo, series in sorted(
+                combination_series[peer_id].items(), key=lambda kv: (len(kv[0]), kv[0])
+            )
+        ]
+    return figures
+
+
+_BLOCKS = " .:-=+*#%@"
+
+
+def render_ascii_chart(series_list: Sequence[FigureSeries], width: int = 40, title: str = "") -> str:
+    """Render each series as a sparkline row scaled to the common range."""
+    lines = [title] if title else []
+    all_values = [v for s in series_list for v in s.values]
+    if not all_values:
+        return "\n".join(lines + ["(no data)"])
+    lo, hi = min(all_values), max(all_values)
+    span = (hi - lo) or 1.0
+    label_width = max((len(s.label) for s in series_list), default=0)
+    for s in series_list:
+        cells = []
+        for value in s.values[:width]:
+            level = int((value - lo) / span * (len(_BLOCKS) - 1))
+            cells.append(_BLOCKS[level])
+        lines.append(
+            f"{s.label.ljust(label_width)} |{''.join(cells)}| "
+            f"{s.values[0]:.3f}->{s.final():.3f}"
+        )
+    lines.append(f"scale: {lo:.3f} (' ') .. {hi:.3f} ('@')")
+    return "\n".join(lines)

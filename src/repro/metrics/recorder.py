@@ -1,0 +1,63 @@
+"""Generic round-metric recorder used by examples and benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import numpy as np
+
+
+@dataclass
+class RoundRecord:
+    """One (round, entity) measurement row."""
+
+    round_id: int
+    entity: str
+    metrics: dict[str, float] = field(default_factory=dict)
+    tags: dict[str, Any] = field(default_factory=dict)
+
+
+class RoundRecorder:
+    """Accumulates round records and answers series/summary queries."""
+
+    def __init__(self, name: str = "recorder") -> None:
+        self.name = name
+        self.records: list[RoundRecord] = []
+
+    def record(self, round_id: int, entity: str, **metrics: float) -> RoundRecord:
+        """Append one measurement row."""
+        rec = RoundRecord(round_id=round_id, entity=entity, metrics=dict(metrics))
+        self.records.append(rec)
+        return rec
+
+    def series(self, entity: str, metric: str) -> list[float]:
+        """Metric values for one entity ordered by round."""
+        rows = [r for r in self.records if r.entity == entity and metric in r.metrics]
+        rows.sort(key=lambda r: r.round_id)
+        return [r.metrics[metric] for r in rows]
+
+    def entities(self) -> list[str]:
+        """Distinct entities seen so far."""
+        return sorted({r.entity for r in self.records})
+
+    def rounds(self) -> list[int]:
+        """Distinct round ids seen so far."""
+        return sorted({r.round_id for r in self.records})
+
+    def last(self, entity: str, metric: str) -> Optional[float]:
+        """Most recent value of a metric for an entity."""
+        series = self.series(entity, metric)
+        return series[-1] if series else None
+
+    def mean(self, entity: str, metric: str) -> Optional[float]:
+        """Mean of a metric over rounds."""
+        series = self.series(entity, metric)
+        return float(np.mean(series)) if series else None
+
+    def as_rows(self) -> list[dict]:
+        """Flat dict rows (for CSV-ish dumping in benchmarks)."""
+        return [
+            {"round_id": r.round_id, "entity": r.entity, **r.metrics}
+            for r in sorted(self.records, key=lambda r: (r.round_id, r.entity))
+        ]

@@ -1,0 +1,80 @@
+"""Plain-text table rendering matching the paper's table layouts.
+
+``format_table1`` reproduces Table I's structure (model x client x
+aggregation-type rows, one column per round); ``format_combination_table``
+reproduces Tables II-IV (model x combination rows).  Values print with four
+decimals, as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def series_row(label: str, values: Sequence[float], precision: int = 4) -> list[str]:
+    """One table row: label plus formatted per-round values."""
+    return [label] + [f"{value:.{precision}f}" for value in values]
+
+
+def render_table(title: str, header: list[str], rows: list[list[str]]) -> str:
+    """Monospace-align a header and rows under a title."""
+    widths = [len(cell) for cell in header]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def fmt(cells: list[str]) -> str:
+        return "  ".join(cell.ljust(widths[index]) for index, cell in enumerate(cells))
+
+    lines = [title, fmt(header), fmt(["-" * width for width in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def format_table1(
+    model_name: str,
+    client_series: dict[str, dict[str, list[float]]],
+    title: str = "Table I: Vanilla FL: Clients' test accuracy on two aggregation types",
+) -> str:
+    """Render a Table I block.
+
+    ``client_series[client_id][aggregation_type]`` is the per-round
+    accuracy list; aggregation types are "consider" and "not_consider".
+    """
+    rounds = 0
+    for agg_map in client_series.values():
+        for series in agg_map.values():
+            rounds = max(rounds, len(series))
+    header = ["Model", "Client", "Params"] + [str(r) for r in range(1, rounds + 1)]
+    rows = []
+    for client_id in sorted(client_series):
+        for agg_type in ("consider", "not_consider"):
+            if agg_type not in client_series[client_id]:
+                continue
+            label = "Consider" if agg_type == "consider" else "Not consider"
+            values = client_series[client_id][agg_type]
+            rows.append([model_name, client_id, label] + [f"{v:.4f}" for v in values])
+    return render_table(title, header, rows)
+
+
+def format_combination_table(
+    model_name: str,
+    peer_id: str,
+    combination_series: dict[str, list[float]],
+    title_prefix: str = "Blockchain-based FL: Test accuracy on different model combinations",
+) -> str:
+    """Render a Table II/III/IV block for one peer.
+
+    Rows are ordered the way the paper orders them: the peer's solo model,
+    pairs containing the peer, the remaining pair, then the full set.
+    """
+    def row_order(combo: str) -> tuple:
+        members = combo.split(",")
+        return (len(members), 0 if peer_id in members else 1, combo)
+
+    rounds = max((len(series) for series in combination_series.values()), default=0)
+    header = ["Model", "Params from"] + [str(r) for r in range(1, rounds + 1)]
+    rows = []
+    for combo in sorted(combination_series, key=row_order):
+        rows.append([model_name, combo] + [f"{v:.4f}" for v in combination_series[combo]])
+    title = f"{title_prefix} - Client {peer_id}"
+    return render_table(title, header, rows)

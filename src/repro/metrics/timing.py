@@ -1,0 +1,48 @@
+"""Timing summaries for the speed side of the trade-off."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TimingSummary:
+    """Five-number-ish summary of a duration sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    median: float
+    p95: float
+    maximum: float
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "median": self.median,
+            "p95": self.p95,
+            "max": self.maximum,
+        }
+
+
+def summarize_durations(durations: Sequence[float]) -> TimingSummary:
+    """Summarize a sequence of durations (seconds)."""
+    if not durations:
+        return TimingSummary(0, float("nan"), float("nan"), float("nan"), float("nan"), float("nan"), float("nan"))
+    array = np.asarray(durations, dtype=np.float64)
+    return TimingSummary(
+        count=len(array),
+        mean=float(array.mean()),
+        std=float(array.std()),
+        minimum=float(array.min()),
+        median=float(np.median(array)),
+        p95=float(np.percentile(array, 95)),
+        maximum=float(array.max()),
+    )

@@ -1,0 +1,66 @@
+"""From-scratch numpy deep-learning substrate (the PyTorch stand-in).
+
+Provides the pieces FedAvg-style federated learning needs:
+
+* layers with explicit forward/backward (:mod:`repro.nn.layers`),
+* losses (:mod:`repro.nn.losses`) and optimizers (:mod:`repro.nn.optimizers`),
+* a :class:`~repro.nn.model.Sequential` container with named parameters,
+* weight (de)serialization for on-chain commitment (:mod:`repro.nn.serialize`),
+* the two evaluation models of the paper (:mod:`repro.nn.models`):
+  ``SimpleNN`` (~62k params, trained from scratch) and
+  ``EfficientNetB0Sim`` (frozen pretrained-style backbone + trainable head).
+"""
+
+from repro.nn.initializers import he_init, xavier_init, zeros_init
+from repro.nn.layers import (
+    Layer,
+    Dense,
+    ReLU,
+    Softmax,
+    Dropout,
+    Flatten,
+    Conv2D,
+    MaxPool2D,
+    BatchNorm,
+    FrozenFeatureMap,
+    PretrainedRBFBackbone,
+)
+from repro.nn.losses import CrossEntropyLoss, MSELoss
+from repro.nn.optimizers import SGD, Momentum, Adam
+from repro.nn.model import Sequential
+from repro.nn.serialize import weights_to_bytes, weights_from_bytes, weights_hash
+from repro.nn.metrics import accuracy, confusion_matrix, top_k_accuracy
+from repro.nn.models import build_simple_nn, build_efficientnet_b0_sim, build_model, count_parameters
+
+__all__ = [
+    "he_init",
+    "xavier_init",
+    "zeros_init",
+    "Layer",
+    "Dense",
+    "ReLU",
+    "Softmax",
+    "Dropout",
+    "Flatten",
+    "Conv2D",
+    "MaxPool2D",
+    "BatchNorm",
+    "FrozenFeatureMap",
+    "PretrainedRBFBackbone",
+    "CrossEntropyLoss",
+    "MSELoss",
+    "SGD",
+    "Momentum",
+    "Adam",
+    "Sequential",
+    "weights_to_bytes",
+    "weights_from_bytes",
+    "weights_hash",
+    "accuracy",
+    "confusion_matrix",
+    "top_k_accuracy",
+    "build_simple_nn",
+    "build_efficientnet_b0_sim",
+    "build_model",
+    "count_parameters",
+]

@@ -1,0 +1,497 @@
+"""Neural-network layers with explicit forward/backward passes.
+
+Each layer owns named parameters (``params``) and matching gradients
+(``grads``).  ``forward`` caches what ``backward`` needs; ``backward``
+receives dL/d(output) and returns dL/d(input), accumulating parameter
+gradients.  Layers flagged ``trainable = False`` (the frozen backbone)
+skip gradient accumulation, implementing transfer learning.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import NotBuiltError, ShapeError
+from repro.nn.initializers import he_init, xavier_init, zeros_init
+
+
+class Layer:
+    """Base layer: parameter bookkeeping plus the forward/backward contract."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name or type(self).__name__.lower()
+        self.params: dict[str, np.ndarray] = {}
+        self.grads: dict[str, np.ndarray] = {}
+        self.trainable = True
+        self.built = False
+
+    def build(self, rng: np.random.Generator, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        """Create parameters for ``input_shape`` (sans batch); return output shape."""
+        self.built = True
+        return input_shape
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        """Compute outputs; cache for backward when ``training``."""
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Propagate gradients; accumulate parameter grads; return input grad."""
+        raise NotImplementedError
+
+    def zero_grads(self) -> None:
+        """Reset accumulated gradients to zero."""
+        for key, value in self.params.items():
+            self.grads[key] = np.zeros_like(value)
+
+    def parameter_count(self) -> int:
+        """Total number of scalar parameters in this layer."""
+        return sum(int(value.size) for value in self.params.values())
+
+    def _require_built(self) -> None:
+        if not self.built:
+            raise NotBuiltError(f"layer {self.name!r} used before build()")
+
+
+class Dense(Layer):
+    """Fully connected layer: ``y = x @ W + b``."""
+
+    def __init__(self, units: int, name: str = "") -> None:
+        super().__init__(name or f"dense_{units}")
+        if units < 1:
+            raise ValueError("units must be >= 1")
+        self.units = units
+        self._cache_x: Optional[np.ndarray] = None
+
+    def build(self, rng: np.random.Generator, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        if len(input_shape) != 1:
+            raise ShapeError(f"Dense expects flat input, got shape {input_shape}")
+        fan_in = input_shape[0]
+        self.params = {
+            "W": he_init(rng, (fan_in, self.units), fan_in=fan_in),
+            "b": zeros_init((self.units,)),
+        }
+        self.zero_grads()
+        self.built = True
+        return (self.units,)
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        self._require_built()
+        if x.ndim != 2 or x.shape[1] != self.params["W"].shape[0]:
+            raise ShapeError(
+                f"{self.name}: expected (batch, {self.params['W'].shape[0]}), got {x.shape}"
+            )
+        if training:
+            self._cache_x = x
+        return x @ self.params["W"] + self.params["b"]
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        self._require_built()
+        if self._cache_x is None:
+            raise NotBuiltError(f"{self.name}: backward before forward")
+        if self.trainable:
+            self.grads["W"] += self._cache_x.T @ grad_out
+            self.grads["b"] += grad_out.sum(axis=0)
+        return grad_out @ self.params["W"].T
+
+
+class ReLU(Layer):
+    """Rectified linear activation."""
+
+    def __init__(self, name: str = "") -> None:
+        super().__init__(name)
+        self._mask: Optional[np.ndarray] = None
+        self.built = True
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        mask = x > 0
+        if training:
+            self._mask = mask
+        return np.where(mask, x, 0.0)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise NotBuiltError(f"{self.name}: backward before forward")
+        return grad_out * self._mask
+
+
+class Softmax(Layer):
+    """Softmax over the last axis (inference-only head; training pairs
+    logits with :class:`~repro.nn.losses.CrossEntropyLoss` instead)."""
+
+    def __init__(self, name: str = "") -> None:
+        super().__init__(name)
+        self.built = True
+        self._cache_y: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        shifted = x - x.max(axis=-1, keepdims=True)
+        exp = np.exp(shifted)
+        y = exp / exp.sum(axis=-1, keepdims=True)
+        if training:
+            self._cache_y = y
+        return y
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache_y is None:
+            raise NotBuiltError(f"{self.name}: backward before forward")
+        y = self._cache_y
+        dot = (grad_out * y).sum(axis=-1, keepdims=True)
+        return y * (grad_out - dot)
+
+
+class Dropout(Layer):
+    """Inverted dropout; identity at inference."""
+
+    def __init__(self, rate: float, rng: Optional[np.random.Generator] = None, name: str = "") -> None:
+        super().__init__(name)
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self._mask: Optional[np.ndarray] = None
+        self.built = True
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        if not training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self.rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_out
+        return grad_out * self._mask
+
+
+class Flatten(Layer):
+    """Collapse all non-batch dimensions."""
+
+    def __init__(self, name: str = "") -> None:
+        super().__init__(name)
+        self._input_shape: Optional[tuple[int, ...]] = None
+
+    def build(self, rng: np.random.Generator, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        self.built = True
+        return (int(np.prod(input_shape)),)
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        if training:
+            self._input_shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise NotBuiltError(f"{self.name}: backward before forward")
+        return grad_out.reshape(self._input_shape)
+
+
+def _im2col(x: np.ndarray, kh: int, kw: int, stride: int) -> tuple[np.ndarray, int, int]:
+    """Rearrange (N, H, W, C) into (N, OH, OW, kh*kw*C) patches."""
+    n, h, w, c = x.shape
+    oh = (h - kh) // stride + 1
+    ow = (w - kw) // stride + 1
+    strides = x.strides
+    shape = (n, oh, ow, kh, kw, c)
+    view = np.lib.stride_tricks.as_strided(
+        x,
+        shape=shape,
+        strides=(strides[0], strides[1] * stride, strides[2] * stride, strides[1], strides[2], strides[3]),
+        writeable=False,
+    )
+    return view.reshape(n, oh, ow, kh * kw * c), oh, ow
+
+
+class Conv2D(Layer):
+    """2D convolution over NHWC input with 'valid' or 'same' padding."""
+
+    def __init__(self, filters: int, kernel_size: int = 3, stride: int = 1, padding: str = "same", name: str = "") -> None:
+        super().__init__(name or f"conv_{filters}")
+        if padding not in ("same", "valid"):
+            raise ValueError(f"padding must be 'same' or 'valid', got {padding!r}")
+        self.filters = filters
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self._cache: Optional[tuple] = None
+        self._pad: tuple[int, int] = (0, 0)
+
+    def build(self, rng: np.random.Generator, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        if len(input_shape) != 3:
+            raise ShapeError(f"Conv2D expects (H, W, C) input, got {input_shape}")
+        h, w, c = input_shape
+        k = self.kernel_size
+        fan_in = k * k * c
+        self.params = {
+            "W": he_init(rng, (k, k, c, self.filters), fan_in=fan_in),
+            "b": zeros_init((self.filters,)),
+        }
+        self.zero_grads()
+        if self.padding == "same":
+            total = max(k - self.stride, 0) if h % self.stride == 0 else max(k - h % self.stride, 0)
+            self._pad = (total // 2, total - total // 2)
+            oh = int(np.ceil(h / self.stride))
+            ow = int(np.ceil(w / self.stride))
+        else:
+            self._pad = (0, 0)
+            oh = (h - k) // self.stride + 1
+            ow = (w - k) // self.stride + 1
+        self.built = True
+        return (oh, ow, self.filters)
+
+    def _padded(self, x: np.ndarray) -> np.ndarray:
+        lo, hi = self._pad
+        if lo == 0 and hi == 0:
+            return x
+        return np.pad(x, ((0, 0), (lo, hi), (lo, hi), (0, 0)))
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        self._require_built()
+        k = self.kernel_size
+        xp = self._padded(x)
+        cols, oh, ow = _im2col(xp, k, k, self.stride)
+        w_mat = self.params["W"].reshape(-1, self.filters)
+        out = cols @ w_mat + self.params["b"]
+        if training:
+            self._cache = (x.shape, xp.shape, cols)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        self._require_built()
+        if self._cache is None:
+            raise NotBuiltError(f"{self.name}: backward before forward")
+        x_shape, xp_shape, cols = self._cache
+        n, oh, ow, _ = grad_out.shape
+        k = self.kernel_size
+        w_mat = self.params["W"].reshape(-1, self.filters)
+
+        grad_flat = grad_out.reshape(-1, self.filters)
+        if self.trainable:
+            self.grads["W"] += (cols.reshape(-1, cols.shape[-1]).T @ grad_flat).reshape(self.params["W"].shape)
+            self.grads["b"] += grad_flat.sum(axis=0)
+
+        dcols = grad_flat @ w_mat.T  # (N*OH*OW, k*k*C)
+        dcols = dcols.reshape(n, oh, ow, k, k, xp_shape[3])
+        dxp = np.zeros(xp_shape, dtype=grad_out.dtype)
+        s = self.stride
+        for i in range(k):
+            for j in range(k):
+                dxp[:, i : i + oh * s : s, j : j + ow * s : s, :] += dcols[:, :, :, i, j, :]
+        lo, hi = self._pad
+        if lo or hi:
+            dxp = dxp[:, lo : dxp.shape[1] - hi, lo : dxp.shape[2] - hi, :]
+        return dxp.reshape(x_shape)
+
+
+class MaxPool2D(Layer):
+    """Max pooling over NHWC input with non-overlapping windows."""
+
+    def __init__(self, pool_size: int = 2, name: str = "") -> None:
+        super().__init__(name)
+        self.pool_size = pool_size
+        self._cache: Optional[tuple] = None
+
+    def build(self, rng: np.random.Generator, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        h, w, c = input_shape
+        p = self.pool_size
+        if h % p or w % p:
+            raise ShapeError(f"MaxPool2D: input {input_shape} not divisible by pool {p}")
+        self.built = True
+        return (h // p, w // p, c)
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        n, h, w, c = x.shape
+        p = self.pool_size
+        reshaped = x.reshape(n, h // p, p, w // p, p, c)
+        out = reshaped.max(axis=(2, 4))
+        if training:
+            mask = reshaped == out[:, :, None, :, None, :]
+            self._cache = (x.shape, mask)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise NotBuiltError(f"{self.name}: backward before forward")
+        x_shape, mask = self._cache
+        n, oh, ow, c = grad_out.shape
+        p = self.pool_size
+        expanded = grad_out[:, :, None, :, None, :] * mask
+        return expanded.reshape(x_shape)
+
+
+class BatchNorm(Layer):
+    """Batch normalization over the feature axis with running statistics."""
+
+    def __init__(self, momentum: float = 0.9, epsilon: float = 1e-5, name: str = "") -> None:
+        super().__init__(name)
+        self.momentum = momentum
+        self.epsilon = epsilon
+        self.running_mean: Optional[np.ndarray] = None
+        self.running_var: Optional[np.ndarray] = None
+        self._cache: Optional[tuple] = None
+
+    def build(self, rng: np.random.Generator, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        features = input_shape[-1]
+        self.params = {"gamma": np.ones(features), "beta": np.zeros(features)}
+        self.zero_grads()
+        self.running_mean = np.zeros(features)
+        self.running_var = np.ones(features)
+        self.built = True
+        return input_shape
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        self._require_built()
+        axes = tuple(range(x.ndim - 1))
+        if training:
+            mean = x.mean(axis=axes)
+            var = x.var(axis=axes)
+            self.running_mean = self.momentum * self.running_mean + (1 - self.momentum) * mean
+            self.running_var = self.momentum * self.running_var + (1 - self.momentum) * var
+        else:
+            mean, var = self.running_mean, self.running_var
+        x_hat = (x - mean) / np.sqrt(var + self.epsilon)
+        if training:
+            self._cache = (x_hat, var, axes, x.shape)
+        return self.params["gamma"] * x_hat + self.params["beta"]
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise NotBuiltError(f"{self.name}: backward before forward")
+        x_hat, var, axes, x_shape = self._cache
+        m = int(np.prod([x_shape[a] for a in axes]))
+        if self.trainable:
+            self.grads["gamma"] += (grad_out * x_hat).sum(axis=axes)
+            self.grads["beta"] += grad_out.sum(axis=axes)
+        gamma = self.params["gamma"]
+        dx_hat = grad_out * gamma
+        inv_std = 1.0 / np.sqrt(var + self.epsilon)
+        return (
+            inv_std
+            / m
+            * (m * dx_hat - dx_hat.sum(axis=axes) - x_hat * (dx_hat * x_hat).sum(axis=axes))
+        )
+
+
+class PretrainedRBFBackbone(Layer):
+    """Frozen domain-pretrained trunk: project to latent space, then RBF units.
+
+    Stands in for EfficientNet-B0's pretrained convolutional trunk.  A real
+    pretrained network maps images into a semantic feature space where
+    samples cluster around visual concepts; this layer does the same with
+    explicit machinery: a fixed linear ``projection`` (flat pixels ->
+    latent code, denoising by construction) followed by Gaussian RBF units
+    centred on fixed ``anchors`` (the concept prototypes).
+
+    Features are *normalized* RBF responses (a softmax over anchor
+    distances), which keeps them informative even when the projection is
+    imperfect — and the projection IS imperfect by design: the backbone
+    carries a calibrated mismatch (pretrained on a *similar* domain, the
+    way ImageNet is similar to but not identical to CIFAR-10), which is
+    what keeps the classifier head in the variance-limited regime where
+    aggregating more peers' models measurably helps (the paper's
+    "aggregating the entire set of models in complex models yields
+    superior results").
+
+    The (projection, anchors) pair comes from
+    :meth:`repro.data.synthetic.SyntheticImageDataset.pretrained_backbone`
+    — every peer shares the identical frozen trunk, exactly like every peer
+    downloading the same EfficientNet checkpoint.  Only layers *after* this
+    one train (the paper: "we employ transfer learning by modifying its
+    final layer").
+    """
+
+    def __init__(self, projection: np.ndarray, anchors: np.ndarray, sigma: float = 0.6, name: str = "") -> None:
+        super().__init__(name or "pretrained_backbone")
+        if projection.ndim != 2 or anchors.ndim != 2:
+            raise ShapeError("projection and anchors must be 2-D")
+        if projection.shape[1] != anchors.shape[1]:
+            raise ShapeError(
+                f"latent dim mismatch: projection {projection.shape} vs anchors {anchors.shape}"
+            )
+        if sigma <= 0:
+            raise ValueError(f"sigma must be positive, got {sigma}")
+        self.projection = projection.astype(np.float64)
+        self.anchors = anchors.astype(np.float64)
+        self.sigma = float(sigma)
+
+    def build(self, rng: np.random.Generator, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        if len(input_shape) != 1 or input_shape[0] != self.projection.shape[0]:
+            raise ShapeError(
+                f"backbone expects flat input of dim {self.projection.shape[0]}, got {input_shape}"
+            )
+        # Frozen weights are fixed at construction; nothing to initialize.
+        self.params = {}
+        self.zero_grads()
+        self.trainable = False
+        self.built = True
+        return (self.anchors.shape[0],)
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        self._require_built()
+        z = x @ self.projection  # (batch, latent)
+        d2 = ((z[:, None, :] - self.anchors[None, :, :]) ** 2).sum(axis=2)
+        # Normalized responses: shift by the row minimum (numerical safety,
+        # and scale-robustness against uniform distance inflation) then
+        # softmax so the features sum to one per sample.
+        d2 = d2 - d2.min(axis=1, keepdims=True)
+        responses = np.exp(-d2 / (2.0 * self.sigma**2))
+        return responses / responses.sum(axis=1, keepdims=True)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        # Frozen trunk: gradients stop here (nothing upstream trains).
+        return np.zeros((grad_out.shape[0], self.projection.shape[0]), dtype=grad_out.dtype)
+
+    def parameter_count(self) -> int:
+        """Report the frozen trunk size (like EfficientNet's 5.3M backbone)."""
+        return int(self.projection.size + self.anchors.size)
+
+
+class FrozenFeatureMap(Layer):
+    """Fixed random-projection feature extractor (the transfer-learning backbone).
+
+    Stands in for EfficientNet-B0's pretrained convolutional trunk: a
+    deterministic, *shared-across-peers* nonlinear projection whose weights
+    never train.  Two projection stages with ReLU give features rich enough
+    that a trainable head reaches high accuracy immediately — reproducing
+    the paper's "starts at ~0.78 in round 1" transfer-learning dynamic.
+
+    The weights derive from ``backbone_seed`` only, so every peer holds the
+    *same* backbone, exactly like every peer downloading the same pretrained
+    EfficientNet checkpoint.
+    """
+
+    def __init__(self, output_dim: int, backbone_seed: int = 2024, hidden_dim: Optional[int] = None, name: str = "") -> None:
+        super().__init__(name or "frozen_backbone")
+        self.output_dim = output_dim
+        self.hidden_dim = hidden_dim if hidden_dim is not None else output_dim * 2
+        self.backbone_seed = backbone_seed
+
+    def build(self, rng: np.random.Generator, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        if len(input_shape) != 1:
+            raise ShapeError(f"FrozenFeatureMap expects flat input, got {input_shape}")
+        # Deliberately ignores the model's rng: backbone is global/pretrained.
+        backbone_rng = np.random.default_rng(self.backbone_seed)
+        fan_in = input_shape[0]
+        self.params = {
+            "W1": xavier_init(backbone_rng, (fan_in, self.hidden_dim)),
+            "b1": zeros_init((self.hidden_dim,)),
+            "W2": xavier_init(backbone_rng, (self.hidden_dim, self.output_dim)),
+            "b2": zeros_init((self.output_dim,)),
+        }
+        self.zero_grads()
+        self.trainable = False
+        self.built = True
+        return (self.output_dim,)
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        self._require_built()
+        h = np.maximum(x @ self.params["W1"] + self.params["b1"], 0.0)
+        return np.maximum(h @ self.params["W2"] + self.params["b2"], 0.0)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        # Frozen trunk: gradients stop here (nothing upstream trains).
+        fan_in = self.params["W1"].shape[0]
+        return np.zeros((grad_out.shape[0], fan_in), dtype=grad_out.dtype)

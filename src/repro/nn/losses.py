@@ -1,0 +1,70 @@
+"""Loss functions pairing a scalar loss with its input gradient."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+class CrossEntropyLoss:
+    """Softmax + cross entropy over integer class labels.
+
+    Operates on raw logits; combining softmax with the loss keeps the
+    backward pass numerically stable (``softmax - onehot``).
+    """
+
+    def __init__(self, label_smoothing: float = 0.0) -> None:
+        if not 0.0 <= label_smoothing < 1.0:
+            raise ValueError("label_smoothing must be in [0, 1)")
+        self.label_smoothing = label_smoothing
+
+    def _probs(self, logits: np.ndarray) -> np.ndarray:
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / exp.sum(axis=1, keepdims=True)
+
+    def _targets(self, labels: np.ndarray, num_classes: int) -> np.ndarray:
+        onehot = np.eye(num_classes)[labels]
+        if self.label_smoothing:
+            smooth = self.label_smoothing
+            onehot = onehot * (1 - smooth) + smooth / num_classes
+        return onehot
+
+    def loss(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        """Mean cross entropy over the batch."""
+        if logits.ndim != 2:
+            raise ShapeError(f"logits must be (batch, classes), got {logits.shape}")
+        if labels.shape[0] != logits.shape[0]:
+            raise ShapeError(f"{labels.shape[0]} labels for {logits.shape[0]} logits")
+        probs = self._probs(logits)
+        targets = self._targets(labels, logits.shape[1])
+        return float(-(targets * np.log(probs + 1e-12)).sum(axis=1).mean())
+
+    def gradient(self, logits: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        """dL/dlogits, already averaged over the batch."""
+        probs = self._probs(logits)
+        targets = self._targets(labels, logits.shape[1])
+        return (probs - targets) / logits.shape[0]
+
+    def loss_and_grad(self, logits: np.ndarray, labels: np.ndarray) -> tuple[float, np.ndarray]:
+        """Convenience: both loss and gradient in one call."""
+        return self.loss(logits, labels), self.gradient(logits, labels)
+
+
+class MSELoss:
+    """Mean squared error for regression-style targets."""
+
+    def loss(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        """Mean of squared residuals."""
+        if predictions.shape != targets.shape:
+            raise ShapeError(f"shape mismatch {predictions.shape} vs {targets.shape}")
+        return float(((predictions - targets) ** 2).mean())
+
+    def gradient(self, predictions: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        """dL/dpredictions."""
+        return 2.0 * (predictions - targets) / predictions.size
+
+    def loss_and_grad(self, predictions: np.ndarray, targets: np.ndarray) -> tuple[float, np.ndarray]:
+        """Convenience: both loss and gradient in one call."""
+        return self.loss(predictions, targets), self.gradient(predictions, targets)

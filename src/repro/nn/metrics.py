@@ -1,0 +1,56 @@
+"""Classification metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+def accuracy(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of argmax predictions matching integer labels.
+
+    ``predictions`` may be logits/probabilities ``(batch, classes)`` or
+    already-argmaxed class ids ``(batch,)``.
+    """
+    if predictions.ndim == 2:
+        predicted = predictions.argmax(axis=1)
+    elif predictions.ndim == 1:
+        predicted = predictions
+    else:
+        raise ShapeError(f"predictions must be 1-D or 2-D, got {predictions.shape}")
+    if predicted.shape[0] != labels.shape[0]:
+        raise ShapeError(f"{predicted.shape[0]} predictions vs {labels.shape[0]} labels")
+    if predicted.shape[0] == 0:
+        return 0.0
+    return float((predicted == labels).mean())
+
+
+def top_k_accuracy(logits: np.ndarray, labels: np.ndarray, k: int = 5) -> float:
+    """Fraction of samples whose true label is in the top-k logits."""
+    if logits.ndim != 2:
+        raise ShapeError(f"logits must be (batch, classes), got {logits.shape}")
+    if k < 1 or k > logits.shape[1]:
+        raise ValueError(f"k={k} out of range for {logits.shape[1]} classes")
+    top_k = np.argsort(logits, axis=1)[:, -k:]
+    hits = (top_k == labels[:, None]).any(axis=1)
+    return float(hits.mean()) if len(hits) else 0.0
+
+
+def confusion_matrix(predictions: np.ndarray, labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """``(num_classes, num_classes)`` matrix, rows = true, cols = predicted."""
+    if predictions.ndim == 2:
+        predictions = predictions.argmax(axis=1)
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    for true, pred in zip(labels, predictions):
+        matrix[int(true), int(pred)] += 1
+    return matrix
+
+
+def per_class_accuracy(predictions: np.ndarray, labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Recall per class; NaN-free (classes with no samples report 0)."""
+    matrix = confusion_matrix(predictions, labels, num_classes)
+    totals = matrix.sum(axis=1)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        result = np.where(totals > 0, np.diag(matrix) / np.maximum(totals, 1), 0.0)
+    return result

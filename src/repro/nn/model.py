@@ -1,0 +1,167 @@
+"""Sequential model container with flat named parameters.
+
+The container exposes parameters as a flat ``{"layer/param": array}`` dict —
+the currency of federated aggregation: FedAvg averages these dicts, the
+serializer turns them into bytes for on-chain commitment, and
+``set_weights`` installs an aggregated dict back into the network.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import NotBuiltError, ShapeError
+from repro.nn.layers import Layer
+from repro.nn.losses import CrossEntropyLoss
+
+
+class Sequential:
+    """A linear stack of layers."""
+
+    def __init__(self, layers: Sequence[Layer], name: str = "model") -> None:
+        self.layers = list(layers)
+        self.name = name
+        self.built = False
+        self.input_shape: Optional[tuple[int, ...]] = None
+        self.output_shape: Optional[tuple[int, ...]] = None
+        # Guarantee unique layer names so parameter keys never collide.
+        seen: dict[str, int] = {}
+        for layer in self.layers:
+            count = seen.get(layer.name, 0)
+            seen[layer.name] = count + 1
+            if count:
+                layer.name = f"{layer.name}_{count + 1}"
+
+    def build(self, rng: np.random.Generator, input_shape: tuple[int, ...]) -> "Sequential":
+        """Initialize every layer for ``input_shape`` (sans batch)."""
+        shape = tuple(input_shape)
+        self.input_shape = shape
+        for layer in self.layers:
+            shape = layer.build(rng, shape)
+        self.output_shape = shape
+        self.built = True
+        return self
+
+    def _require_built(self) -> None:
+        if not self.built:
+            raise NotBuiltError(f"model {self.name!r} used before build()")
+
+    # ------------------------------------------------------------------
+    # Forward / backward
+    # ------------------------------------------------------------------
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        """Run the full stack."""
+        self._require_built()
+        for layer in self.layers:
+            x = layer.forward(x, training=training)
+        return x
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Inference-mode forward pass."""
+        return self.forward(x, training=False)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Backpropagate from the output gradient; returns input gradient."""
+        self._require_built()
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def zero_grads(self) -> None:
+        """Reset every layer's accumulated gradients."""
+        for layer in self.layers:
+            layer.zero_grads()
+
+    # ------------------------------------------------------------------
+    # Parameter access (FedAvg currency)
+    # ------------------------------------------------------------------
+
+    def parameters(self) -> dict[str, np.ndarray]:
+        """Live references to every parameter, keyed ``layer/param``."""
+        params: dict[str, np.ndarray] = {}
+        for layer in self.layers:
+            for key, value in layer.params.items():
+                params[f"{layer.name}/{key}"] = value
+        return params
+
+    def gradients(self) -> dict[str, np.ndarray]:
+        """Live references to every gradient, keyed like :meth:`parameters`."""
+        grads: dict[str, np.ndarray] = {}
+        for layer in self.layers:
+            for key, value in layer.grads.items():
+                grads[f"{layer.name}/{key}"] = value
+        return grads
+
+    def trainable_parameters(self) -> dict[str, np.ndarray]:
+        """Parameters of trainable layers only (excludes frozen backbone)."""
+        params: dict[str, np.ndarray] = {}
+        for layer in self.layers:
+            if layer.trainable:
+                for key, value in layer.params.items():
+                    params[f"{layer.name}/{key}"] = value
+        return params
+
+    def trainable_gradients(self) -> dict[str, np.ndarray]:
+        """Gradients matching :meth:`trainable_parameters`."""
+        grads: dict[str, np.ndarray] = {}
+        for layer in self.layers:
+            if layer.trainable:
+                for key, value in layer.grads.items():
+                    grads[f"{layer.name}/{key}"] = value
+        return grads
+
+    def get_weights(self) -> dict[str, np.ndarray]:
+        """Deep copy of all parameters (safe to ship to other peers)."""
+        return {key: value.copy() for key, value in self.parameters().items()}
+
+    def set_weights(self, weights: dict[str, np.ndarray]) -> None:
+        """Install a weight dict produced by :meth:`get_weights` / FedAvg."""
+        self._require_built()
+        params = self.parameters()
+        if set(weights) != set(params):
+            missing = set(params) - set(weights)
+            extra = set(weights) - set(params)
+            raise ShapeError(f"weight keys mismatch (missing={sorted(missing)}, extra={sorted(extra)})")
+        for key, value in weights.items():
+            if params[key].shape != value.shape:
+                raise ShapeError(f"{key}: shape {value.shape} != expected {params[key].shape}")
+            params[key][...] = value
+
+    def parameter_count(self, trainable_only: bool = False) -> int:
+        """Total scalar parameters (optionally trainable only)."""
+        layers = [l for l in self.layers if l.trainable] if trainable_only else self.layers
+        return sum(layer.parameter_count() for layer in layers)
+
+    # ------------------------------------------------------------------
+    # Training convenience
+    # ------------------------------------------------------------------
+
+    def train_step(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        loss_fn: CrossEntropyLoss,
+        optimizer,
+    ) -> float:
+        """One forward/backward/update step; returns the batch loss."""
+        self.zero_grads()
+        logits = self.forward(x, training=True)
+        loss, grad = loss_fn.loss_and_grad(logits, y)
+        self.backward(grad)
+        optimizer.step(self.trainable_parameters(), self.trainable_gradients())
+        return loss
+
+    def evaluate_accuracy(self, x: np.ndarray, y: np.ndarray, batch_size: int = 512) -> float:
+        """Classification accuracy over a dataset, batched for memory."""
+        correct = 0
+        for start in range(0, len(x), batch_size):
+            logits = self.predict(x[start : start + batch_size])
+            correct += int((logits.argmax(axis=1) == y[start : start + batch_size]).sum())
+        return correct / len(x) if len(x) else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(layer.name for layer in self.layers)
+        return f"Sequential(name={self.name!r}, layers=[{inner}])"

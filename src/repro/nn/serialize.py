@@ -1,0 +1,53 @@
+"""Weight (de)serialization and hashing.
+
+Serialized weights are what peers exchange: the bytes go to the off-chain
+content-addressed store, and their hash goes on chain as the non-repudiable
+commitment (see :class:`repro.contracts.model_store.ModelStore`).  The
+format is the library's canonical JSON-with-tagged-ndarrays encoding, so a
+byte-identical round trip is guaranteed for any weight dict.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SerializationError
+from repro.utils.hashing import keccak_like
+from repro.utils.serialization import canonical_dumps, canonical_loads
+
+_FORMAT_VERSION = 1
+
+
+def weights_to_bytes(weights: dict[str, np.ndarray]) -> bytes:
+    """Serialize a named weight dict to canonical bytes."""
+    for key, value in weights.items():
+        if not isinstance(value, np.ndarray):
+            raise SerializationError(f"weight {key!r} is {type(value).__name__}, not ndarray")
+    return canonical_dumps({"version": _FORMAT_VERSION, "weights": weights})
+
+
+def weights_from_bytes(payload: bytes) -> dict[str, np.ndarray]:
+    """Inverse of :func:`weights_to_bytes`."""
+    decoded = canonical_loads(payload)
+    if not isinstance(decoded, dict) or "weights" in decoded is None:
+        raise SerializationError("payload is not a weight archive")
+    version = decoded.get("version")
+    if version != _FORMAT_VERSION:
+        raise SerializationError(f"unsupported weight format version {version!r}")
+    weights = decoded.get("weights")
+    if not isinstance(weights, dict):
+        raise SerializationError("weight archive missing 'weights' dict")
+    for key, value in weights.items():
+        if not isinstance(value, np.ndarray):
+            raise SerializationError(f"entry {key!r} did not decode to ndarray")
+    return weights
+
+
+def weights_hash(weights: dict[str, np.ndarray]) -> str:
+    """Commitment hash of a weight dict (what goes on chain)."""
+    return keccak_like(weights_to_bytes(weights))
+
+
+def weights_size_bytes(weights: dict[str, np.ndarray]) -> int:
+    """Size of the serialized archive — the paper's 'model size' metric."""
+    return len(weights_to_bytes(weights))

@@ -1,0 +1,26 @@
+"""Shared utilities: deterministic RNG streams, hashing, simulation clock,
+discrete-event engine, and canonical serialization."""
+
+from repro.utils.rng import RngFactory, derive_seed, rng_from
+from repro.utils.hashing import sha256_hex, sha256_bytes, keccak_like, hash_object
+from repro.utils.clock import SimClock
+from repro.utils.events import Event, EventQueue, Simulator
+from repro.utils.serialization import canonical_dumps, canonical_loads, encode_bytes, decode_bytes
+
+__all__ = [
+    "RngFactory",
+    "derive_seed",
+    "rng_from",
+    "sha256_hex",
+    "sha256_bytes",
+    "keccak_like",
+    "hash_object",
+    "SimClock",
+    "Event",
+    "EventQueue",
+    "Simulator",
+    "canonical_dumps",
+    "canonical_loads",
+    "encode_bytes",
+    "decode_bytes",
+]

@@ -1,0 +1,44 @@
+"""Simulated clock for the discrete-event blockchain network.
+
+The paper measures wall-clock aggregation time on three VirtualBox VMs; we
+replace it with a deterministic simulated clock so latency experiments are
+reproducible.  ``SimClock`` is a monotone counter advanced only by the event
+loop (or explicitly in unit tests).
+"""
+
+from __future__ import annotations
+
+
+class SimClock:
+    """Monotone simulated clock measured in (fractional) seconds."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError("clock cannot start before t=0")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, delta: float) -> float:
+        """Move the clock forward by ``delta`` seconds and return the new time."""
+        if delta < 0:
+            raise ValueError(f"cannot advance clock backwards (delta={delta})")
+        self._now += float(delta)
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Move the clock forward to an absolute ``timestamp``.
+
+        Raises ``ValueError`` if the target is in the past — the event loop
+        must never hand out out-of-order timestamps.
+        """
+        if timestamp < self._now:
+            raise ValueError(f"cannot rewind clock from {self._now} to {timestamp}")
+        self._now = float(timestamp)
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimClock(now={self._now:.6f})"

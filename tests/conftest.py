@@ -1,0 +1,80 @@
+"""Shared fixtures: tiny datasets, funded chains, quick experiment configs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.chain.crypto import KeyPair
+from repro.chain.node import GenesisSpec, Node, NodeConfig
+from repro.chain.runtime import ContractRuntime
+from repro.contracts import register_all
+from repro.data.dataset import Dataset
+from repro.data.synthetic import SyntheticImageDataset, SyntheticSpec
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fixed-seed generator for deterministic tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_spec() -> SyntheticSpec:
+    """A low-noise, easy synthetic spec for fast convergent tests."""
+    return SyntheticSpec(noise_std=0.5, label_noise=0.0, seed=7)
+
+
+@pytest.fixture
+def tiny_factory(tiny_spec) -> SyntheticImageDataset:
+    """Factory over the tiny spec."""
+    return SyntheticImageDataset(tiny_spec)
+
+
+@pytest.fixture
+def tiny_dataset(tiny_factory, rng) -> Dataset:
+    """120 easy samples, flattened."""
+    return tiny_factory.sample(120, rng)
+
+
+@pytest.fixture
+def keypairs() -> dict[str, KeyPair]:
+    """Three named keypairs (the paper's A/B/C peers)."""
+    return {name: KeyPair.from_seed(f"test-{name}") for name in ("A", "B", "C")}
+
+
+@pytest.fixture
+def runtime() -> ContractRuntime:
+    """Contract runtime with the full FL suite registered."""
+    rt = ContractRuntime()
+    register_all(rt)
+    return rt
+
+
+@pytest.fixture
+def genesis_spec(keypairs) -> GenesisSpec:
+    """Genesis allocating generous balances to A/B/C."""
+    return GenesisSpec(allocations={kp.address: 10**15 for kp in keypairs.values()})
+
+
+@pytest.fixture
+def node(keypairs, genesis_spec, runtime) -> Node:
+    """A single funded node owned by A."""
+    return Node(keypairs["A"], genesis_spec, runtime, NodeConfig())
+
+
+@pytest.fixture
+def three_nodes(keypairs, genesis_spec, runtime) -> dict[str, Node]:
+    """Three nodes sharing one genesis (not yet networked)."""
+    return {
+        name: Node(kp, genesis_spec, runtime, NodeConfig())
+        for name, kp in keypairs.items()
+    }
+
+
+def make_weights(rng: np.random.Generator, scale: float = 1.0) -> dict[str, np.ndarray]:
+    """Helper: a small arbitrary weight dict."""
+    return {
+        "layer/W": rng.normal(0, scale, size=(4, 3)),
+        "layer/b": rng.normal(0, scale, size=(3,)),
+    }

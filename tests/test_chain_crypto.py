@@ -1,0 +1,106 @@
+"""Tests for the deterministic signature scheme."""
+
+import pytest
+
+from repro.chain.crypto import KeyPair, Signature, recover_check, verify
+from repro.errors import InvalidSignatureError
+
+DIGEST = b"\x11" * 32
+OTHER_DIGEST = b"\x22" * 32
+
+
+class TestKeyPair:
+    def test_from_seed_deterministic(self):
+        assert KeyPair.from_seed("alice").address == KeyPair.from_seed("alice").address
+
+    def test_different_seeds_different_addresses(self):
+        assert KeyPair.from_seed("alice").address != KeyPair.from_seed("bob").address
+
+    def test_address_format(self):
+        address = KeyPair.from_seed("alice").address
+        assert address.startswith("0x")
+        assert len(address) == 2 + 40
+
+    def test_bad_private_key_length(self):
+        with pytest.raises(ValueError):
+            KeyPair(b"short")
+
+
+class TestSignVerify:
+    def test_valid_signature_verifies(self):
+        kp = KeyPair.from_seed("alice")
+        sig = kp.sign(DIGEST)
+        assert verify(kp.public_bundle, DIGEST, sig)
+
+    def test_wrong_digest_fails(self):
+        kp = KeyPair.from_seed("alice")
+        sig = kp.sign(DIGEST)
+        assert not verify(kp.public_bundle, OTHER_DIGEST, sig)
+
+    def test_wrong_key_fails(self):
+        alice, bob = KeyPair.from_seed("alice"), KeyPair.from_seed("bob")
+        sig = alice.sign(DIGEST)
+        assert not verify(bob.public_bundle, DIGEST, sig)
+
+    def test_tampered_mac_fails(self):
+        kp = KeyPair.from_seed("alice")
+        sig = kp.sign(DIGEST)
+        tampered = Signature(mac=bytes(32), proof=sig.proof)
+        assert not verify(kp.public_bundle, DIGEST, tampered)
+
+    def test_tampered_proof_fails(self):
+        kp = KeyPair.from_seed("alice")
+        sig = kp.sign(DIGEST)
+        tampered = Signature(mac=sig.mac, proof=bytes(32))
+        assert not verify(kp.public_bundle, DIGEST, tampered)
+
+    def test_sign_rejects_bad_digest_length(self):
+        with pytest.raises(InvalidSignatureError):
+            KeyPair.from_seed("alice").sign(b"short")
+
+    def test_verify_rejects_bad_digest_length(self):
+        kp = KeyPair.from_seed("alice")
+        sig = kp.sign(DIGEST)
+        assert not verify(kp.public_bundle, b"short", sig)
+
+    def test_verify_with_malformed_bundle(self):
+        kp = KeyPair.from_seed("alice")
+        sig = kp.sign(DIGEST)
+        assert not verify({}, DIGEST, sig)
+        assert not verify({"verifier_key": "zz-not-hex"}, DIGEST, sig)
+
+    def test_signature_deterministic(self):
+        kp = KeyPair.from_seed("alice")
+        assert kp.sign(DIGEST) == kp.sign(DIGEST)
+
+
+class TestRecoverCheck:
+    def test_correct_sender_accepted(self):
+        kp = KeyPair.from_seed("alice")
+        sig = kp.sign(DIGEST)
+        assert recover_check(kp.public_bundle, DIGEST, sig, kp.address)
+
+    def test_wrong_claimed_address_rejected(self):
+        alice, bob = KeyPair.from_seed("alice"), KeyPair.from_seed("bob")
+        sig = alice.sign(DIGEST)
+        assert not recover_check(alice.public_bundle, DIGEST, sig, bob.address)
+
+    def test_substituted_bundle_rejected(self):
+        # Mallory tries to claim Alice's address with her own bundle.
+        alice, mallory = KeyPair.from_seed("alice"), KeyPair.from_seed("mallory")
+        sig = mallory.sign(DIGEST)
+        assert not recover_check(mallory.public_bundle, DIGEST, sig, alice.address)
+
+    def test_malformed_bundle_rejected(self):
+        alice = KeyPair.from_seed("alice")
+        sig = alice.sign(DIGEST)
+        assert not recover_check({"pub": "zz"}, DIGEST, sig, alice.address)
+
+
+class TestSignatureSerialization:
+    def test_dict_round_trip(self):
+        kp = KeyPair.from_seed("alice")
+        sig = kp.sign(DIGEST)
+        restored = Signature.from_dict(sig.to_dict())
+        assert restored == sig
+        assert verify(kp.public_bundle, DIGEST, restored)

@@ -1,0 +1,94 @@
+"""Tests for gas accounting."""
+
+import pytest
+
+from repro.chain.gas import DEFAULT_SCHEDULE, GasMeter, GasSchedule, intrinsic_gas
+from repro.errors import OutOfGasError
+
+
+class TestIntrinsicGas:
+    def test_base_cost_for_empty_payload(self):
+        assert intrinsic_gas(b"") == DEFAULT_SCHEDULE.tx_base
+
+    def test_zero_bytes_cheaper(self):
+        zeros = intrinsic_gas(b"\x00" * 10)
+        nonzeros = intrinsic_gas(b"\x01" * 10)
+        assert zeros < nonzeros
+
+    def test_exact_data_cost(self):
+        payload = b"\x00\x01\x00\x02"
+        expected = (
+            DEFAULT_SCHEDULE.tx_base
+            + 2 * DEFAULT_SCHEDULE.tx_data_zero_byte
+            + 2 * DEFAULT_SCHEDULE.tx_data_nonzero_byte
+        )
+        assert intrinsic_gas(payload) == expected
+
+    def test_create_surcharge(self):
+        assert (
+            intrinsic_gas(b"", is_create=True)
+            == DEFAULT_SCHEDULE.tx_base + DEFAULT_SCHEDULE.tx_create
+        )
+
+    def test_custom_schedule(self):
+        schedule = GasSchedule(tx_base=100, tx_data_zero_byte=1, tx_data_nonzero_byte=2)
+        assert intrinsic_gas(b"\x00\x01", schedule=schedule) == 103
+
+
+class TestGasMeter:
+    def test_charges_accumulate(self):
+        meter = GasMeter(1000)
+        meter.charge(300)
+        meter.charge(200)
+        assert meter.used == 500
+        assert meter.remaining == 500
+
+    def test_out_of_gas_raises(self):
+        meter = GasMeter(100)
+        with pytest.raises(OutOfGasError):
+            meter.charge(101)
+
+    def test_out_of_gas_consumes_everything(self):
+        meter = GasMeter(100)
+        with pytest.raises(OutOfGasError):
+            meter.charge(500)
+        assert meter.used == 100
+        assert meter.remaining == 0
+
+    def test_exact_limit_ok(self):
+        meter = GasMeter(100)
+        meter.charge(100)
+        assert meter.remaining == 0
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            GasMeter(100).charge(-1)
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(ValueError):
+            GasMeter(-1)
+
+    def test_sstore_fresh_vs_update(self):
+        meter = GasMeter(10**6)
+        meter.charge_sstore(fresh=True)
+        fresh_cost = meter.used
+        meter.charge_sstore(fresh=False)
+        update_cost = meter.used - fresh_cost
+        assert fresh_cost > update_cost
+
+    def test_sstore_value_size_charged(self):
+        small, large = GasMeter(10**9), GasMeter(10**9)
+        small.charge_sstore(fresh=True, value_size=10)
+        large.charge_sstore(fresh=True, value_size=10_000)
+        assert large.used > small.used
+
+    def test_sload_and_log_charges(self):
+        meter = GasMeter(10**6)
+        meter.charge_sload()
+        assert meter.used == DEFAULT_SCHEDULE.sload
+        meter.charge_log(data_size=10)
+        assert meter.used == (
+            DEFAULT_SCHEDULE.sload
+            + DEFAULT_SCHEDULE.log_base
+            + 10 * DEFAULT_SCHEDULE.log_data_byte
+        )

@@ -1,0 +1,215 @@
+"""Node event-log queries plus hypothesis properties for the chain store."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.chain.block import Block, BlockHeader, make_genesis
+from repro.chain.chainstore import ChainStore
+from repro.chain.crypto import KeyPair
+from repro.chain.node import GenesisSpec, Node, NodeConfig
+from repro.chain.runtime import ContractRuntime
+from repro.chain.transaction import Transaction
+from repro.contracts import register_all
+
+
+# ---------------------------------------------------------------------------
+# get_logs
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def logging_node():
+    """A node with a registry deployed and two registrations mined."""
+    runtime = ContractRuntime()
+    register_all(runtime)
+    alice = KeyPair.from_seed("log-alice")
+    bob = KeyPair.from_seed("log-bob")
+    genesis = GenesisSpec(allocations={alice.address: 10**15, bob.address: 10**15})
+    node = Node(alice, genesis, runtime, NodeConfig())
+
+    deploy = Transaction(
+        sender=alice.address, to=None, nonce=0, args={"contract": "participant_registry"}
+    ).sign_with(alice)
+    node.submit_transaction(deploy)
+    block = node.build_block_candidate(13.0, difficulty=1)
+    node.seal_and_import(block, nonce=0)
+    registry = node.receipt_of(deploy.tx_hash).contract_address
+
+    for kp, name in ((alice, "A"), (bob, "B")):
+        tx = Transaction(
+            sender=kp.address,
+            to=registry,
+            nonce=node.next_nonce_for(kp.address),
+            method="register",
+            args={"display_name": name},
+        ).sign_with(kp)
+        node.submit_transaction(tx)
+    block = node.build_block_candidate(26.0, difficulty=1)
+    node.seal_and_import(block, nonce=0)
+    return node, registry, alice, bob
+
+
+class TestGetLogs:
+    def test_all_events(self, logging_node):
+        node, registry, _alice, _bob = logging_node
+        logs = node.get_logs(address=registry)
+        assert len(logs) == 2
+        assert all(entry.topic == "ParticipantRegistered" for entry in logs)
+
+    def test_topic_filter(self, logging_node):
+        node, registry, _a, _b = logging_node
+        assert node.get_logs(address=registry, topic="ParticipantBanned") == []
+        assert len(node.get_logs(topic="ParticipantRegistered")) == 2
+
+    def test_block_range_filter(self, logging_node):
+        node, registry, _a, _b = logging_node
+        assert node.get_logs(address=registry, from_block=0, to_block=1) == []
+        assert len(node.get_logs(address=registry, from_block=2)) == 2
+
+    def test_payload_contents(self, logging_node):
+        node, registry, alice, _bob = logging_node
+        logs = node.get_logs(address=registry)
+        addresses = {entry.payload["address"] for entry in logs}
+        assert alice.address in addresses
+
+    def test_failed_tx_logs_excluded(self, logging_node):
+        node, registry, alice, _bob = logging_node
+        # Duplicate registration reverts; its logs must not appear.
+        tx = Transaction(
+            sender=alice.address,
+            to=registry,
+            nonce=node.next_nonce_for(alice.address),
+            method="register",
+            args={},
+        ).sign_with(alice)
+        node.submit_transaction(tx)
+        block = node.build_block_candidate(39.0, difficulty=1)
+        node.seal_and_import(block, nonce=0)
+        assert node.receipt_of(tx.tx_hash).failed
+        assert len(node.get_logs(address=registry)) == 2
+
+
+# ---------------------------------------------------------------------------
+# ChainStore properties under random fork topologies
+# ---------------------------------------------------------------------------
+
+
+def _child(parent: Block, difficulty: int, tag: str) -> Block:
+    header = BlockHeader(
+        parent_hash=parent.block_hash,
+        number=parent.number + 1,
+        timestamp=parent.header.timestamp + 1.0,
+        miner="0x" + "aa" * 20,
+        difficulty=difficulty,
+        tx_root="0x" + "00" * 32,
+        state_root="0x" + "00" * 32,
+        extra=tag,
+    )
+    return Block(header=header)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=10),   # parent index into inserted blocks
+            st.integers(min_value=1, max_value=5),    # difficulty
+        ),
+        min_size=1,
+        max_size=25,
+    )
+)
+@settings(max_examples=60)
+def test_chainstore_head_is_heaviest_tip(insertions):
+    """After any insertion sequence, the head has maximal total difficulty
+    and the canonical chain is a consistent parent-linked path."""
+    genesis = make_genesis("0x" + "ff" * 32)
+    store = ChainStore(genesis)
+    blocks = [genesis]
+    for index, (parent_choice, difficulty) in enumerate(insertions):
+        parent = blocks[parent_choice % len(blocks)]
+        block = _child(parent, difficulty, tag=f"b{index}")
+        store.add(block)
+        blocks.append(block)
+
+    head_td = store.total_difficulty(store.head_hash)
+    for block in blocks:
+        assert store.total_difficulty(block.block_hash) <= head_td
+
+    chain = store.canonical_chain()
+    assert chain[0].block_hash == genesis.block_hash
+    assert chain[-1].block_hash == store.head_hash
+    for parent, child in zip(chain, chain[1:]):
+        assert child.header.parent_hash == parent.block_hash
+        assert child.number == parent.number + 1
+    for block in chain:
+        assert store.is_canonical(block.block_hash)
+
+
+@given(
+    st.lists(st.integers(min_value=1, max_value=4), min_size=1, max_size=15),
+    st.randoms(use_true_random=False),
+)
+@settings(max_examples=40)
+def test_chainstore_insertion_order_invariance_linear(difficulties, rnd):
+    """For a linear chain, arrival order cannot change the final head."""
+    genesis = make_genesis("0x" + "ee" * 32)
+    blocks = []
+    parent = genesis
+    for index, difficulty in enumerate(difficulties):
+        block = _child(parent, difficulty, tag=f"l{index}")
+        blocks.append(block)
+        parent = block
+
+    in_order = ChainStore(genesis)
+    for block in blocks:
+        in_order.add(block)
+
+    shuffled_store = ChainStore(genesis)
+    shuffled = list(blocks)
+    rnd.shuffle(shuffled)
+    pending = shuffled
+    # Insert whatever is insertable each pass (parents must exist).
+    while pending:
+        progressed = []
+        rest = []
+        for block in pending:
+            if block.header.parent_hash in shuffled_store:
+                shuffled_store.add(block)
+                progressed.append(block)
+            else:
+                rest.append(block)
+        assert progressed, "no progress inserting shuffled chain"
+        pending = rest
+
+    assert shuffled_store.head_hash == in_order.head_hash
+    assert shuffled_store.total_difficulty(shuffled_store.head_hash) == in_order.total_difficulty(
+        in_order.head_hash
+    )
+
+
+def test_node_orphan_counts_in_sync_with_store():
+    """Node-level orphans never leak into the store before parents arrive."""
+    runtime = ContractRuntime()
+    register_all(runtime)
+    kp = KeyPair.from_seed("orphan")
+    genesis_spec = GenesisSpec(allocations={kp.address: 10**15})
+    producer = Node(kp, genesis_spec, runtime, NodeConfig())
+    consumer = Node(KeyPair.from_seed("consumer"), genesis_spec, runtime, NodeConfig())
+
+    chain = []
+    for i in range(4):
+        block = producer.build_block_candidate(13.0 * (i + 1), difficulty=1)
+        producer.seal_and_import(block, nonce=0)
+        chain.append(block)
+
+    # Deliver newest-first: everything parks until the first block lands.
+    for block in reversed(chain[1:]):
+        consumer.import_block(block)
+        assert consumer.height == 0
+    consumer.import_block(chain[0])
+    assert consumer.height == len(chain)
+    np.testing.assert_array_equal(
+        [b.block_hash for b in consumer.store.canonical_chain()],
+        [b.block_hash for b in producer.store.canonical_chain()],
+    )

@@ -1,0 +1,157 @@
+"""Tests for the mempool."""
+
+import pytest
+
+from repro.chain.crypto import KeyPair
+from repro.chain.mempool import Mempool
+from repro.chain.state import WorldState
+from repro.chain.transaction import Transaction
+from repro.errors import MempoolError
+
+
+@pytest.fixture
+def alice():
+    return KeyPair.from_seed("alice")
+
+
+@pytest.fixture
+def bob():
+    return KeyPair.from_seed("bob")
+
+
+@pytest.fixture
+def state(alice, bob):
+    ws = WorldState()
+    ws.credit(alice.address, 10**12)
+    ws.credit(bob.address, 10**12)
+    return ws
+
+
+def signed_tx(kp, nonce=0, gas_price=1, value=0, gas_limit=100_000):
+    tx = Transaction(
+        sender=kp.address,
+        to="0x" + "99" * 20,
+        nonce=nonce,
+        value=value,
+        gas_limit=gas_limit,
+        gas_price=gas_price,
+    )
+    return tx.sign_with(kp)
+
+
+class TestAdmission:
+    def test_accepts_valid(self, alice, state):
+        pool = Mempool()
+        assert pool.add(signed_tx(alice), state)
+        assert len(pool) == 1
+
+    def test_duplicate_returns_false(self, alice, state):
+        pool = Mempool()
+        tx = signed_tx(alice)
+        assert pool.add(tx, state)
+        assert not pool.add(tx, state)
+        assert len(pool) == 1
+
+    def test_unsigned_rejected(self, alice, state):
+        pool = Mempool()
+        tx = Transaction(sender=alice.address, to=None, nonce=0)
+        with pytest.raises(MempoolError):
+            pool.add(tx, state)
+
+    def test_stale_nonce_rejected(self, alice, state):
+        state.bump_nonce(alice.address)
+        pool = Mempool()
+        with pytest.raises(MempoolError):
+            pool.add(signed_tx(alice, nonce=0), state)
+
+    def test_future_nonce_accepted(self, alice, state):
+        # Gapped nonces park in the pool (they may become executable later).
+        pool = Mempool()
+        assert pool.add(signed_tx(alice, nonce=5), state)
+
+    def test_unaffordable_rejected(self, alice, state):
+        pool = Mempool()
+        tx = signed_tx(alice, value=10**13, gas_limit=21_000)
+        with pytest.raises(MempoolError):
+            pool.add(tx, state)
+
+    def test_pool_capacity(self, alice, state):
+        pool = Mempool(max_size=2)
+        pool.add(signed_tx(alice, nonce=0), state)
+        pool.add(signed_tx(alice, nonce=1), state)
+        with pytest.raises(MempoolError):
+            pool.add(signed_tx(alice, nonce=2), state)
+
+    def test_contains_by_hash(self, alice, state):
+        pool = Mempool()
+        tx = signed_tx(alice)
+        pool.add(tx, state)
+        assert tx.tx_hash in pool
+
+    def test_stateless_add_checks_signature_only(self, alice):
+        pool = Mempool()
+        assert pool.add(signed_tx(alice, nonce=99))
+
+
+class TestSelection:
+    def test_orders_by_gas_price(self, alice, bob, state):
+        pool = Mempool()
+        cheap = signed_tx(alice, nonce=0, gas_price=1)
+        rich = signed_tx(bob, nonce=0, gas_price=10)
+        pool.add(cheap, state)
+        pool.add(rich, state)
+        chosen = pool.select(state)
+        assert [tx.tx_hash for tx in chosen] == [rich.tx_hash, cheap.tx_hash]
+
+    def test_respects_per_sender_nonce_order(self, alice, state):
+        pool = Mempool()
+        second = signed_tx(alice, nonce=1, gas_price=100)
+        first = signed_tx(alice, nonce=0, gas_price=1)
+        pool.add(second, state)
+        pool.add(first, state)
+        chosen = pool.select(state)
+        assert [tx.nonce for tx in chosen] == [0, 1]
+
+    def test_skips_gapped_nonces(self, alice, state):
+        pool = Mempool()
+        pool.add(signed_tx(alice, nonce=2), state)
+        assert pool.select(state) == []
+
+    def test_max_count(self, alice, state):
+        pool = Mempool()
+        for nonce in range(5):
+            pool.add(signed_tx(alice, nonce=nonce), state)
+        assert len(pool.select(state, max_count=3)) == 3
+
+    def test_max_gas_budget(self, alice, bob, state):
+        pool = Mempool()
+        pool.add(signed_tx(alice, nonce=0, gas_limit=60_000), state)
+        pool.add(signed_tx(bob, nonce=0, gas_limit=60_000), state)
+        chosen = pool.select(state, max_gas=100_000)
+        assert len(chosen) == 1
+
+    def test_selection_does_not_remove(self, alice, state):
+        pool = Mempool()
+        pool.add(signed_tx(alice), state)
+        pool.select(state)
+        assert len(pool) == 1
+
+
+class TestEviction:
+    def test_remove(self, alice, state):
+        pool = Mempool()
+        tx = signed_tx(alice)
+        pool.add(tx, state)
+        assert pool.remove([tx.tx_hash]) == 1
+        assert len(pool) == 0
+
+    def test_remove_missing_counts_zero(self):
+        assert Mempool().remove(["0xdeadbeef"]) == 0
+
+    def test_drop_stale(self, alice, state):
+        pool = Mempool()
+        pool.add(signed_tx(alice, nonce=0), state)
+        pool.add(signed_tx(alice, nonce=1), state)
+        state.bump_nonce(alice.address)  # nonce 0 now consumed on-chain
+        assert pool.drop_stale(state) == 1
+        assert len(pool) == 1

@@ -1,0 +1,93 @@
+"""Tests for the Merkle tree."""
+
+import pytest
+
+from repro.chain.merkle import EMPTY_ROOT, merkle_proof, merkle_root, verify_proof
+
+
+def leaves(n: int) -> list[bytes]:
+    return [f"leaf-{i}".encode() for i in range(n)]
+
+
+class TestMerkleRoot:
+    def test_empty_root_constant(self):
+        assert merkle_root([]) == EMPTY_ROOT
+
+    def test_single_leaf(self):
+        assert len(merkle_root(leaves(1))) == 32
+
+    def test_deterministic(self):
+        assert merkle_root(leaves(5)) == merkle_root(leaves(5))
+
+    def test_order_matters(self):
+        data = leaves(4)
+        assert merkle_root(data) != merkle_root(list(reversed(data)))
+
+    def test_content_matters(self):
+        a = leaves(4)
+        b = leaves(4)
+        b[2] = b"tampered"
+        assert merkle_root(a) != merkle_root(b)
+
+    def test_leaf_count_matters(self):
+        assert merkle_root(leaves(3)) != merkle_root(leaves(4))
+
+    def test_duplicate_last_leaf_distinguished(self):
+        # Padding duplicates the last node, but [a, b] != [a, b, b].
+        assert merkle_root(leaves(2)) != merkle_root(leaves(2) + [leaves(2)[-1]])
+
+
+class TestMerkleProof:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 8, 13])
+    def test_every_leaf_provable(self, n):
+        data = leaves(n)
+        root = merkle_root(data)
+        for index in range(n):
+            proof = merkle_proof(data, index)
+            assert verify_proof(data[index], proof, root)
+
+    def test_wrong_leaf_fails(self):
+        data = leaves(4)
+        root = merkle_root(data)
+        proof = merkle_proof(data, 1)
+        assert not verify_proof(b"not-in-tree", proof, root)
+
+    def test_wrong_index_proof_fails(self):
+        data = leaves(4)
+        root = merkle_root(data)
+        proof = merkle_proof(data, 1)
+        assert not verify_proof(data[2], proof, root)
+
+    def test_wrong_root_fails(self):
+        data = leaves(4)
+        proof = merkle_proof(data, 0)
+        assert not verify_proof(data[0], proof, merkle_root(leaves(5)))
+
+    def test_tampered_proof_fails(self):
+        data = leaves(4)
+        root = merkle_root(data)
+        proof = merkle_proof(data, 0)
+        tampered = [(side, b"\x00" * 32) for side, _sib in proof]
+        assert not verify_proof(data[0], tampered, root)
+
+    def test_invalid_side_marker_fails(self):
+        data = leaves(2)
+        root = merkle_root(data)
+        proof = [("X", proof_part) for _side, proof_part in merkle_proof(data, 0)]
+        assert not verify_proof(data[0], proof, root)
+
+    def test_out_of_range_index_raises(self):
+        with pytest.raises(IndexError):
+            merkle_proof(leaves(3), 3)
+        with pytest.raises(IndexError):
+            merkle_proof(leaves(3), -1)
+
+    def test_proof_length_is_tree_depth(self):
+        data = leaves(8)
+        assert len(merkle_proof(data, 0)) == 3  # log2(8)
+
+    def test_single_leaf_proof_empty(self):
+        data = leaves(1)
+        proof = merkle_proof(data, 0)
+        assert proof == []
+        assert verify_proof(data[0], proof, merkle_root(data))

@@ -1,0 +1,237 @@
+"""Tests for the full node: execution, mining, import, reorgs."""
+
+import pytest
+
+from repro.chain.crypto import KeyPair
+from repro.chain.gas import intrinsic_gas
+from repro.chain.node import GenesisSpec, Node, NodeConfig
+from repro.chain.transaction import Transaction
+from repro.errors import InvalidBlockError, MempoolError
+
+
+@pytest.fixture
+def alice(keypairs):
+    return keypairs["A"]
+
+
+@pytest.fixture
+def bob(keypairs):
+    return keypairs["B"]
+
+
+def transfer_tx(node, sender_kp, to, value, gas_price=1):
+    tx = Transaction(
+        sender=sender_kp.address,
+        to=to,
+        nonce=node.next_nonce_for(sender_kp.address),
+        value=value,
+        gas_price=gas_price,
+    )
+    return tx.sign_with(sender_kp)
+
+
+def mine_one(node, timestamp=None):
+    """Build, seal (difficulty 1), and import one block."""
+    ts = timestamp if timestamp is not None else node.head.header.timestamp + 13.0
+    block = node.build_block_candidate(ts, difficulty=1)
+    node.seal_and_import(block, nonce=0)
+    return block
+
+
+class TestGenesis:
+    def test_nodes_share_genesis(self, three_nodes):
+        hashes = {node.head.block_hash for node in three_nodes.values()}
+        assert len(hashes) == 1
+
+    def test_allocations_present(self, node, alice):
+        assert node.balance_of(alice.address) == 10**15
+
+
+class TestTransfers:
+    def test_value_moves(self, node, alice, bob):
+        node.submit_transaction(transfer_tx(node, alice, bob.address, 1000))
+        mine_one(node)
+        assert node.balance_of(bob.address) == 10**15 + 1000
+
+    def test_fees_paid_to_miner(self, node, alice, bob):
+        # The node itself (A) mines, so A pays fees to itself; send from B.
+        tx = transfer_tx(node, bob, alice.address, 0, gas_price=3)
+        node.submit_transaction(tx)
+        before_b = node.balance_of(bob.address)
+        mine_one(node)
+        receipt = node.receipt_of(tx.tx_hash)
+        assert receipt is not None and receipt.success
+        fee = receipt.gas_used * 3
+        assert receipt.gas_used == intrinsic_gas(b"")
+        assert node.balance_of(bob.address) == before_b - fee
+
+    def test_block_reward_credited(self, node, alice):
+        before = node.balance_of(alice.address)
+        mine_one(node)
+        assert node.balance_of(alice.address) == before + node.config.block_reward
+
+    def test_nonce_advances(self, node, alice, bob):
+        node.submit_transaction(transfer_tx(node, alice, bob.address, 1))
+        node.submit_transaction(transfer_tx(node, alice, bob.address, 2))
+        mine_one(node)
+        assert node.nonce_of(alice.address) == 2
+
+    def test_next_nonce_counts_pending(self, node, alice, bob):
+        assert node.next_nonce_for(alice.address) == 0
+        node.submit_transaction(transfer_tx(node, alice, bob.address, 1))
+        assert node.next_nonce_for(alice.address) == 1
+
+    def test_mempool_cleared_after_mining(self, node, alice, bob):
+        node.submit_transaction(transfer_tx(node, alice, bob.address, 1))
+        assert len(node.mempool) == 1
+        mine_one(node)
+        assert len(node.mempool) == 0
+
+
+class TestContracts:
+    def test_deploy_and_call_via_blocks(self, node, alice):
+        deploy = Transaction(
+            sender=alice.address,
+            to=None,
+            nonce=node.next_nonce_for(alice.address),
+            args={"contract": "participant_registry", "open_enrollment": True},
+        ).sign_with(alice)
+        node.submit_transaction(deploy)
+        mine_one(node)
+        receipt = node.receipt_of(deploy.tx_hash)
+        assert receipt.success
+        registry = receipt.contract_address
+        assert node.has_contract(registry)
+
+        register = Transaction(
+            sender=alice.address,
+            to=registry,
+            nonce=node.next_nonce_for(alice.address),
+            method="register",
+            args={"display_name": "A"},
+        ).sign_with(alice)
+        node.submit_transaction(register)
+        mine_one(node)
+        assert node.receipt_of(register.tx_hash).success
+        assert node.call_contract(registry, "is_member", address=alice.address)
+
+    def test_reverted_call_consumes_nonce_but_rolls_back(self, node, alice):
+        deploy = Transaction(
+            sender=alice.address,
+            to=None,
+            nonce=0,
+            args={"contract": "participant_registry", "open_enrollment": False},
+        ).sign_with(alice)
+        node.submit_transaction(deploy)
+        mine_one(node)
+        registry = node.receipt_of(deploy.tx_hash).contract_address
+
+        register = Transaction(
+            sender=alice.address,
+            to=registry,
+            nonce=node.next_nonce_for(alice.address),
+            method="register",
+            args={},
+        ).sign_with(alice)
+        node.submit_transaction(register)
+        mine_one(node)
+        receipt = node.receipt_of(register.tx_hash)
+        assert receipt.failed
+        assert "enrollment closed" in receipt.revert_reason
+        assert node.nonce_of(alice.address) == 2  # nonce still consumed
+        assert not node.call_contract(registry, "is_member", address=alice.address)
+
+
+class TestBlockImport:
+    def test_peer_accepts_mined_block(self, three_nodes, alice, bob):
+        a, b = three_nodes["A"], three_nodes["B"]
+        a.submit_transaction(transfer_tx(a, alice, bob.address, 500))
+        block = mine_one(a)
+        b.import_block(block)
+        assert b.head.block_hash == block.block_hash
+        assert b.balance_of(bob.address) == 10**15 + 500
+
+    def test_tampered_block_rejected(self, three_nodes, alice, bob):
+        a, b = three_nodes["A"], three_nodes["B"]
+        a.submit_transaction(transfer_tx(a, alice, bob.address, 500))
+        block = mine_one(a)
+        block.transactions[0].value = 999_999  # body no longer matches root
+        with pytest.raises(InvalidBlockError):
+            b.import_block(block)
+
+    def test_orphan_block_adopted_when_parent_arrives(self, three_nodes):
+        a, b = three_nodes["A"], three_nodes["B"]
+        block1 = mine_one(a)
+        block2 = mine_one(a)
+        b.import_block(block2)  # parent unknown: parked
+        assert b.height == 0
+        b.import_block(block1)  # parent arrives: both applied
+        assert b.height == 2
+
+    def test_timestamp_must_increase(self, node):
+        block = node.build_block_candidate(node.head.header.timestamp + 1.0, difficulty=1)
+        block.header.timestamp = node.head.header.timestamp  # violate rule
+        block.header.tx_root = block.compute_tx_root()
+        with pytest.raises(InvalidBlockError):
+            node.import_block(block)
+
+    def test_state_root_mismatch_detected(self, node, alice, bob):
+        block = node.build_block_candidate(13.0, difficulty=1)
+        block.header.state_root = "0x" + "de" * 32
+        with pytest.raises(InvalidBlockError):
+            node.seal_and_import(block, nonce=0)
+
+
+class TestReorgs:
+    def test_reorg_replays_state(self, three_nodes, alice, bob):
+        a, b = three_nodes["A"], three_nodes["B"]
+        # A mines one block with a transfer; B mines two empty heavier blocks.
+        a.submit_transaction(transfer_tx(a, alice, bob.address, 777))
+        block_a = mine_one(a)
+
+        block_b1 = mine_one(b)
+        block_b2 = mine_one(b)
+
+        # A sees B's branch: total difficulty 2 > 1, must reorg.
+        a.import_block(block_b1)
+        reorg = a.import_block(block_b2)
+        assert a.head.block_hash == block_b2.block_hash
+        assert a.reorgs_seen == 1
+        # The transfer was rolled back with the block; B holds only its
+        # two block rewards on the new branch.
+        assert a.balance_of(bob.address) == 10**15 + 2 * a.config.block_reward
+        del block_a, reorg
+
+    def test_transactions_return_to_mempool_semantics(self, three_nodes, alice, bob):
+        # After a reorg drops a tx'd block, stale txs must not break the pool.
+        a, b = three_nodes["A"], three_nodes["B"]
+        tx = transfer_tx(a, alice, bob.address, 1)
+        a.submit_transaction(tx)
+        mine_one(a)
+        b1, b2 = mine_one(b), mine_one(b)
+        a.import_block(b1)
+        a.import_block(b2)
+        # tx is no longer mined; resubmitting is allowed.
+        try:
+            a.submit_transaction(tx)
+        except MempoolError:
+            pytest.fail("valid tx rejected after reorg")
+
+
+class TestPowVerification:
+    def test_verify_pow_mode_rejects_unsealed(self, keypairs, genesis_spec, runtime):
+        node = Node(keypairs["A"], genesis_spec, runtime, NodeConfig(verify_pow=True))
+        block = node.build_block_candidate(13.0, difficulty=2**20)
+        block.header.nonce = 0
+        if not __import__("repro.chain.pow", fromlist=["check_pow"]).check_pow(block.header):
+            with pytest.raises(InvalidBlockError):
+                node.import_block(block)
+
+    def test_verify_pow_mode_accepts_mined(self, keypairs, genesis_spec, runtime):
+        from repro.chain.pow import mine_header
+
+        node = Node(keypairs["A"], genesis_spec, runtime, NodeConfig(verify_pow=True))
+        block = node.build_block_candidate(13.0, difficulty=8)
+        assert mine_header(block.header, max_attempts=100_000)
+        node.import_block(block)
+        assert node.height == 1

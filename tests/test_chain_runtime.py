@@ -1,0 +1,198 @@
+"""Tests for the contract runtime: deployment, calls, revert, gas, nesting."""
+
+import pytest
+
+from repro.chain.crypto import KeyPair
+from repro.chain.gas import GasMeter
+from repro.chain.runtime import CallContext, Contract, ContractRuntime
+from repro.chain.state import WorldState
+from repro.chain.transaction import Transaction
+from repro.errors import (
+    ContractError,
+    ContractNotFoundError,
+    ContractRevertError,
+    OutOfGasError,
+)
+
+
+class Counter(Contract):
+    NAME = "counter"
+
+    def init(self, ctx, start: int = 0):
+        ctx.sstore("count", int(start))
+
+    def increment(self, ctx, by: int = 1):
+        ctx.require(by > 0, "by must be positive")
+        value = int(ctx.sload("count", 0)) + by
+        ctx.sstore("count", value)
+        ctx.log("Incremented", by=by, value=value)
+        return value
+
+    def read(self, ctx):
+        return int(ctx.sload("count", 0))
+
+    def explode(self, ctx):
+        ctx.sstore("side_effect", True)
+        ctx.revert("boom")
+
+    def spin(self, ctx):
+        while True:  # burns gas until the meter trips
+            ctx.sload("count")
+
+
+class Caller(Contract):
+    NAME = "caller"
+
+    def init(self, ctx, target: str = ""):
+        ctx.sstore("target", target)
+
+    def bump_other(self, ctx):
+        return ctx.call(ctx.sload("target"), "increment", by=5)
+
+    def recurse(self, ctx):
+        return ctx.call(ctx.contract_address, "recurse")
+
+
+@pytest.fixture
+def runtime():
+    rt = ContractRuntime()
+    rt.register(Counter)
+    rt.register(Caller)
+    return rt
+
+
+@pytest.fixture
+def alice():
+    return KeyPair.from_seed("alice")
+
+
+@pytest.fixture
+def state(alice):
+    ws = WorldState()
+    ws.credit(alice.address, 10**12)
+    return ws
+
+
+def deploy(runtime, state, alice, contract, **args):
+    tx = Transaction(sender=alice.address, to=None, nonce=state.nonce_of(alice.address), args={"contract": contract, **args})
+    tx.sign_with(alice)
+    meter = GasMeter(10**9)
+    state.bump_nonce(alice.address)
+    address, _logs = runtime.deploy(state, meter, tx, block_number=1, timestamp=1.0)
+    return address
+
+
+def call(runtime, state, alice, to, method, gas=10**9, **args):
+    tx = Transaction(sender=alice.address, to=to, nonce=state.nonce_of(alice.address), method=method, args=args)
+    tx.sign_with(alice)
+    meter = GasMeter(gas)
+    result, logs = runtime.execute_call(state, meter, tx, block_number=1, timestamp=1.0)
+    return result, logs, meter
+
+
+class TestRegistry:
+    def test_register_and_query(self, runtime):
+        assert runtime.is_registered("counter")
+        assert "caller" in runtime.registered_names()
+
+    def test_base_name_rejected(self, runtime):
+        class Anonymous(Contract):
+            pass
+
+        with pytest.raises(ContractError):
+            runtime.register(Anonymous)
+
+
+class TestDeployment:
+    def test_constructor_runs(self, runtime, state, alice):
+        address = deploy(runtime, state, alice, "counter", start=10)
+        assert state.account(address).storage["count"] == 10
+
+    def test_address_deterministic(self, runtime, alice):
+        a = runtime.contract_address(alice.address, 0)
+        b = runtime.contract_address(alice.address, 0)
+        c = runtime.contract_address(alice.address, 1)
+        assert a == b != c
+
+    def test_unknown_contract_raises(self, runtime, state, alice):
+        with pytest.raises(ContractNotFoundError):
+            deploy(runtime, state, alice, "nope")
+
+    def test_missing_contract_arg_reverts(self, runtime, state, alice):
+        tx = Transaction(sender=alice.address, to=None, nonce=0, args={})
+        tx.sign_with(alice)
+        with pytest.raises(ContractRevertError):
+            runtime.deploy(state, GasMeter(10**9), tx, 1, 1.0)
+
+
+class TestCalls:
+    def test_call_mutates_storage(self, runtime, state, alice):
+        address = deploy(runtime, state, alice, "counter")
+        result, logs, _meter = call(runtime, state, alice, address, "increment", by=3)
+        assert result == 3
+        assert state.account(address).storage["count"] == 3
+        assert logs[0].topic == "Incremented"
+        assert logs[0].payload == {"by": 3, "value": 3}
+
+    def test_require_reverts(self, runtime, state, alice):
+        address = deploy(runtime, state, alice, "counter")
+        with pytest.raises(ContractRevertError, match="by must be positive"):
+            call(runtime, state, alice, address, "increment", by=0)
+
+    def test_call_missing_contract(self, runtime, state, alice):
+        with pytest.raises(ContractNotFoundError):
+            call(runtime, state, alice, "0x" + "12" * 20, "read")
+
+    def test_unknown_method_reverts(self, runtime, state, alice):
+        address = deploy(runtime, state, alice, "counter")
+        with pytest.raises(ContractRevertError, match="unknown method"):
+            call(runtime, state, alice, address, "missing_method")
+
+    def test_private_method_blocked(self, runtime, state, alice):
+        address = deploy(runtime, state, alice, "counter")
+        with pytest.raises(ContractRevertError):
+            call(runtime, state, alice, address, "_storage")
+        with pytest.raises(ContractRevertError):
+            call(runtime, state, alice, address, "init")
+
+    def test_out_of_gas(self, runtime, state, alice):
+        address = deploy(runtime, state, alice, "counter")
+        with pytest.raises(OutOfGasError):
+            call(runtime, state, alice, address, "spin", gas=50_000)
+
+    def test_gas_consumed_recorded(self, runtime, state, alice):
+        address = deploy(runtime, state, alice, "counter")
+        _result, _logs, meter = call(runtime, state, alice, address, "increment")
+        assert meter.used > 0
+
+
+class TestNestedCalls:
+    def test_contract_to_contract(self, runtime, state, alice):
+        counter = deploy(runtime, state, alice, "counter")
+        caller = deploy(runtime, state, alice, "caller", target=counter)
+        result, logs, _meter = call(runtime, state, alice, caller, "bump_other")
+        assert result == 5
+        assert state.account(counter).storage["count"] == 5
+        # Nested logs bubble up to the outer receipt.
+        assert any(log.topic == "Incremented" for log in logs)
+
+    def test_recursion_depth_capped(self, runtime, state, alice):
+        caller = deploy(runtime, state, alice, "caller")
+        state.account(caller).storage["target"] = caller
+        with pytest.raises(ContractRevertError, match="depth"):
+            call(runtime, state, alice, caller, "recurse")
+
+
+class TestReadOnlyCall:
+    def test_reads_without_mutation(self, runtime, state, alice):
+        address = deploy(runtime, state, alice, "counter", start=7)
+        assert runtime.read_only_call(state, address, "read") == 7
+
+    def test_writes_discarded(self, runtime, state, alice):
+        address = deploy(runtime, state, alice, "counter")
+        runtime.read_only_call(state, address, "increment", by=99)
+        assert state.account(address).storage["count"] == 0
+
+    def test_missing_contract(self, runtime, state):
+        with pytest.raises(ContractNotFoundError):
+            runtime.read_only_call(state, "0x" + "00" * 20, "read")

@@ -1,0 +1,113 @@
+"""Tests for transactions and receipts."""
+
+import pytest
+
+from repro.chain.crypto import KeyPair
+from repro.chain.transaction import Receipt, Transaction
+from repro.errors import InvalidSignatureError
+
+
+@pytest.fixture
+def alice():
+    return KeyPair.from_seed("alice")
+
+
+@pytest.fixture
+def bob():
+    return KeyPair.from_seed("bob")
+
+
+def make_tx(sender_kp, **overrides):
+    defaults = dict(
+        sender=sender_kp.address,
+        to=KeyPair.from_seed("receiver").address,
+        nonce=0,
+        value=100,
+    )
+    defaults.update(overrides)
+    return Transaction(**defaults)
+
+
+class TestSigning:
+    def test_sign_and_verify(self, alice):
+        tx = make_tx(alice).sign_with(alice)
+        assert tx.verify_signature()
+
+    def test_unsigned_fails_verification(self, alice):
+        assert not make_tx(alice).verify_signature()
+
+    def test_wrong_keypair_rejected_at_signing(self, alice, bob):
+        with pytest.raises(InvalidSignatureError):
+            make_tx(alice).sign_with(bob)
+
+    def test_mutation_after_signing_detected(self, alice):
+        tx = make_tx(alice).sign_with(alice)
+        tx.value = 999_999
+        assert not tx.verify_signature()
+
+    def test_args_mutation_detected(self, alice):
+        tx = make_tx(alice, method="submit", args={"round_id": 1}).sign_with(alice)
+        tx.args["round_id"] = 2
+        assert not tx.verify_signature()
+
+
+class TestHashing:
+    def test_hash_stable(self, alice):
+        tx = make_tx(alice).sign_with(alice)
+        assert tx.tx_hash == tx.tx_hash
+
+    def test_hash_covers_fields(self, alice):
+        a = make_tx(alice, nonce=0).sign_with(alice)
+        b = make_tx(alice, nonce=1).sign_with(alice)
+        assert a.tx_hash != b.tx_hash
+
+    def test_hash_covers_signature(self, alice):
+        unsigned = make_tx(alice)
+        unsigned_hash = unsigned.tx_hash
+        signed_hash = unsigned.sign_with(alice).tx_hash
+        assert unsigned_hash != signed_hash
+
+
+class TestClassification:
+    def test_create_detection(self, alice):
+        tx = make_tx(alice, to=None, args={"contract": "model_store"})
+        assert tx.is_create
+        assert not tx.is_call
+
+    def test_call_detection(self, alice):
+        tx = make_tx(alice, method="submit_model")
+        assert tx.is_call
+        assert not tx.is_create
+
+    def test_plain_transfer(self, alice):
+        tx = make_tx(alice)
+        assert not tx.is_call
+        assert not tx.is_create
+
+    def test_max_cost(self, alice):
+        tx = make_tx(alice, value=50, gas_limit=1000, gas_price=2)
+        assert tx.max_cost() == 50 + 2000
+
+
+class TestWireFormat:
+    def test_round_trip_preserves_signature(self, alice):
+        tx = make_tx(alice, method="submit_model", args={"round_id": 3}, data=b"\x01\x02").sign_with(alice)
+        restored = Transaction.from_dict(tx.to_dict())
+        assert restored.verify_signature()
+        assert restored.tx_hash == tx.tx_hash
+        assert restored.args == {"round_id": 3}
+        assert restored.data == b"\x01\x02"
+
+    def test_round_trip_unsigned(self, alice):
+        tx = make_tx(alice)
+        restored = Transaction.from_dict(tx.to_dict())
+        assert restored.signature is None
+        assert restored.sender == tx.sender
+
+
+class TestReceipt:
+    def test_failed_property(self):
+        ok = Receipt(tx_hash="0xaa", success=True, gas_used=21000)
+        bad = Receipt(tx_hash="0xbb", success=False, gas_used=21000)
+        assert not ok.failed
+        assert bad.failed

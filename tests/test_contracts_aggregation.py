@@ -1,0 +1,181 @@
+"""Tests for the aggregation coordinator contract."""
+
+import pytest
+
+from repro.chain.gas import GasMeter
+from repro.chain.runtime import CallContext, ContractRuntime
+from repro.chain.state import WorldState
+from repro.contracts.aggregation import AggregationCoordinator
+from repro.contracts.model_store import ModelStore
+from repro.errors import ContractRevertError
+
+A = "0x" + "0a" * 20
+B = "0x" + "0b" * 20
+C = "0x" + "0c" * 20
+STORE = "0x" + "55" * 20
+COORD = "0x" + "77" * 20
+
+
+@pytest.fixture
+def env():
+    runtime = ContractRuntime()
+    runtime.register(ModelStore)
+    runtime.register(AggregationCoordinator)
+    state = WorldState()
+    state.deploy(STORE, "model_store")
+    state.deploy(COORD, "aggregation_coordinator")
+    store, coord = ModelStore(), AggregationCoordinator()
+
+    def call_on(contract, address):
+        def call(sender, method, **args):
+            ctx = CallContext(
+                state=state,
+                meter=GasMeter(10**9),
+                contract_address=address,
+                sender=sender,
+                runtime=runtime,
+                timestamp=7.0,
+            )
+            return getattr(contract, method)(ctx, **args)
+
+        return call
+
+    store_call = call_on(store, STORE)
+    coord_call = call_on(coord, COORD)
+    store_call(A, "init", registry_address=None)
+    coord_call(A, "init", model_store_address=STORE, quorum=2, vote_threshold=2)
+    return store_call, coord_call
+
+
+def submit(store_call, sender, round_id=1):
+    store_call(
+        sender,
+        "submit_model",
+        round_id=round_id,
+        weights_hash=f"0xhash-{sender[-2:]}",
+        num_samples=800,
+    )
+
+
+class TestRoundLifecycle:
+    def test_open_round(self, env):
+        _store, coord = env
+        record = coord(A, "open_round", round_id=1)
+        assert record["opened_by"] == A
+        assert record["quorum"] == 2
+        assert coord(A, "current_round") == 1
+
+    def test_any_peer_can_open(self, env):
+        _store, coord = env
+        coord(C, "open_round", round_id=1)
+        assert coord(A, "round_info", round_id=1)["opened_by"] == C
+
+    def test_double_open_reverts(self, env):
+        _store, coord = env
+        coord(A, "open_round", round_id=1)
+        with pytest.raises(ContractRevertError, match="already open"):
+            coord(B, "open_round", round_id=1)
+
+    def test_round_info_missing(self, env):
+        _store, coord = env
+        assert coord(A, "round_info", round_id=5) is None
+
+    def test_current_round_tracks_max(self, env):
+        _store, coord = env
+        coord(A, "open_round", round_id=3)
+        coord(A, "open_round", round_id=1)
+        assert coord(A, "current_round") == 3
+
+    def test_per_round_quorum_override(self, env):
+        _store, coord = env
+        record = coord(A, "open_round", round_id=1, quorum=3)
+        assert record["quorum"] == 3
+
+
+class TestQuorum:
+    def test_quorum_counts_store_submissions(self, env):
+        store, coord = env
+        coord(A, "open_round", round_id=1)
+        assert not coord(A, "quorum_reached", round_id=1)
+        submit(store, A)
+        assert not coord(A, "quorum_reached", round_id=1)
+        submit(store, B)
+        assert coord(A, "quorum_reached", round_id=1)  # quorum=2 (wait-for-2)
+
+    def test_quorum_requires_open_round(self, env):
+        _store, coord = env
+        with pytest.raises(ContractRevertError, match="not open"):
+            coord(A, "quorum_reached", round_id=9)
+
+    def test_submission_count_delegates(self, env):
+        store, coord = env
+        coord(A, "open_round", round_id=1)
+        submit(store, A)
+        assert coord(B, "submission_count", round_id=1) == 1
+
+
+class TestGlobalVotes:
+    def test_vote_and_finalize(self, env):
+        _store, coord = env
+        coord(A, "open_round", round_id=1)
+        result = coord(A, "vote_global", round_id=1, aggregate_hash="0xg")
+        assert result == {"tally": 1, "finalized": False}
+        result = coord(B, "vote_global", round_id=1, aggregate_hash="0xg")
+        assert result == {"tally": 2, "finalized": True}
+        assert coord(C, "finalized_hash", round_id=1) == "0xg"
+
+    def test_split_votes_no_finalization(self, env):
+        _store, coord = env
+        coord(A, "open_round", round_id=1)
+        coord(A, "vote_global", round_id=1, aggregate_hash="0xg1")
+        coord(B, "vote_global", round_id=1, aggregate_hash="0xg2")
+        assert coord(C, "finalized_hash", round_id=1) is None
+        assert coord(C, "vote_tally", round_id=1) == {"0xg1": 1, "0xg2": 1}
+
+    def test_double_vote_reverts(self, env):
+        _store, coord = env
+        coord(A, "open_round", round_id=1)
+        coord(A, "vote_global", round_id=1, aggregate_hash="0xg")
+        with pytest.raises(ContractRevertError, match="already voted"):
+            coord(A, "vote_global", round_id=1, aggregate_hash="0xother")
+
+    def test_first_finalization_sticks(self, env):
+        _store, coord = env
+        coord(A, "open_round", round_id=1)
+        for voter in (A, B):
+            coord(voter, "vote_global", round_id=1, aggregate_hash="0xg1")
+        # A different hash reaching threshold later cannot displace it.
+        for voter in (C, "0x" + "0d" * 20):
+            coord(voter, "vote_global", round_id=1, aggregate_hash="0xg2")
+        assert coord(A, "finalized_hash", round_id=1) == "0xg1"
+
+    def test_vote_of(self, env):
+        _store, coord = env
+        coord(A, "open_round", round_id=1)
+        coord(A, "vote_global", round_id=1, aggregate_hash="0xg")
+        assert coord(B, "vote_of", round_id=1, address=A) == "0xg"
+        assert coord(B, "vote_of", round_id=1, address=B) is None
+
+    def test_vote_requires_open_round(self, env):
+        _store, coord = env
+        with pytest.raises(ContractRevertError, match="not open"):
+            coord(A, "vote_global", round_id=2, aggregate_hash="0xg")
+
+    def test_empty_hash_rejected(self, env):
+        _store, coord = env
+        coord(A, "open_round", round_id=1)
+        with pytest.raises(ContractRevertError):
+            coord(A, "vote_global", round_id=1, aggregate_hash="")
+
+
+class TestInitValidation:
+    def test_bad_quorum(self):
+        runtime = ContractRuntime()
+        runtime.register(AggregationCoordinator)
+        state = WorldState()
+        state.deploy(COORD, "aggregation_coordinator")
+        ctx = CallContext(
+            state=state, meter=GasMeter(10**9), contract_address=COORD, sender=A, runtime=runtime
+        )
+        with pytest.raises(ContractRevertError):
+            AggregationCoordinator().init(ctx, model_store_address=STORE, quorum=0)

@@ -1,0 +1,167 @@
+"""Tests for the model commitment store contract."""
+
+import pytest
+
+from repro.chain.gas import GasMeter
+from repro.chain.runtime import CallContext, ContractRuntime
+from repro.chain.state import WorldState
+from repro.contracts.model_store import ModelStore
+from repro.contracts.registry import ParticipantRegistry
+from repro.errors import ContractRevertError
+
+A = "0x" + "0a" * 20
+B = "0x" + "0b" * 20
+STORE = "0x" + "55" * 20
+REGISTRY = "0x" + "66" * 20
+
+
+@pytest.fixture
+def runtime():
+    rt = ContractRuntime()
+    rt.register(ModelStore)
+    rt.register(ParticipantRegistry)
+    return rt
+
+
+def make_call(state, runtime, contract, address):
+    def call(sender, method, **args):
+        ctx = CallContext(
+            state=state,
+            meter=GasMeter(10**9),
+            contract_address=address,
+            sender=sender,
+            runtime=runtime,
+            block_number=5,
+            timestamp=42.0,
+        )
+        return getattr(contract, method)(ctx, **args)
+
+    return call
+
+
+@pytest.fixture
+def env(runtime):
+    """Unrestricted store (no registry binding)."""
+    state = WorldState()
+    state.deploy(STORE, "model_store")
+    store = ModelStore()
+    call = make_call(state, runtime, store, STORE)
+    call(A, "init", registry_address=None)
+    return state, call
+
+
+@pytest.fixture
+def gated_env(runtime):
+    """Store bound to a registry where only A is a member."""
+    state = WorldState()
+    state.deploy(REGISTRY, "participant_registry")
+    registry = ParticipantRegistry()
+    reg_call = make_call(state, runtime, registry, REGISTRY)
+    reg_call(A, "init", open_enrollment=True)
+    reg_call(A, "register")
+
+    state.deploy(STORE, "model_store")
+    store = ModelStore()
+    call = make_call(state, runtime, store, STORE)
+    call(A, "init", registry_address=REGISTRY)
+    return state, call
+
+
+def submit(call, sender, round_id=1, weights_hash="0xabc", num_samples=800, **kw):
+    return call(
+        sender,
+        "submit_model",
+        round_id=round_id,
+        weights_hash=weights_hash,
+        num_samples=num_samples,
+        **kw,
+    )
+
+
+class TestSubmission:
+    def test_submit_records_metadata(self, env):
+        _state, call = env
+        record = submit(call, A, reported_accuracy=0.75, model_kind="simple_nn")
+        assert record["author"] == A
+        assert record["weights_hash"] == "0xabc"
+        assert record["block_number"] == 5
+        assert record["timestamp"] == 42.0
+        assert record["model_kind"] == "simple_nn"
+
+    def test_resubmission_same_round_reverts(self, env):
+        _state, call = env
+        submit(call, A)
+        with pytest.raises(ContractRevertError, match="already submitted"):
+            submit(call, A, weights_hash="0xother")
+
+    def test_same_peer_multiple_rounds_ok(self, env):
+        _state, call = env
+        submit(call, A, round_id=1)
+        submit(call, A, round_id=2)
+        assert call(A, "total_submissions") == 2
+
+    def test_validation_errors(self, env):
+        _state, call = env
+        with pytest.raises(ContractRevertError):
+            submit(call, A, round_id=-1)
+        with pytest.raises(ContractRevertError):
+            submit(call, A, weights_hash="")
+        with pytest.raises(ContractRevertError):
+            submit(call, A, num_samples=0)
+
+
+class TestRegistryGating:
+    def test_member_can_submit(self, gated_env):
+        _state, call = gated_env
+        submit(call, A)
+
+    def test_non_member_rejected(self, gated_env):
+        _state, call = gated_env
+        with pytest.raises(ContractRevertError, match="not a registered participant"):
+            submit(call, B)
+
+
+class TestViews:
+    def test_round_submitters_sorted(self, env):
+        _state, call = env
+        submit(call, B)
+        submit(call, A)
+        assert call(A, "round_submitters", round_id=1) == sorted([A, B])
+
+    def test_round_submissions_full_records(self, env):
+        _state, call = env
+        submit(call, A)
+        submit(call, B, weights_hash="0xdef")
+        records = call(A, "round_submissions", round_id=1)
+        assert [r["author"] for r in records] == sorted([A, B])
+
+    def test_submission_count(self, env):
+        _state, call = env
+        assert call(A, "submission_count", round_id=1) == 0
+        submit(call, A)
+        assert call(A, "submission_count", round_id=1) == 1
+
+    def test_get_submission_missing_none(self, env):
+        _state, call = env
+        assert call(A, "get_submission", round_id=9, address=A) is None
+
+    def test_rounds_isolated(self, env):
+        _state, call = env
+        submit(call, A, round_id=1)
+        assert call(A, "round_submitters", round_id=2) == []
+
+
+class TestNonRepudiation:
+    def test_verify_authorship_true(self, env):
+        _state, call = env
+        submit(call, A, weights_hash="0xcommit")
+        assert call(B, "verify_authorship", round_id=1, address=A, weights_hash="0xcommit")
+
+    def test_verify_authorship_wrong_hash(self, env):
+        _state, call = env
+        submit(call, A, weights_hash="0xcommit")
+        assert not call(B, "verify_authorship", round_id=1, address=A, weights_hash="0xforged")
+
+    def test_verify_authorship_never_submitted(self, env):
+        _state, call = env
+        assert not call(B, "verify_authorship", round_id=1, address=A, weights_hash="0x1")

@@ -1,0 +1,130 @@
+"""Tests for the participant registry contract."""
+
+import pytest
+
+from repro.chain.gas import GasMeter
+from repro.chain.runtime import CallContext, ContractRuntime
+from repro.chain.state import WorldState
+from repro.contracts.registry import ParticipantRegistry
+from repro.errors import ContractRevertError
+
+ADMIN = "0x" + "01" * 20
+PEER = "0x" + "02" * 20
+OTHER = "0x" + "03" * 20
+CONTRACT = "0x" + "cc" * 20
+
+
+@pytest.fixture
+def runtime():
+    rt = ContractRuntime()
+    rt.register(ParticipantRegistry)
+    return rt
+
+
+@pytest.fixture
+def env(runtime):
+    """(state, call) where call(sender, method, **args) executes directly."""
+    state = WorldState()
+    state.deploy(CONTRACT, "participant_registry")
+    contract = ParticipantRegistry()
+
+    def call(sender, method, **args):
+        ctx = CallContext(
+            state=state,
+            meter=GasMeter(10**9),
+            contract_address=CONTRACT,
+            sender=sender,
+            runtime=runtime,
+        )
+        return getattr(contract, method)(ctx, **args)
+
+    call(ADMIN, "init", open_enrollment=True)
+    return state, call
+
+
+class TestRegistration:
+    def test_self_register(self, env):
+        _state, call = env
+        record = call(PEER, "register", display_name="peer-2")
+        assert record["address"] == PEER
+        assert call(ADMIN, "is_member", address=PEER)
+        assert call(ADMIN, "member_count") == 1
+
+    def test_double_register_reverts(self, env):
+        _state, call = env
+        call(PEER, "register")
+        with pytest.raises(ContractRevertError, match="already registered"):
+            call(PEER, "register")
+
+    def test_members_sorted(self, env):
+        _state, call = env
+        call(PEER, "register")
+        call(OTHER, "register")
+        assert call(ADMIN, "members") == sorted([PEER, OTHER])
+
+    def test_closed_enrollment_blocks_register(self, env):
+        _state, call = env
+        call(ADMIN, "close_enrollment")
+        with pytest.raises(ContractRevertError, match="enrollment closed"):
+            call(PEER, "register")
+
+    def test_close_enrollment_admin_only(self, env):
+        _state, call = env
+        with pytest.raises(ContractRevertError, match="admin only"):
+            call(PEER, "close_enrollment")
+
+
+class TestAdmit:
+    def test_admin_admits(self, env):
+        _state, call = env
+        call(ADMIN, "admit", address=PEER, display_name="pre-registered")
+        assert call(ADMIN, "is_member", address=PEER)
+
+    def test_non_admin_cannot_admit(self, env):
+        _state, call = env
+        with pytest.raises(ContractRevertError, match="admin only"):
+            call(PEER, "admit", address=OTHER)
+
+    def test_admit_duplicate_reverts(self, env):
+        _state, call = env
+        call(PEER, "register")
+        with pytest.raises(ContractRevertError, match="already registered"):
+            call(ADMIN, "admit", address=PEER)
+
+
+class TestBan:
+    def test_ban_removes_member(self, env):
+        _state, call = env
+        call(PEER, "register")
+        call(ADMIN, "ban", address=PEER, reason="abnormal models")
+        assert not call(ADMIN, "is_member", address=PEER)
+        assert call(ADMIN, "is_banned", address=PEER)
+        assert call(ADMIN, "member_count") == 0
+
+    def test_banned_cannot_reregister(self, env):
+        _state, call = env
+        call(ADMIN, "ban", address=PEER)
+        with pytest.raises(ContractRevertError, match="banned"):
+            call(PEER, "register")
+
+    def test_ban_admin_only(self, env):
+        _state, call = env
+        with pytest.raises(ContractRevertError, match="admin only"):
+            call(PEER, "ban", address=OTHER)
+
+    def test_ban_unregistered_address(self, env):
+        _state, call = env
+        call(ADMIN, "ban", address=OTHER)  # never registered: still banned
+        assert call(ADMIN, "is_banned", address=OTHER)
+        assert call(ADMIN, "member_count") == 0
+
+
+class TestViews:
+    def test_admin_recorded(self, env):
+        _state, call = env
+        assert call(PEER, "admin") == ADMIN
+
+    def test_unknown_not_member_not_banned(self, env):
+        _state, call = env
+        assert not call(ADMIN, "is_member", address=OTHER)
+        assert not call(ADMIN, "is_banned", address=OTHER)

@@ -1,0 +1,102 @@
+"""Tests for the reputation ledger contract."""
+
+import pytest
+
+from repro.chain.gas import GasMeter
+from repro.chain.runtime import CallContext, ContractRuntime
+from repro.chain.state import WorldState
+from repro.contracts.reputation import ReputationLedger
+from repro.errors import ContractRevertError
+
+A = "0x" + "0a" * 20
+B = "0x" + "0b" * 20
+C = "0x" + "0c" * 20
+LEDGER = "0x" + "88" * 20
+
+
+@pytest.fixture
+def call():
+    runtime = ContractRuntime()
+    runtime.register(ReputationLedger)
+    state = WorldState()
+    state.deploy(LEDGER, "reputation_ledger")
+    ledger = ReputationLedger()
+
+    def _call(sender, method, **args):
+        ctx = CallContext(
+            state=state,
+            meter=GasMeter(10**9),
+            contract_address=LEDGER,
+            sender=sender,
+            runtime=runtime,
+        )
+        return getattr(ledger, method)(ctx, **args)
+
+    _call(A, "init", initial_score=100)
+    return _call
+
+
+class TestScores:
+    def test_unseen_address_initial_score(self, call):
+        assert call(A, "score_of", address=B) == 100
+
+    def test_positive_rating(self, call):
+        assert call(A, "rate", round_id=1, subject=B, delta=10) == 110
+        assert call(C, "score_of", address=B) == 110
+
+    def test_negative_rating(self, call):
+        call(A, "rate", round_id=1, subject=B, delta=-30, reason="failed fitness check")
+        assert call(A, "score_of", address=B) == 70
+
+    def test_score_floors_at_zero(self, call):
+        call(A, "rate", round_id=1, subject=B, delta=-100)
+        call(C, "rate", round_id=1, subject=B, delta=-100)
+        assert call(A, "score_of", address=B) == 0
+
+    def test_ratings_accumulate_across_rounds(self, call):
+        call(A, "rate", round_id=1, subject=B, delta=5)
+        call(A, "rate", round_id=2, subject=B, delta=5)
+        assert call(A, "score_of", address=B) == 110
+
+
+class TestConstraints:
+    def test_self_rating_rejected(self, call):
+        with pytest.raises(ContractRevertError, match="yourself"):
+            call(A, "rate", round_id=1, subject=A, delta=10)
+
+    def test_double_rating_same_round_rejected(self, call):
+        call(A, "rate", round_id=1, subject=B, delta=5)
+        with pytest.raises(ContractRevertError, match="already rated"):
+            call(A, "rate", round_id=1, subject=B, delta=5)
+
+    def test_delta_range_enforced(self, call):
+        with pytest.raises(ContractRevertError):
+            call(A, "rate", round_id=1, subject=B, delta=101)
+        with pytest.raises(ContractRevertError):
+            call(A, "rate", round_id=1, subject=B, delta=-101)
+
+    def test_different_raters_same_round_ok(self, call):
+        call(A, "rate", round_id=1, subject=C, delta=10)
+        call(B, "rate", round_id=1, subject=C, delta=10)
+        assert call(A, "score_of", address=C) == 120
+
+
+class TestCredibility:
+    def test_default_credible(self, call):
+        assert call(A, "is_credible", address=B)
+
+    def test_below_threshold_not_credible(self, call):
+        call(A, "rate", round_id=1, subject=B, delta=-60)
+        assert not call(A, "is_credible", address=B, threshold=50)
+
+    def test_custom_threshold(self, call):
+        assert not call(A, "is_credible", address=B, threshold=150)
+
+
+class TestRatingLookup:
+    def test_rating_of_recorded(self, call):
+        call(A, "rate", round_id=3, subject=B, delta=-7)
+        assert call(C, "rating_of", round_id=3, rater=A, subject=B) == -7
+
+    def test_rating_of_missing(self, call):
+        assert call(C, "rating_of", round_id=3, rater=A, subject=B) is None

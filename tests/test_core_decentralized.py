@@ -1,0 +1,146 @@
+"""Integration tests for the decentralized blockchain-FL orchestrator."""
+
+import numpy as np
+import pytest
+
+from repro.core.decentralized import DecentralizedConfig, DecentralizedFL
+from repro.core.peer import PeerConfig
+from repro.data.dataset import Dataset
+from repro.errors import ConfigError, RoundError
+from repro.fl.async_policy import WaitForAll, WaitForK
+from repro.fl.trainer import TrainConfig
+from repro.nn.layers import Dense, ReLU
+from repro.nn.model import Sequential
+from repro.utils.rng import RngFactory
+
+
+def easy_dataset(rng, n=100):
+    x = rng.normal(size=(n, 4))
+    y = (x[:, 0] + x[:, 1] > 0).astype(np.int64)
+    return Dataset(x, y)
+
+
+def shared_builder(rng):
+    return Sequential([Dense(6, name="h"), ReLU(), Dense(2, name="out")]).build(
+        np.random.default_rng(42), (4,)
+    )
+
+
+def make_driver(policy=None, rounds=2, peers=("A", "B", "C"), training_times=None):
+    data_rng = np.random.default_rng(0)
+    config = DecentralizedConfig(rounds=rounds)
+    if policy is not None:
+        config.policy = policy
+    times = training_times if training_times is not None else [10.0] * len(peers)
+    peer_configs = [
+        PeerConfig(
+            peer_id=p,
+            train_config=TrainConfig(epochs=1, learning_rate=0.1),
+            training_time=t,
+            training_time_jitter=2.0,
+        )
+        for p, t in zip(peers, times)
+    ]
+    return DecentralizedFL(
+        peer_configs,
+        {p: easy_dataset(data_rng) for p in peers},
+        {p: easy_dataset(data_rng, n=60) for p in peers},
+        shared_builder,
+        config,
+        rng_factory=RngFactory(7),
+    )
+
+
+class TestDeployment:
+    def test_contracts_deployed_everywhere(self):
+        driver = make_driver()
+        driver.deploy_contracts()
+        for peer in driver.peers.values():
+            assert peer.node.has_contract(peer.model_store_address)
+            assert peer.node.has_contract(peer.coordinator_address)
+
+    def test_all_peers_registered(self):
+        driver = make_driver()
+        driver.deploy_contracts()
+        registry = driver._registry_address()
+        for peer in driver.peers.values():
+            for other in driver.peers.values():
+                assert peer.node.call_contract(registry, "is_member", address=other.address)
+
+    def test_rounds_require_deployment(self):
+        driver = make_driver()
+        with pytest.raises(RoundError):
+            driver.run_round(1)
+
+    def test_two_peers_minimum(self):
+        with pytest.raises(ConfigError):
+            make_driver(peers=("A",))
+
+
+class TestRounds:
+    def test_full_run_produces_logs(self):
+        driver = make_driver(rounds=2)
+        logs = driver.run()
+        assert len(logs) == 6  # 3 peers x 2 rounds
+        for log in logs:
+            assert log.combination_accuracy  # every combination scored
+            assert log.chosen_combination
+            assert log.chosen_accuracy == max(log.combination_accuracy.values())
+
+    def test_wait_for_all_sees_seven_combos(self):
+        driver = make_driver(rounds=1)
+        logs = driver.run()
+        for log in logs:
+            assert len(log.combination_accuracy) == 7  # all subsets of 3
+
+    def test_wait_for_one_sees_fewer_models(self):
+        # Stagger training well past the block interval so the fastest
+        # peer's commitment is mined long before the slowest submits.
+        driver = make_driver(policy=WaitForK(1), rounds=1, training_times=[5.0, 120.0, 240.0])
+        logs = driver.run()
+        # The earliest peer aggregates with only its own model visible.
+        models_used = [log.models_used for log in logs]
+        assert min(models_used) >= 1
+        combos = [len(log.combination_accuracy) for log in logs]
+        assert min(combos) < 7
+
+    def test_wait_times_lower_for_async(self):
+        stagger = [5.0, 60.0, 120.0]
+        sync_driver = make_driver(policy=WaitForAll(), rounds=2, training_times=stagger)
+        sync_driver.run()
+        async_driver = make_driver(policy=WaitForK(1), rounds=2, training_times=stagger)
+        async_driver.run()
+        sync_mean = float(np.mean(list(sync_driver.wait_time_summary().values())))
+        async_mean = float(np.mean(list(async_driver.wait_time_summary().values())))
+        assert async_mean <= sync_mean
+
+    def test_submissions_recorded_on_chain(self):
+        driver = make_driver(rounds=1)
+        driver.run()
+        peer = driver.peers["A"]
+        submissions = peer.visible_submissions(1)
+        assert len(submissions) == 3
+        authors = {record["author"] for record in submissions}
+        assert authors == {p.address for p in driver.peers.values()}
+
+    def test_deterministic_given_seed(self):
+        logs_a = make_driver(rounds=1).run()
+        logs_b = make_driver(rounds=1).run()
+        acc_a = {(l.peer_id, k): v for l in logs_a for k, v in l.combination_accuracy.items()}
+        acc_b = {(l.peer_id, k): v for l in logs_b for k, v in l.combination_accuracy.items()}
+        assert acc_a == acc_b
+
+    def test_chain_stats_shape(self):
+        driver = make_driver(rounds=1)
+        driver.run()
+        stats = driver.chain_stats()
+        assert stats["blocks_mined"] > 0
+        assert stats["offchain_blobs"] == 3  # one weight blob per peer
+        assert set(stats["heights"]) == {"A", "B", "C"}
+
+    def test_combination_series_accessor(self):
+        driver = make_driver(rounds=2)
+        driver.run()
+        series = driver.combination_series("A", "A,B,C")
+        assert len(series) == 2
+        assert all(0.0 <= value <= 1.0 for value in series)

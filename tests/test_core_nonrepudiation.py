@@ -1,0 +1,131 @@
+"""Tests for the non-repudiation evidence machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core.decentralized import DecentralizedConfig, DecentralizedFL
+from repro.core.nonrepudiation import collect_evidence, verify_evidence
+from repro.core.peer import PeerConfig
+from repro.data.dataset import Dataset
+from repro.errors import ChainError
+from repro.fl.trainer import TrainConfig
+from repro.nn.layers import Dense
+from repro.nn.model import Sequential
+from repro.utils.rng import RngFactory
+
+
+def easy_dataset(rng, n=80):
+    x = rng.normal(size=(n, 4))
+    y = (x[:, 0] > 0).astype(np.int64)
+    return Dataset(x, y)
+
+
+def shared_builder(rng):
+    return Sequential([Dense(2, name="out")]).build(np.random.default_rng(42), (4,))
+
+
+@pytest.fixture(scope="module")
+def finished_driver():
+    data_rng = np.random.default_rng(0)
+    peers = ("A", "B", "C")
+    driver = DecentralizedFL(
+        [
+            PeerConfig(peer_id=p, train_config=TrainConfig(epochs=1), training_time=5.0)
+            for p in peers
+        ],
+        {p: easy_dataset(data_rng) for p in peers},
+        {p: easy_dataset(data_rng, n=40) for p in peers},
+        shared_builder,
+        DecentralizedConfig(rounds=1),
+        rng_factory=RngFactory(3),
+    )
+    driver.run()
+    return driver
+
+
+class TestCollect:
+    def test_evidence_found_for_every_peer(self, finished_driver):
+        verifier = finished_driver.peers["A"].node
+        store_address = finished_driver.peers["A"].model_store_address
+        for peer in finished_driver.peers.values():
+            evidence = collect_evidence(verifier, peer.address, 1, store_address)
+            assert evidence.author == peer.address
+            assert evidence.round_id == 1
+            assert evidence.committed_hash.startswith("0x")
+
+    def test_missing_submission_raises(self, finished_driver):
+        verifier = finished_driver.peers["A"].node
+        store_address = finished_driver.peers["A"].model_store_address
+        with pytest.raises(ChainError):
+            collect_evidence(verifier, "0x" + "77" * 20, 1, store_address)
+
+    def test_wrong_round_raises(self, finished_driver):
+        verifier = finished_driver.peers["A"].node
+        store_address = finished_driver.peers["A"].model_store_address
+        author = finished_driver.peers["B"].address
+        with pytest.raises(ChainError):
+            collect_evidence(verifier, author, 99, store_address)
+
+
+class TestVerify:
+    def _evidence(self, driver, author_id="B"):
+        verifier = driver.peers["A"].node
+        store = driver.peers["A"].model_store_address
+        return verifier, collect_evidence(verifier, driver.peers[author_id].address, 1, store)
+
+    def test_valid_evidence_verifies_on_other_nodes(self, finished_driver):
+        _verifier, evidence = self._evidence(finished_driver)
+        for peer in finished_driver.peers.values():
+            assert verify_evidence(peer.node, evidence)
+
+    def test_weights_binding(self, finished_driver):
+        verifier, evidence = self._evidence(finished_driver)
+        weights = finished_driver.offchain.get_weights(evidence.committed_hash)
+        assert verify_evidence(verifier, evidence, weights=weights)
+
+    def test_wrong_weights_rejected(self, finished_driver):
+        verifier, evidence = self._evidence(finished_driver)
+        weights = finished_driver.offchain.get_weights(evidence.committed_hash)
+        forged = {key: value + 1.0 for key, value in weights.items()}
+        assert not verify_evidence(verifier, evidence, weights=forged)
+
+    def test_tampered_author_rejected(self, finished_driver):
+        verifier, evidence = self._evidence(finished_driver)
+        evidence.author = finished_driver.peers["C"].address
+        assert not verify_evidence(verifier, evidence)
+
+    def test_tampered_hash_rejected(self, finished_driver):
+        verifier, evidence = self._evidence(finished_driver)
+        evidence.committed_hash = "0x" + "00" * 32
+        assert not verify_evidence(verifier, evidence)
+
+    def test_tampered_round_rejected(self, finished_driver):
+        verifier, evidence = self._evidence(finished_driver)
+        evidence.round_id = 2
+        assert not verify_evidence(verifier, evidence)
+
+    def test_tampered_proof_rejected(self, finished_driver):
+        verifier, evidence = self._evidence(finished_driver)
+        if evidence.proof:  # single-tx blocks have empty proofs
+            evidence.proof = [(side, b"\x00" * 32) for side, _sib in evidence.proof]
+            assert not verify_evidence(verifier, evidence)
+
+    def test_unknown_block_falls_back_to_tx_search(self, finished_driver):
+        # Under PoW the same tx can be included in different blocks on
+        # different nodes; evidence stays valid as long as the transaction
+        # is canonical on the verifier, even if the cited block is unknown.
+        verifier, evidence = self._evidence(finished_driver)
+        evidence.block_hash = "0x" + "12" * 32
+        assert verify_evidence(verifier, evidence)
+
+    def test_transaction_absent_from_chain_rejected(self, finished_driver):
+        verifier, evidence = self._evidence(finished_driver)
+        evidence.block_hash = "0x" + "12" * 32
+        # Remove the transaction identity: a never-broadcast but correctly
+        # signed submission cannot verify anywhere.
+        from repro.chain.transaction import Transaction
+
+        clone = Transaction.from_dict(evidence.transaction.to_dict())
+        clone.nonce += 1000  # changes the hash; signature now invalid too
+        evidence.transaction = clone
+        assert not verify_evidence(verifier, evidence)

@@ -1,0 +1,119 @@
+"""Tests for the off-chain store and the round state machine."""
+
+import numpy as np
+import pytest
+
+from repro.core.offchain import OffchainStore
+from repro.core.rounds import RoundState, RoundTracker
+from repro.errors import RoundError, SerializationError
+from repro.fl.async_policy import WaitForAll, WaitForK
+from repro.nn.serialize import weights_hash
+
+
+class TestOffchainStore:
+    def test_put_get_round_trip(self):
+        store = OffchainStore()
+        key = store.put(b"payload")
+        assert store.get(key) == b"payload"
+
+    def test_content_addressed(self):
+        store = OffchainStore()
+        assert store.put(b"x") == store.put(b"x")
+        assert len(store) == 1
+
+    def test_missing_key_raises(self):
+        with pytest.raises(SerializationError):
+            OffchainStore().get("0xmissing")
+
+    def test_weights_round_trip(self):
+        store = OffchainStore()
+        weights = {"w": np.arange(6, dtype=np.float64).reshape(2, 3)}
+        key = store.put_weights(weights)
+        assert key == weights_hash(weights)
+        restored = store.get_weights(key)
+        np.testing.assert_array_equal(restored["w"], weights["w"])
+
+    def test_maybe_get_weights(self):
+        store = OffchainStore()
+        assert store.maybe_get_weights("0xnope") is None
+        key = store.put_weights({"w": np.ones(2)})
+        assert store.maybe_get_weights(key) is not None
+
+    def test_contains_and_size(self):
+        store = OffchainStore()
+        key = store.put(b"abc")
+        assert key in store
+        assert store.total_bytes() == 3
+
+    def test_counters(self):
+        store = OffchainStore()
+        key = store.put(b"abc")
+        store.get(key)
+        store.get(key)
+        assert store.puts == 1
+        assert store.gets == 2
+
+
+class TestRoundTracker:
+    def _tracker(self, policy=None):
+        return RoundTracker("A", policy or WaitForAll(), cohort_size=3)
+
+    def test_lifecycle(self):
+        tracker = self._tracker()
+        tracker.open_round(1, now=0.0)
+        assert tracker.state is RoundState.TRAINING
+        tracker.mark_trained(1, now=10.0)
+        assert tracker.state is RoundState.SUBMITTED
+        tracker.mark_submitted(1, now=11.0)
+        assert tracker.state is RoundState.WAITING
+        assert tracker.check_ready(1, submissions_visible=3, now=20.0)
+        tracker.mark_aggregated(1, now=21.0)
+        assert tracker.state is RoundState.AGGREGATED
+
+    def test_wait_time_computed(self):
+        tracker = self._tracker()
+        timeline = tracker.open_round(1, now=0.0)
+        tracker.mark_submitted(1, now=10.0)
+        tracker.check_ready(1, submissions_visible=3, now=25.0)
+        assert timeline.wait_time == 15.0
+        tracker.mark_aggregated(1, now=26.0)
+        assert timeline.total_time == 26.0
+
+    def test_wait_for_k_fires_early(self):
+        tracker = self._tracker(WaitForK(2))
+        tracker.open_round(1, now=0.0)
+        tracker.mark_submitted(1, now=1.0)
+        assert not tracker.check_ready(1, submissions_visible=1, now=2.0)
+        assert tracker.check_ready(1, submissions_visible=2, now=3.0)
+
+    def test_quorum_time_records_first_firing(self):
+        tracker = self._tracker(WaitForK(1))
+        timeline = tracker.open_round(1, now=0.0)
+        tracker.mark_submitted(1, now=1.0)
+        tracker.check_ready(1, submissions_visible=1, now=5.0)
+        tracker.check_ready(1, submissions_visible=3, now=9.0)
+        assert timeline.quorum_at == 5.0  # first time, not overwritten
+
+    def test_double_open_rejected(self):
+        tracker = self._tracker()
+        tracker.open_round(1, now=0.0)
+        with pytest.raises(RoundError):
+            tracker.open_round(1, now=1.0)
+
+    def test_unopened_round_rejected(self):
+        tracker = self._tracker()
+        with pytest.raises(RoundError):
+            tracker.mark_trained(5, now=1.0)
+
+    def test_wait_times_summary(self):
+        tracker = self._tracker(WaitForK(1))
+        for round_id in (1, 2):
+            tracker.open_round(round_id, now=round_id * 100.0)
+            tracker.mark_submitted(round_id, now=round_id * 100.0 + 5.0)
+            tracker.check_ready(round_id, 1, now=round_id * 100.0 + 8.0)
+        assert tracker.wait_times() == {1: 3.0, 2: 3.0}
+
+    def test_incomplete_round_excluded_from_wait_times(self):
+        tracker = self._tracker()
+        tracker.open_round(1, now=0.0)
+        assert tracker.wait_times() == {}

@@ -1,0 +1,339 @@
+"""Tests for the dataset container, synthetic generator, partitioners, transforms."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset, batch_iterator, train_test_split
+from repro.data.partition import partition_dirichlet, partition_iid, partition_shards
+from repro.data.synthetic import (
+    CIFAR10_LABELS,
+    SyntheticImageDataset,
+    SyntheticSpec,
+    client_class_probs,
+    make_cifar10_like,
+)
+from repro.data.transforms import (
+    augment_batch,
+    normalize,
+    per_dataset_stats,
+    random_crop_shift,
+    random_flip,
+)
+from repro.errors import DataError, PartitionError, ShapeError
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def dataset(rng):
+    return Dataset(rng.normal(size=(50, 8)), rng.integers(0, 5, size=50))
+
+
+class TestDataset:
+    def test_length(self, dataset):
+        assert len(dataset) == 50
+
+    def test_mismatched_lengths_rejected(self, rng):
+        with pytest.raises(ShapeError):
+            Dataset(rng.normal(size=(5, 2)), rng.integers(0, 2, size=4))
+
+    def test_2d_labels_rejected(self, rng):
+        with pytest.raises(ShapeError):
+            Dataset(rng.normal(size=(5, 2)), rng.integers(0, 2, size=(5, 1)))
+
+    def test_subset_copies(self, dataset):
+        sub = dataset.subset(np.array([0, 1, 2]))
+        sub.x[...] = 0.0
+        assert not np.allclose(dataset.x[:3], 0.0)
+
+    def test_flattened(self, rng):
+        images = Dataset(rng.normal(size=(4, 2, 2, 3)), rng.integers(0, 2, size=4))
+        flat = images.flattened()
+        assert flat.x.shape == (4, 12)
+
+    def test_class_counts(self):
+        ds = Dataset(np.zeros((4, 1)), np.array([0, 0, 2, 2]))
+        np.testing.assert_array_equal(ds.class_counts(3), [2, 0, 2])
+
+    def test_take(self, dataset):
+        assert len(dataset.take(10)) == 10
+        with pytest.raises(DataError):
+            dataset.take(1000)
+
+
+class TestBatchIterator:
+    def test_covers_everything(self, dataset):
+        seen = sum(len(x) for x, _y in batch_iterator(dataset, 16))
+        assert seen == 50
+
+    def test_drop_last(self, dataset):
+        batches = list(batch_iterator(dataset, 16, drop_last=True))
+        assert all(len(x) == 16 for x, _y in batches)
+        assert len(batches) == 3
+
+    def test_shuffle_changes_order(self, dataset, rng):
+        plain = next(batch_iterator(dataset, 50))[1]
+        shuffled = next(batch_iterator(dataset, 50, rng=rng))[1]
+        assert not np.array_equal(plain, shuffled)
+
+    def test_invalid_batch_size(self, dataset):
+        with pytest.raises(DataError):
+            list(batch_iterator(dataset, 0))
+
+
+class TestTrainTestSplit:
+    def test_sizes(self, dataset, rng):
+        train, test = train_test_split(dataset, 0.2, rng)
+        assert len(train) == 40 and len(test) == 10
+
+    def test_disjoint(self, rng):
+        ds = Dataset(np.arange(20).reshape(20, 1).astype(float), np.zeros(20, dtype=int))
+        train, test = train_test_split(ds, 0.25, rng)
+        train_vals = set(train.x.ravel())
+        test_vals = set(test.x.ravel())
+        assert not train_vals & test_vals
+
+    def test_invalid_fraction(self, dataset, rng):
+        with pytest.raises(DataError):
+            train_test_split(dataset, 0.0, rng)
+        with pytest.raises(DataError):
+            train_test_split(dataset, 1.0, rng)
+
+
+class TestSyntheticSpec:
+    def test_flat_dim(self):
+        assert SyntheticSpec().flat_dim == 3072
+
+    def test_invalid_hard_classes(self):
+        with pytest.raises(DataError):
+            SyntheticSpec(hard_classes=11)
+
+    def test_invalid_label_noise(self):
+        with pytest.raises(DataError):
+            SyntheticSpec(label_noise=1.0)
+
+    def test_invalid_modes(self):
+        with pytest.raises(DataError):
+            SyntheticSpec(modes_per_class=0)
+
+    def test_labels_available(self):
+        assert len(CIFAR10_LABELS) == 10
+
+
+class TestSyntheticGeneration:
+    def test_shapes_flat(self, rng):
+        factory = SyntheticImageDataset(SyntheticSpec())
+        ds = factory.sample(20, rng)
+        assert ds.x.shape == (20, 3072)
+        assert ds.y.shape == (20,)
+
+    def test_shapes_image(self, rng):
+        factory = SyntheticImageDataset(SyntheticSpec())
+        ds = factory.sample(8, rng, flat=False)
+        assert ds.x.shape == (8, 32, 32, 3)
+
+    def test_labels_in_range(self, rng):
+        factory = SyntheticImageDataset(SyntheticSpec())
+        ds = factory.sample(200, rng)
+        assert ds.y.min() >= 0 and ds.y.max() < 10
+
+    def test_seed_reproducible(self):
+        spec = SyntheticSpec(seed=5)
+        a = SyntheticImageDataset(spec).sample(10, np.random.default_rng(1))
+        b = SyntheticImageDataset(spec).sample(10, np.random.default_rng(1))
+        np.testing.assert_array_equal(a.x, b.x)
+        np.testing.assert_array_equal(a.y, b.y)
+
+    def test_different_spec_seed_different_task(self, rng):
+        a = SyntheticImageDataset(SyntheticSpec(seed=1)).mode_of(0, 0)
+        b = SyntheticImageDataset(SyntheticSpec(seed=2)).mode_of(0, 0)
+        assert not np.allclose(a, b)
+
+    def test_invalid_n(self, rng):
+        factory = SyntheticImageDataset(SyntheticSpec())
+        with pytest.raises(DataError):
+            factory.sample(0, rng)
+
+    def test_mode_of_bounds(self):
+        factory = SyntheticImageDataset(SyntheticSpec())
+        with pytest.raises(DataError):
+            factory.mode_of(10, 0)
+        with pytest.raises(DataError):
+            factory.mode_of(0, 99)
+
+    def test_label_noise_flips_some(self):
+        clean_spec = SyntheticSpec(label_noise=0.0, seed=3)
+        noisy_spec = SyntheticSpec(label_noise=0.5, seed=3)
+        clean = SyntheticImageDataset(clean_spec).sample(500, np.random.default_rng(1))
+        noisy = SyntheticImageDataset(noisy_spec).sample(500, np.random.default_rng(1))
+        assert (clean.y != noisy.y).mean() > 0.2
+
+    def test_hard_classes_antipodal(self):
+        factory = SyntheticImageDataset(SyntheticSpec(hard_classes=2))
+        np.testing.assert_allclose(factory.mode_of(0, 0), -factory.mode_of(0, 1))
+
+    def test_class_probs_skew(self, rng):
+        factory = SyntheticImageDataset(SyntheticSpec(label_noise=0.0))
+        probs = np.zeros(10)
+        probs[3] = 1.0
+        ds = factory.sample(50, rng, class_probs=probs)
+        assert (ds.y == 3).all()
+
+    def test_class_probs_validation(self, rng):
+        factory = SyntheticImageDataset(SyntheticSpec())
+        with pytest.raises(DataError):
+            factory.sample(5, rng, class_probs=np.ones(10))  # not normalized
+        with pytest.raises(DataError):
+            factory.sample(5, rng, class_probs=np.ones(5) / 5)  # wrong shape
+
+    def test_pretrained_backbone_shapes(self):
+        spec = SyntheticSpec()
+        projection, anchors = SyntheticImageDataset(spec).pretrained_backbone()
+        assert projection.shape == (3072, spec.latent_dim)
+        assert anchors.shape == (spec.num_classes * spec.modes_per_class, spec.latent_dim)
+
+    def test_backbone_mismatch_deterministic(self):
+        factory = SyntheticImageDataset(SyntheticSpec())
+        p1, _ = factory.pretrained_backbone(mismatch=0.1)
+        p2, _ = factory.pretrained_backbone(mismatch=0.1)
+        np.testing.assert_array_equal(p1, p2)
+
+    def test_backbone_mismatch_changes_projection(self):
+        factory = SyntheticImageDataset(SyntheticSpec())
+        clean, _ = factory.pretrained_backbone(mismatch=0.0)
+        noisy, _ = factory.pretrained_backbone(mismatch=0.1)
+        assert not np.allclose(clean, noisy)
+
+    def test_make_cifar10_like(self, rng):
+        train, test = make_cifar10_like(SyntheticSpec(), 30, 10, rng)
+        assert len(train) == 30 and len(test) == 10
+
+
+class TestClientClassProbs:
+    def test_uniform_when_zero_skew(self):
+        probs = client_class_probs(0, 3, skew=0.0)
+        np.testing.assert_allclose(probs, 0.1)
+
+    def test_favoured_classes_heavier(self):
+        probs = client_class_probs(0, 3, skew=1.0)
+        assert probs[0] == pytest.approx(2 * probs[1])
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_clients_favour_disjoint_classes(self):
+        p0 = client_class_probs(0, 3, skew=1.0)
+        p1 = client_class_probs(1, 3, skew=1.0)
+        assert p0.argmax() != p1.argmax()
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            client_class_probs(3, 3)
+        with pytest.raises(DataError):
+            client_class_probs(0, 3, skew=-1.0)
+
+
+class TestPartitioners:
+    @pytest.fixture
+    def labelled(self, rng):
+        return Dataset(rng.normal(size=(120, 4)), np.repeat(np.arange(10), 12))
+
+    def test_iid_sizes(self, labelled, rng):
+        plan = partition_iid(labelled, ["A", "B", "C"], rng)
+        assert sum(plan.sizes().values()) == 120
+        assert all(size == 40 for size in plan.sizes().values())
+
+    def test_iid_disjoint(self, rng):
+        ds = Dataset(np.arange(30).reshape(30, 1).astype(float), np.zeros(30, dtype=int))
+        plan = partition_iid(ds, ["A", "B"], rng)
+        a = set(plan.client_datasets["A"].x.ravel())
+        b = set(plan.client_datasets["B"].x.ravel())
+        assert not a & b
+
+    def test_duplicate_ids_rejected(self, labelled, rng):
+        with pytest.raises(PartitionError):
+            partition_iid(labelled, ["A", "A"], rng)
+
+    def test_empty_clients_rejected(self, labelled, rng):
+        with pytest.raises(PartitionError):
+            partition_iid(labelled, [], rng)
+
+    def test_dirichlet_covers_everything(self, labelled, rng):
+        plan = partition_dirichlet(labelled, ["A", "B", "C"], rng, alpha=0.5)
+        assert sum(plan.sizes().values()) == 120
+
+    def test_dirichlet_skews_more_at_low_alpha(self, labelled):
+        def imbalance(alpha, seed):
+            plan = partition_dirichlet(labelled, ["A", "B", "C"], np.random.default_rng(seed), alpha=alpha)
+            dist = plan.label_distribution(10)
+            stds = [np.std([dist[c][k] for c in dist]) for k in range(10)]
+            return np.mean(stds)
+
+        assert imbalance(0.1, 3) > imbalance(100.0, 3)
+
+    def test_dirichlet_invalid_alpha(self, labelled, rng):
+        with pytest.raises(PartitionError):
+            partition_dirichlet(labelled, ["A"], rng, alpha=0.0)
+
+    def test_shards_pathological_noniid(self, labelled, rng):
+        plan = partition_shards(labelled, ["A", "B", "C"], rng, shards_per_client=2)
+        # Each client sees few distinct labels (2 shards x <=3 labels each).
+        for ds in plan.client_datasets.values():
+            assert len(np.unique(ds.y)) <= 6
+
+    def test_shards_too_many_rejected(self, rng):
+        tiny = Dataset(np.zeros((4, 1)), np.zeros(4, dtype=int))
+        with pytest.raises(PartitionError):
+            partition_shards(tiny, ["A", "B", "C"], rng, shards_per_client=2)
+
+    def test_label_distribution_reporting(self, labelled, rng):
+        plan = partition_iid(labelled, ["A", "B"], rng)
+        dist = plan.label_distribution(10)
+        assert set(dist) == {"A", "B"}
+        assert dist["A"].sum() + dist["B"].sum() == 120
+
+
+class TestTransforms:
+    def test_normalize(self):
+        x = np.array([2.0, 4.0])
+        np.testing.assert_allclose(normalize(x, mean=3.0, std=1.0), [-1.0, 1.0])
+
+    def test_normalize_zero_std_safe(self):
+        assert np.isfinite(normalize(np.ones(3), std=0.0)).all()
+
+    def test_per_dataset_stats_images(self, rng):
+        x = rng.normal(2.0, 3.0, size=(50, 4, 4, 3))
+        mean, std = per_dataset_stats(x)
+        assert mean.shape == (3,)
+        np.testing.assert_allclose(mean, 2.0, atol=0.5)
+        np.testing.assert_allclose(std, 3.0, atol=0.5)
+
+    def test_flip_preserves_shape(self, rng):
+        x = rng.normal(size=(10, 8, 8, 3))
+        assert random_flip(x, rng).shape == x.shape
+
+    def test_flip_p1_mirrors(self, rng):
+        x = rng.normal(size=(2, 4, 4, 1))
+        flipped = random_flip(x, rng, p=1.0)
+        np.testing.assert_array_equal(flipped, x[:, :, ::-1, :])
+
+    def test_flip_p0_identity(self, rng):
+        x = rng.normal(size=(2, 4, 4, 1))
+        np.testing.assert_array_equal(random_flip(x, rng, p=0.0), x)
+
+    def test_shift_preserves_shape(self, rng):
+        x = rng.normal(size=(5, 8, 8, 3))
+        assert random_crop_shift(x, rng).shape == x.shape
+
+    def test_zero_shift_identity(self, rng):
+        x = rng.normal(size=(3, 4, 4, 2))
+        np.testing.assert_array_equal(random_crop_shift(x, rng, max_shift=0), x)
+
+    def test_augment_batch(self, rng):
+        x = rng.normal(size=(6, 8, 8, 3))
+        assert augment_batch(x, rng).shape == x.shape
+
+    def test_non_nhwc_rejected(self, rng):
+        with pytest.raises(ShapeError):
+            random_flip(rng.normal(size=(4, 8)), rng)

@@ -1,0 +1,61 @@
+"""Tests for the ``python -m repro.experiments`` CLI (fast paths only)."""
+
+import pytest
+
+from repro import experiments as cli
+
+
+class TestArgumentParsing:
+    def test_unknown_artifact_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli.main(["table99"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_unknown_model_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            cli.main(["table1", "--model", "resnet"])
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_help_lists_artifacts(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli.main(["--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        for artifact in ("table1", "table4", "fig3", "fig4", "tradeoff", "all"):
+            assert artifact in out
+
+
+class TestHelpers:
+    """Exercise the table-producing helpers on a tiny config by monkeypatching
+    the default config factory (full-size runs live in benchmarks/)."""
+
+    @pytest.fixture(autouse=True)
+    def quick_defaults(self, monkeypatch):
+        from repro.core.config import quick_config
+
+        monkeypatch.setattr(cli, "default_config", lambda kind, seed=42: quick_config(kind, seed=seed))
+
+    def test_table1_text(self):
+        text = cli._table1("simple_nn", seed=1)
+        assert "Table I" in text
+        assert "Consider" in text and "Not consider" in text
+
+    def test_combination_table_text(self):
+        text = cli._combination_table("simple_nn", "A", seed=1)
+        assert "Client A" in text
+        assert "A,B,C" in text
+
+    def test_fig3_text(self):
+        text = cli._fig3("simple_nn", seed=1)
+        assert "Fig 3" in text
+        assert "Client A" in text
+
+    def test_fig4_text(self):
+        text = cli._fig4("simple_nn", seed=1)
+        assert "Fig 4" in text
+
+    def test_main_prints_artifact(self, capsys):
+        code = cli.main(["table1", "--model", "simple_nn", "--seed", "1"])
+        assert code == 0
+        assert "Table I" in capsys.readouterr().out

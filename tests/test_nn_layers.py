@@ -1,0 +1,300 @@
+"""Tests for neural-network layers (shapes, semantics, freezing)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotBuiltError, ShapeError
+from repro.nn.layers import (
+    BatchNorm,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    FrozenFeatureMap,
+    MaxPool2D,
+    PretrainedRBFBackbone,
+    ReLU,
+    Softmax,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestDense:
+    def test_output_shape(self, rng):
+        layer = Dense(8)
+        assert layer.build(rng, (5,)) == (8,)
+        out = layer.forward(rng.normal(size=(3, 5)))
+        assert out.shape == (3, 8)
+
+    def test_linear_relation(self, rng):
+        layer = Dense(2)
+        layer.build(rng, (3,))
+        layer.params["W"][...] = np.eye(3, 2)
+        layer.params["b"][...] = np.array([1.0, 2.0])
+        out = layer.forward(np.array([[1.0, 2.0, 3.0]]))
+        np.testing.assert_allclose(out, [[2.0, 4.0]])
+
+    def test_wrong_input_dim_raises(self, rng):
+        layer = Dense(4)
+        layer.build(rng, (5,))
+        with pytest.raises(ShapeError):
+            layer.forward(rng.normal(size=(2, 7)))
+
+    def test_use_before_build_raises(self, rng):
+        with pytest.raises(NotBuiltError):
+            Dense(4).forward(rng.normal(size=(2, 5)))
+
+    def test_backward_before_forward_raises(self, rng):
+        layer = Dense(4)
+        layer.build(rng, (5,))
+        with pytest.raises(NotBuiltError):
+            layer.backward(rng.normal(size=(2, 4)))
+
+    def test_parameter_count(self, rng):
+        layer = Dense(8)
+        layer.build(rng, (5,))
+        assert layer.parameter_count() == 5 * 8 + 8
+
+    def test_invalid_units(self):
+        with pytest.raises(ValueError):
+            Dense(0)
+
+    def test_frozen_dense_accumulates_no_grads(self, rng):
+        layer = Dense(4)
+        layer.build(rng, (5,))
+        layer.trainable = False
+        x = rng.normal(size=(2, 5))
+        layer.forward(x)
+        layer.backward(np.ones((2, 4)))
+        assert np.allclose(layer.grads["W"], 0.0)
+
+
+class TestReLU:
+    def test_clips_negatives(self):
+        layer = ReLU()
+        out = layer.forward(np.array([[-1.0, 0.0, 2.0]]))
+        np.testing.assert_array_equal(out, [[0.0, 0.0, 2.0]])
+
+    def test_backward_masks(self):
+        layer = ReLU()
+        layer.forward(np.array([[-1.0, 2.0]]))
+        grad = layer.backward(np.array([[5.0, 5.0]]))
+        np.testing.assert_array_equal(grad, [[0.0, 5.0]])
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        layer = Softmax()
+        out = layer.forward(rng.normal(size=(4, 10)))
+        np.testing.assert_allclose(out.sum(axis=1), np.ones(4))
+
+    def test_stable_for_large_logits(self):
+        layer = Softmax()
+        out = layer.forward(np.array([[1000.0, 1000.0]]))
+        np.testing.assert_allclose(out, [[0.5, 0.5]])
+
+    def test_monotone(self):
+        layer = Softmax()
+        out = layer.forward(np.array([[1.0, 2.0, 3.0]]))
+        assert out[0, 0] < out[0, 1] < out[0, 2]
+
+
+class TestDropout:
+    def test_identity_at_inference(self, rng):
+        layer = Dropout(0.5, rng=rng)
+        x = rng.normal(size=(4, 6))
+        np.testing.assert_array_equal(layer.forward(x, training=False), x)
+
+    def test_scales_kept_units(self):
+        layer = Dropout(0.5, rng=np.random.default_rng(0))
+        x = np.ones((1000, 1))
+        out = layer.forward(x, training=True)
+        kept = out[out > 0]
+        np.testing.assert_allclose(kept, 2.0)  # inverted dropout scaling
+        assert 400 < len(kept) < 600
+
+    def test_zero_rate_identity(self, rng):
+        layer = Dropout(0.0, rng=rng)
+        x = rng.normal(size=(3, 3))
+        np.testing.assert_array_equal(layer.forward(x, training=True), x)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+        with pytest.raises(ValueError):
+            Dropout(-0.1)
+
+
+class TestFlatten:
+    def test_shape(self, rng):
+        layer = Flatten()
+        assert layer.build(rng, (4, 4, 3)) == (48,)
+        out = layer.forward(rng.normal(size=(2, 4, 4, 3)))
+        assert out.shape == (2, 48)
+
+    def test_backward_restores_shape(self, rng):
+        layer = Flatten()
+        layer.build(rng, (4, 4, 3))
+        layer.forward(rng.normal(size=(2, 4, 4, 3)))
+        grad = layer.backward(rng.normal(size=(2, 48)))
+        assert grad.shape == (2, 4, 4, 3)
+
+
+class TestConv2D:
+    def test_same_padding_shape(self, rng):
+        layer = Conv2D(8, kernel_size=3, padding="same")
+        assert layer.build(rng, (8, 8, 3)) == (8, 8, 8)
+        out = layer.forward(rng.normal(size=(2, 8, 8, 3)))
+        assert out.shape == (2, 8, 8, 8)
+
+    def test_valid_padding_shape(self, rng):
+        layer = Conv2D(4, kernel_size=3, padding="valid")
+        assert layer.build(rng, (8, 8, 3)) == (6, 6, 4)
+
+    def test_stride(self, rng):
+        layer = Conv2D(4, kernel_size=3, stride=2, padding="same")
+        assert layer.build(rng, (8, 8, 3)) == (4, 4, 4)
+
+    def test_identity_kernel(self, rng):
+        # A 1x1 identity kernel passes the channel through.
+        layer = Conv2D(1, kernel_size=1, padding="valid")
+        layer.build(rng, (4, 4, 1))
+        layer.params["W"][...] = 1.0
+        layer.params["b"][...] = 0.0
+        x = rng.normal(size=(1, 4, 4, 1))
+        np.testing.assert_allclose(layer.forward(x), x)
+
+    def test_invalid_padding(self):
+        with pytest.raises(ValueError):
+            Conv2D(4, padding="reflect")
+
+    def test_bad_input_rank(self, rng):
+        with pytest.raises(ShapeError):
+            Conv2D(4).build(rng, (10,))
+
+    def test_backward_shape(self, rng):
+        layer = Conv2D(4, kernel_size=3, padding="same")
+        layer.build(rng, (6, 6, 2))
+        x = rng.normal(size=(2, 6, 6, 2))
+        out = layer.forward(x)
+        grad = layer.backward(np.ones_like(out))
+        assert grad.shape == x.shape
+
+
+class TestMaxPool2D:
+    def test_shape(self, rng):
+        layer = MaxPool2D(2)
+        assert layer.build(rng, (8, 8, 3)) == (4, 4, 3)
+
+    def test_takes_maximum(self, rng):
+        layer = MaxPool2D(2)
+        layer.build(rng, (2, 2, 1))
+        x = np.array([[[[1.0], [2.0]], [[3.0], [4.0]]]])
+        np.testing.assert_allclose(layer.forward(x), [[[[4.0]]]])
+
+    def test_indivisible_raises(self, rng):
+        with pytest.raises(ShapeError):
+            MaxPool2D(3).build(rng, (8, 8, 3))
+
+    def test_backward_routes_to_max(self, rng):
+        layer = MaxPool2D(2)
+        layer.build(rng, (2, 2, 1))
+        x = np.array([[[[1.0], [2.0]], [[3.0], [4.0]]]])
+        layer.forward(x)
+        grad = layer.backward(np.array([[[[10.0]]]]))
+        np.testing.assert_allclose(grad[0, :, :, 0], [[0.0, 0.0], [0.0, 10.0]])
+
+
+class TestBatchNorm:
+    def test_normalizes_batch(self, rng):
+        layer = BatchNorm()
+        layer.build(rng, (6,))
+        x = rng.normal(5.0, 3.0, size=(256, 6))
+        out = layer.forward(x, training=True)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-7)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-2)
+
+    def test_running_stats_used_at_inference(self, rng):
+        layer = BatchNorm(momentum=0.0)  # running stats = last batch
+        layer.build(rng, (4,))
+        x = rng.normal(2.0, 1.0, size=(128, 4))
+        layer.forward(x, training=True)
+        out = layer.forward(x, training=False)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=0.1)
+
+    def test_gamma_beta_applied(self, rng):
+        layer = BatchNorm()
+        layer.build(rng, (2,))
+        layer.params["gamma"][...] = 2.0
+        layer.params["beta"][...] = 1.0
+        x = rng.normal(size=(64, 2))
+        out = layer.forward(x, training=True)
+        np.testing.assert_allclose(out.mean(axis=0), 1.0, atol=1e-6)
+
+
+class TestFrozenFeatureMap:
+    def test_shared_across_instances(self, rng):
+        a = FrozenFeatureMap(16, backbone_seed=7)
+        b = FrozenFeatureMap(16, backbone_seed=7)
+        a.build(np.random.default_rng(1), (10,))
+        b.build(np.random.default_rng(999), (10,))  # different model rng
+        np.testing.assert_array_equal(a.params["W1"], b.params["W1"])
+
+    def test_not_trainable(self, rng):
+        layer = FrozenFeatureMap(16)
+        layer.build(rng, (10,))
+        assert not layer.trainable
+
+    def test_backward_blocks_gradient(self, rng):
+        layer = FrozenFeatureMap(16)
+        layer.build(rng, (10,))
+        layer.forward(rng.normal(size=(3, 10)))
+        grad = layer.backward(np.ones((3, 16)))
+        assert grad.shape == (3, 10)
+        assert np.allclose(grad, 0.0)
+
+
+class TestPretrainedRBFBackbone:
+    def _backbone(self, rng, latent=4, anchors_n=6, flat=20, sigma=0.6):
+        projection = rng.normal(size=(flat, latent))
+        anchors = rng.normal(size=(anchors_n, latent))
+        layer = PretrainedRBFBackbone(projection, anchors, sigma=sigma)
+        layer.build(rng, (flat,))
+        return layer
+
+    def test_output_is_distribution(self, rng):
+        layer = self._backbone(rng)
+        out = layer.forward(rng.normal(size=(5, 20)))
+        assert out.shape == (5, 6)
+        np.testing.assert_allclose(out.sum(axis=1), np.ones(5))
+        assert (out >= 0).all()
+
+    def test_nearest_anchor_dominates(self, rng):
+        projection = np.eye(3)  # identity: input IS the latent
+        anchors = np.array([[10.0, 0, 0], [0, 10.0, 0]])
+        layer = PretrainedRBFBackbone(projection, anchors, sigma=1.0)
+        layer.build(rng, (3,))
+        out = layer.forward(np.array([[9.5, 0.0, 0.0]]))
+        assert out[0, 0] > out[0, 1]
+
+    def test_frozen(self, rng):
+        layer = self._backbone(rng)
+        assert not layer.trainable
+        grad = layer.backward(np.ones((2, 6)))
+        assert np.allclose(grad, 0.0)
+
+    def test_dim_mismatch_rejected(self, rng):
+        with pytest.raises(ShapeError):
+            PretrainedRBFBackbone(rng.normal(size=(20, 4)), rng.normal(size=(6, 5)))
+
+    def test_bad_sigma(self, rng):
+        with pytest.raises(ValueError):
+            PretrainedRBFBackbone(rng.normal(size=(20, 4)), rng.normal(size=(6, 4)), sigma=0.0)
+
+    def test_reports_frozen_parameter_count(self, rng):
+        layer = self._backbone(rng)
+        assert layer.parameter_count() == 20 * 4 + 6 * 4

@@ -1,0 +1,218 @@
+"""Tests for the Sequential container, optimizers, losses, serialization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotBuiltError, SerializationError, ShapeError
+from repro.nn.layers import Dense, ReLU
+from repro.nn.losses import CrossEntropyLoss, MSELoss
+from repro.nn.model import Sequential
+from repro.nn.optimizers import SGD, Adam, Momentum
+from repro.nn.serialize import (
+    weights_from_bytes,
+    weights_hash,
+    weights_to_bytes,
+    weights_size_bytes,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+def small_model(rng):
+    return Sequential([Dense(6, name="h"), ReLU(), Dense(3, name="out")]).build(rng, (4,))
+
+
+class TestSequential:
+    def test_build_tracks_shapes(self, rng):
+        model = small_model(rng)
+        assert model.input_shape == (4,)
+        assert model.output_shape == (3,)
+
+    def test_use_before_build_raises(self, rng):
+        model = Sequential([Dense(3)])
+        with pytest.raises(NotBuiltError):
+            model.forward(rng.normal(size=(2, 4)))
+
+    def test_duplicate_layer_names_deduplicated(self, rng):
+        model = Sequential([Dense(3, name="d"), ReLU(), Dense(3, name="d")]).build(rng, (4,))
+        keys = model.parameters().keys()
+        assert "d/W" in keys and "d_2/W" in keys
+
+    def test_parameter_count(self, rng):
+        model = small_model(rng)
+        assert model.parameter_count() == (4 * 6 + 6) + (6 * 3 + 3)
+
+    def test_predict_matches_forward_inference(self, rng):
+        model = small_model(rng)
+        x = rng.normal(size=(5, 4))
+        np.testing.assert_array_equal(model.predict(x), model.forward(x, training=False))
+
+
+class TestWeightsRoundTrip:
+    def test_get_set_round_trip(self, rng):
+        model = small_model(rng)
+        weights = model.get_weights()
+        other = small_model(np.random.default_rng(99))
+        other.set_weights(weights)
+        x = rng.normal(size=(3, 4))
+        np.testing.assert_array_equal(model.predict(x), other.predict(x))
+
+    def test_get_weights_is_copy(self, rng):
+        model = small_model(rng)
+        weights = model.get_weights()
+        weights["h/W"][...] = 0.0
+        assert not np.allclose(model.parameters()["h/W"], 0.0)
+
+    def test_set_weights_key_mismatch(self, rng):
+        model = small_model(rng)
+        with pytest.raises(ShapeError):
+            model.set_weights({"bogus": np.zeros(3)})
+
+    def test_set_weights_shape_mismatch(self, rng):
+        model = small_model(rng)
+        weights = model.get_weights()
+        weights["h/W"] = np.zeros((2, 2))
+        with pytest.raises(ShapeError):
+            model.set_weights(weights)
+
+
+class TestTraining:
+    def test_train_step_reduces_loss(self, rng):
+        model = small_model(rng)
+        loss_fn = CrossEntropyLoss()
+        optimizer = SGD(0.5)
+        x = rng.normal(size=(32, 4))
+        y = (x[:, 0] > 0).astype(np.int64)  # learnable binary-ish task
+        first = model.train_step(x, y, loss_fn, optimizer)
+        for _ in range(50):
+            last = model.train_step(x, y, loss_fn, optimizer)
+        assert last < first
+
+    def test_evaluate_accuracy_batched(self, rng):
+        model = small_model(rng)
+        x = rng.normal(size=(100, 4))
+        y = rng.integers(0, 3, size=100)
+        full = model.evaluate_accuracy(x, y, batch_size=1000)
+        batched = model.evaluate_accuracy(x, y, batch_size=7)
+        assert full == batched
+
+    def test_empty_dataset_accuracy_zero(self, rng):
+        model = small_model(rng)
+        assert model.evaluate_accuracy(np.zeros((0, 4)), np.zeros(0, dtype=int)) == 0.0
+
+
+class TestOptimizers:
+    def _quadratic_steps(self, optimizer, steps=60):
+        # Minimize f(w) = ||w||^2 by following its gradient.
+        params = {"w": np.array([5.0, -3.0])}
+        for _ in range(steps):
+            grads = {"w": 2 * params["w"]}
+            optimizer.step(params, grads)
+        return params["w"]
+
+    def test_sgd_converges(self):
+        w = self._quadratic_steps(SGD(0.1))
+        np.testing.assert_allclose(w, 0.0, atol=1e-4)
+
+    def test_momentum_converges(self):
+        w = self._quadratic_steps(Momentum(0.05, momentum=0.9), steps=200)
+        np.testing.assert_allclose(w, 0.0, atol=1e-2)
+
+    def test_adam_converges(self):
+        w = self._quadratic_steps(Adam(0.3), steps=200)
+        np.testing.assert_allclose(w, 0.0, atol=1e-3)
+
+    def test_weight_decay_shrinks(self):
+        optimizer = SGD(0.1, weight_decay=0.5)
+        params = {"w": np.array([1.0])}
+        optimizer.step(params, {"w": np.array([0.0])})
+        assert params["w"][0] < 1.0
+
+    def test_invalid_learning_rate(self):
+        with pytest.raises(ValueError):
+            SGD(0.0)
+        with pytest.raises(ValueError):
+            Adam(-1.0)
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            Momentum(0.1, momentum=1.0)
+
+    def test_steps_counted(self):
+        optimizer = SGD(0.1)
+        params = {"w": np.zeros(2)}
+        optimizer.step(params, {"w": np.zeros(2)})
+        optimizer.step(params, {"w": np.zeros(2)})
+        assert optimizer.steps == 2
+
+
+class TestLosses:
+    def test_cross_entropy_perfect_prediction_near_zero(self):
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        labels = np.array([0, 1])
+        assert CrossEntropyLoss().loss(logits, labels) < 1e-6
+
+    def test_cross_entropy_uniform_is_log_k(self):
+        logits = np.zeros((4, 10))
+        labels = np.arange(4)
+        assert CrossEntropyLoss().loss(logits, labels) == pytest.approx(np.log(10))
+
+    def test_shape_validation(self):
+        with pytest.raises(ShapeError):
+            CrossEntropyLoss().loss(np.zeros((3,)), np.zeros(3, dtype=int))
+        with pytest.raises(ShapeError):
+            CrossEntropyLoss().loss(np.zeros((3, 2)), np.zeros(4, dtype=int))
+
+    def test_invalid_smoothing(self):
+        with pytest.raises(ValueError):
+            CrossEntropyLoss(label_smoothing=1.0)
+
+    def test_mse_zero_for_equal(self):
+        x = np.ones((3, 2))
+        assert MSELoss().loss(x, x) == 0.0
+
+    def test_mse_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            MSELoss().loss(np.zeros((2, 2)), np.zeros((3, 2)))
+
+
+class TestSerialization:
+    def test_round_trip(self, rng):
+        model = small_model(rng)
+        weights = model.get_weights()
+        restored = weights_from_bytes(weights_to_bytes(weights))
+        assert set(restored) == set(weights)
+        for key in weights:
+            np.testing.assert_array_equal(restored[key], weights[key])
+
+    def test_hash_stable(self, rng):
+        weights = small_model(rng).get_weights()
+        assert weights_hash(weights) == weights_hash(weights)
+
+    def test_hash_detects_change(self, rng):
+        weights = small_model(rng).get_weights()
+        before = weights_hash(weights)
+        weights["h/W"][0, 0] += 1e-9
+        assert weights_hash(weights) != before
+
+    def test_non_ndarray_rejected(self):
+        with pytest.raises(SerializationError):
+            weights_to_bytes({"w": [1, 2, 3]})
+
+    def test_bad_payload_rejected(self):
+        with pytest.raises(SerializationError):
+            weights_from_bytes(b"garbage")
+
+    def test_version_checked(self, rng):
+        from repro.utils.serialization import canonical_dumps
+
+        payload = canonical_dumps({"version": 999, "weights": {}})
+        with pytest.raises(SerializationError):
+            weights_from_bytes(payload)
+
+    def test_size_reported(self, rng):
+        weights = small_model(rng).get_weights()
+        assert weights_size_bytes(weights) == len(weights_to_bytes(weights))

@@ -1,0 +1,165 @@
+"""Tests for the paper's two evaluation models and the metrics module."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import SyntheticImageDataset, SyntheticSpec
+from repro.errors import ConfigError, ShapeError
+from repro.nn.metrics import accuracy, confusion_matrix, per_class_accuracy, top_k_accuracy
+from repro.nn.models import (
+    build_efficientnet_b0_sim,
+    build_model,
+    build_simple_cnn,
+    build_simple_nn,
+    count_parameters,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestSimpleNN:
+    def test_parameter_count_matches_paper(self, rng):
+        """The paper reports 'only 62K parameters'; ours is 62,214."""
+        model = build_simple_nn(rng)
+        assert count_parameters(model) == 62_214
+
+    def test_output_shape(self, rng):
+        model = build_simple_nn(rng)
+        out = model.predict(rng.normal(size=(4, 3072)))
+        assert out.shape == (4, 10)
+
+    def test_fully_trainable(self, rng):
+        model = build_simple_nn(rng)
+        assert model.parameter_count(trainable_only=True) == model.parameter_count()
+
+    def test_init_seeded(self):
+        a = build_simple_nn(np.random.default_rng(1)).get_weights()
+        b = build_simple_nn(np.random.default_rng(1)).get_weights()
+        for key in a:
+            np.testing.assert_array_equal(a[key], b[key])
+
+
+class TestEfficientNetB0Sim:
+    def test_generic_backbone_fallback(self, rng):
+        model = build_efficientnet_b0_sim(rng)
+        out = model.predict(rng.normal(size=(2, 3072)))
+        assert out.shape == (2, 10)
+
+    def test_domain_backbone(self, rng):
+        factory = SyntheticImageDataset(SyntheticSpec())
+        backbone = factory.pretrained_backbone()
+        model = build_efficientnet_b0_sim(rng, backbone=backbone)
+        out = model.predict(rng.normal(size=(2, 3072)))
+        assert out.shape == (2, 10)
+
+    def test_only_head_trains(self, rng):
+        factory = SyntheticImageDataset(SyntheticSpec())
+        model = build_efficientnet_b0_sim(rng, backbone=factory.pretrained_backbone())
+        trainable = model.trainable_parameters()
+        assert set(trainable) == {"head/W", "head/b"}
+
+    def test_backbone_shared_across_peers(self):
+        factory = SyntheticImageDataset(SyntheticSpec())
+        backbone = factory.pretrained_backbone()
+        a = build_efficientnet_b0_sim(np.random.default_rng(1), backbone=backbone)
+        b = build_efficientnet_b0_sim(np.random.default_rng(2), backbone=backbone)
+        x = np.random.default_rng(3).normal(size=(4, 3072))
+        feats_a = a.layers[0].forward(x)
+        feats_b = b.layers[0].forward(x)
+        np.testing.assert_array_equal(feats_a, feats_b)
+
+    def test_domain_backbone_beats_generic_quickly(self, rng):
+        """The domain-pretrained trunk is what gives the paper's fast start."""
+        from repro.data.dataset import Dataset
+        from repro.fl.trainer import LocalTrainer, TrainConfig
+
+        spec = SyntheticSpec()
+        factory = SyntheticImageDataset(spec)
+        train = factory.sample(800, np.random.default_rng(1))
+        test = factory.sample(300, np.random.default_rng(2))
+        del Dataset
+
+        domain = build_efficientnet_b0_sim(
+            np.random.default_rng(42), backbone=factory.pretrained_backbone(mismatch=0.0)
+        )
+        trainer = LocalTrainer(TrainConfig(epochs=5, batch_size=32, learning_rate=0.5), rng=np.random.default_rng(3))
+        trainer.train(domain, train)
+        assert domain.evaluate_accuracy(test.x, test.y) > 0.6
+
+
+class TestSimpleCNN:
+    def test_forward_backward(self, rng):
+        model = build_simple_cnn(rng)
+        x = rng.normal(size=(2, 32, 32, 3))
+        out = model.forward(x, training=True)
+        assert out.shape == (2, 10)
+        grad = model.backward(np.ones_like(out) / out.size)
+        assert grad.shape == x.shape
+
+
+class TestRegistry:
+    def test_build_model_by_name(self, rng):
+        assert build_model("simple_nn", rng).name == "simple_nn"
+
+    def test_unknown_kind(self, rng):
+        with pytest.raises(ConfigError):
+            build_model("resnet152", rng)
+
+
+class TestMetrics:
+    def test_accuracy_from_logits(self):
+        logits = np.array([[0.9, 0.1], [0.2, 0.8], [0.6, 0.4]])
+        labels = np.array([0, 1, 1])
+        assert accuracy(logits, labels) == pytest.approx(2 / 3)
+
+    def test_accuracy_from_class_ids(self):
+        assert accuracy(np.array([0, 1, 1]), np.array([0, 1, 0])) == pytest.approx(2 / 3)
+
+    def test_accuracy_empty(self):
+        assert accuracy(np.zeros((0, 3)), np.zeros(0, dtype=int)) == 0.0
+
+    def test_accuracy_shape_errors(self):
+        with pytest.raises(ShapeError):
+            accuracy(np.zeros((2, 2, 2)), np.zeros(2, dtype=int))
+        with pytest.raises(ShapeError):
+            accuracy(np.zeros((3, 2)), np.zeros(2, dtype=int))
+
+    def test_top_k(self):
+        logits = np.array([[0.5, 0.3, 0.2], [0.1, 0.2, 0.7]])
+        labels = np.array([1, 0])
+        assert top_k_accuracy(logits, labels, k=1) == 0.0
+        assert top_k_accuracy(logits, labels, k=2) == pytest.approx(0.5)
+        assert top_k_accuracy(logits, labels, k=3) == 1.0
+
+    def test_top_k_validation(self):
+        with pytest.raises(ValueError):
+            top_k_accuracy(np.zeros((2, 3)), np.zeros(2, dtype=int), k=4)
+        with pytest.raises(ShapeError):
+            top_k_accuracy(np.zeros(3), np.zeros(3, dtype=int))
+
+    def test_confusion_matrix(self):
+        predictions = np.array([0, 1, 1, 2])
+        labels = np.array([0, 1, 2, 2])
+        matrix = confusion_matrix(predictions, labels, num_classes=3)
+        assert matrix[0, 0] == 1
+        assert matrix[1, 1] == 1
+        assert matrix[2, 1] == 1
+        assert matrix[2, 2] == 1
+        assert matrix.sum() == 4
+
+    def test_confusion_matrix_from_logits(self):
+        logits = np.array([[0.9, 0.1], [0.1, 0.9]])
+        labels = np.array([0, 1])
+        matrix = confusion_matrix(logits, labels, num_classes=2)
+        assert np.trace(matrix) == 2
+
+    def test_per_class_accuracy(self):
+        predictions = np.array([0, 0, 1, 1])
+        labels = np.array([0, 0, 0, 1])
+        per_class = per_class_accuracy(predictions, labels, num_classes=3)
+        assert per_class[0] == pytest.approx(2 / 3)
+        assert per_class[1] == 1.0
+        assert per_class[2] == 0.0  # no samples: reported as 0, not NaN

@@ -1,0 +1,147 @@
+"""Tests for the simulated clock and discrete-event engine."""
+
+import pytest
+
+from repro.utils.clock import SimClock
+from repro.utils.events import EventQueue, Simulator
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_custom_start(self):
+        assert SimClock(5.0).now == 5.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock(-1.0)
+
+    def test_advance(self):
+        clock = SimClock()
+        assert clock.advance(2.5) == 2.5
+        assert clock.now == 2.5
+
+    def test_advance_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-0.1)
+
+    def test_advance_to(self):
+        clock = SimClock()
+        clock.advance_to(10.0)
+        assert clock.now == 10.0
+
+    def test_advance_to_past_rejected(self):
+        clock = SimClock(5.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(4.0)
+
+
+class TestEventQueue:
+    def test_pops_in_time_order(self):
+        queue = EventQueue()
+        queue.push(2.0, lambda: None, "late")
+        queue.push(1.0, lambda: None, "early")
+        assert queue.pop().label == "early"
+        assert queue.pop().label == "late"
+
+    def test_fifo_at_equal_times(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None, "first")
+        queue.push(1.0, lambda: None, "second")
+        assert queue.pop().label == "first"
+        assert queue.pop().label == "second"
+
+    def test_cancelled_events_skipped(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None, "dead")
+        queue.push(2.0, lambda: None, "alive")
+        event.cancel()
+        assert queue.pop().label == "alive"
+
+    def test_len_excludes_cancelled(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        assert len(queue) == 2
+        event.cancel()
+        assert len(queue) == 1
+
+    def test_peek_time(self):
+        queue = EventQueue()
+        assert queue.peek_time() is None
+        queue.push(3.0, lambda: None)
+        assert queue.peek_time() == 3.0
+
+    def test_empty_pop_returns_none(self):
+        assert EventQueue().pop() is None
+
+
+class TestSimulator:
+    def test_runs_in_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_in(2.0, lambda: fired.append("late"))
+        sim.schedule_in(1.0, lambda: fired.append("early"))
+        sim.run()
+        assert fired == ["early", "late"]
+
+    def test_clock_advances_to_event_times(self):
+        sim = Simulator()
+        times = []
+        sim.schedule_in(1.5, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [1.5]
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.clock.advance(5.0)
+        with pytest.raises(ValueError):
+            sim.schedule_at(4.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule_in(-1.0, lambda: None)
+
+    def test_run_until_stops_early(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_in(1.0, lambda: fired.append(1))
+        sim.schedule_in(10.0, lambda: fired.append(2))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+        sim.run()
+        assert fired == [1, 2]
+
+    def test_max_events_budget(self):
+        sim = Simulator()
+        fired = []
+        for i in range(5):
+            sim.schedule_in(float(i + 1), lambda i=i: fired.append(i))
+        processed = sim.run(max_events=3)
+        assert processed == 3
+        assert fired == [0, 1, 2]
+
+    def test_events_scheduled_during_run_execute(self):
+        sim = Simulator()
+        fired = []
+
+        def chain():
+            fired.append("a")
+            sim.schedule_in(1.0, lambda: fired.append("b"))
+
+        sim.schedule_in(1.0, chain)
+        sim.run()
+        assert fired == ["a", "b"]
+        assert sim.now == 2.0
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        sim.schedule_in(1.0, lambda: None)
+        sim.schedule_in(2.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 2

@@ -1,0 +1,82 @@
+"""Tests for hashing helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.hashing import (
+    hash_concat,
+    hash_object,
+    keccak_like,
+    sha256_bytes,
+    sha256_hex,
+)
+
+
+class TestBasicHashes:
+    def test_sha256_bytes_length(self):
+        assert len(sha256_bytes(b"abc")) == 32
+
+    def test_sha256_hex_known_vector(self):
+        assert sha256_hex(b"") == (
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        )
+
+    def test_keccak_like_prefix(self):
+        digest = keccak_like(b"payload")
+        assert digest.startswith("0x")
+        assert len(digest) == 2 + 64
+
+
+class TestHashObject:
+    def test_dict_key_order_irrelevant(self):
+        assert hash_object({"a": 1, "b": 2}) == hash_object({"b": 2, "a": 1})
+
+    def test_value_change_detected(self):
+        assert hash_object({"a": 1}) != hash_object({"a": 2})
+
+    def test_ndarray_content_hashed(self):
+        a = np.arange(6).reshape(2, 3)
+        b = np.arange(6).reshape(2, 3)
+        assert hash_object({"w": a}) == hash_object({"w": b})
+
+    def test_ndarray_shape_matters(self):
+        a = np.arange(6).reshape(2, 3)
+        b = np.arange(6).reshape(3, 2)
+        assert hash_object({"w": a}) != hash_object({"w": b})
+
+    def test_ndarray_dtype_matters(self):
+        a = np.zeros(3, dtype=np.float64)
+        b = np.zeros(3, dtype=np.float32)
+        assert hash_object({"w": a}) != hash_object({"w": b})
+
+    def test_bytes_supported(self):
+        assert hash_object({"k": b"\x00\x01"}) != hash_object({"k": b"\x00\x02"})
+
+    def test_numpy_scalars_normalized(self):
+        assert hash_object({"n": np.int64(5)}) == hash_object({"n": 5})
+        assert hash_object({"f": np.float64(0.5)}) == hash_object({"f": 0.5})
+
+    def test_nested_structures(self):
+        obj = {"outer": [{"inner": (1, 2)}, "text"]}
+        same = {"outer": [{"inner": [1, 2]}, "text"]}  # tuple vs list normalize
+        assert hash_object(obj) == hash_object(same)
+
+
+class TestHashConcat:
+    def test_length_prefix_prevents_ambiguity(self):
+        assert hash_concat(b"ab", b"c") != hash_concat(b"a", b"bc")
+
+    def test_deterministic(self):
+        assert hash_concat(b"x", b"y") == hash_concat(b"x", b"y")
+
+    def test_arity_matters(self):
+        assert hash_concat(b"xy") != hash_concat(b"x", b"y")
+
+    def test_empty_parts_ok(self):
+        assert len(hash_concat()) == 32
+        assert hash_concat(b"") != hash_concat()
+
+
+@pytest.mark.parametrize("payload", [b"", b"a", b"\x00" * 100, bytes(range(256))])
+def test_hashes_stable_across_calls(payload):
+    assert sha256_hex(payload) == sha256_hex(payload)

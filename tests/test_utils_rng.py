@@ -1,0 +1,91 @@
+"""Tests for deterministic RNG stream management."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import RngFactory, derive_seed, rng_from
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(7, "data") == derive_seed(7, "data")
+
+    def test_labels_change_seed(self):
+        assert derive_seed(7, "data") != derive_seed(7, "mining")
+
+    def test_root_changes_seed(self):
+        assert derive_seed(7, "data") != derive_seed(8, "data")
+
+    def test_label_order_matters(self):
+        assert derive_seed(7, "a", "b") != derive_seed(7, "b", "a")
+
+    def test_multi_label_vs_joined(self):
+        # ("ab",) and ("a", "b") must not collide.
+        assert derive_seed(7, "ab") != derive_seed(7, "a", "b")
+
+    def test_numeric_labels_ok(self):
+        assert derive_seed(7, 0) != derive_seed(7, 1)
+
+    def test_result_fits_64_bits(self):
+        assert 0 <= derive_seed(2**62, "x") < 2**64
+
+
+class TestRngFrom:
+    def test_streams_reproducible(self):
+        a = rng_from(42, "client", 0).normal(size=5)
+        b = rng_from(42, "client", 0).normal(size=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_streams_independent(self):
+        a = rng_from(42, "client", 0).normal(size=5)
+        b = rng_from(42, "client", 1).normal(size=5)
+        assert not np.allclose(a, b)
+
+
+class TestRngFactory:
+    def test_same_name_same_object(self):
+        factory = RngFactory(1)
+        assert factory.get("x") is factory.get("x")
+
+    def test_different_names_different_objects(self):
+        factory = RngFactory(1)
+        assert factory.get("x") is not factory.get("y")
+
+    def test_stream_continues(self):
+        factory = RngFactory(1)
+        first = factory.get("x").normal()
+        second = factory.get("x").normal()
+        assert first != second  # continuing, not restarting
+
+    def test_spawn_changes_namespace(self):
+        factory = RngFactory(1)
+        child = factory.spawn("sub")
+        a = factory.get("x").normal(size=3)
+        b = child.get("x").normal(size=3)
+        assert not np.allclose(a, b)
+
+    def test_spawn_deterministic(self):
+        a = RngFactory(1).spawn("sub").get("x").normal(size=3)
+        b = RngFactory(1).spawn("sub").get("x").normal(size=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_integers_helper_in_range(self):
+        factory = RngFactory(9)
+        value = factory.integers("seed", low=5, high=10)
+        assert 5 <= value < 10
+
+    def test_stream_names_listing(self):
+        factory = RngFactory(1)
+        factory.get("b")
+        factory.get("a", 1)
+        assert list(factory.stream_names()) == [("a", "1"), ("b",)]
+
+    def test_mixed_label_types_stable(self):
+        factory = RngFactory(1)
+        assert factory.get("client", 0) is factory.get("client", "0")
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2**31, 2**63 - 1])
+def test_factory_accepts_wide_seed_range(seed):
+    factory = RngFactory(seed)
+    assert factory.get("x").random() is not None

@@ -1,0 +1,86 @@
+"""Tests for canonical serialization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SerializationError
+from repro.utils.serialization import (
+    canonical_dumps,
+    canonical_loads,
+    decode_bytes,
+    encode_bytes,
+)
+
+
+class TestBytesCodec:
+    def test_round_trip(self):
+        payload = bytes(range(256))
+        assert decode_bytes(encode_bytes(payload)) == payload
+
+    def test_invalid_base64_raises(self):
+        with pytest.raises(SerializationError):
+            decode_bytes("not!!base64??")
+
+
+class TestCanonicalRoundTrip:
+    def test_scalars(self):
+        obj = {"i": 1, "f": 0.5, "s": "x", "b": True, "n": None}
+        assert canonical_loads(canonical_dumps(obj)) == obj
+
+    def test_bytes_round_trip(self):
+        obj = {"blob": b"\x00\x01\x02"}
+        assert canonical_loads(canonical_dumps(obj)) == obj
+
+    def test_ndarray_round_trip(self):
+        array = np.arange(12, dtype=np.float64).reshape(3, 4)
+        restored = canonical_loads(canonical_dumps({"w": array}))["w"]
+        np.testing.assert_array_equal(restored, array)
+        assert restored.dtype == array.dtype
+        assert restored.shape == array.shape
+
+    def test_ndarray_dtypes_preserved(self):
+        for dtype in (np.float32, np.int64, np.int32, np.uint8):
+            array = np.ones(5, dtype=dtype)
+            restored = canonical_loads(canonical_dumps({"w": array}))["w"]
+            assert restored.dtype == dtype
+
+    def test_nested_structure(self):
+        obj = {"list": [1, {"deep": b"x"}], "empty": []}
+        assert canonical_loads(canonical_dumps(obj)) == obj
+
+    def test_tuple_becomes_list(self):
+        assert canonical_loads(canonical_dumps({"t": (1, 2)})) == {"t": [1, 2]}
+
+    def test_numpy_scalars_become_python(self):
+        obj = {"i": np.int64(3), "f": np.float64(0.25), "b": np.bool_(True)}
+        restored = canonical_loads(canonical_dumps(obj))
+        assert restored == {"i": 3, "f": 0.25, "b": True}
+
+    def test_non_contiguous_array_handled(self):
+        array = np.arange(12).reshape(3, 4)[:, ::2]
+        restored = canonical_loads(canonical_dumps({"w": array}))["w"]
+        np.testing.assert_array_equal(restored, array)
+
+
+class TestCanonicalDeterminism:
+    def test_key_order_irrelevant(self):
+        assert canonical_dumps({"a": 1, "b": 2}) == canonical_dumps({"b": 2, "a": 1})
+
+    def test_equal_arrays_equal_bytes(self):
+        a = canonical_dumps({"w": np.zeros((2, 2))})
+        b = canonical_dumps({"w": np.zeros((2, 2))})
+        assert a == b
+
+
+class TestErrors:
+    def test_unserializable_type_raises(self):
+        with pytest.raises(SerializationError):
+            canonical_dumps({"bad": object()})
+
+    def test_invalid_payload_raises(self):
+        with pytest.raises(SerializationError):
+            canonical_loads(b"\xff\xfe not json")
+
+    def test_set_not_supported(self):
+        with pytest.raises(SerializationError):
+            canonical_dumps({"s": {1, 2, 3}})
