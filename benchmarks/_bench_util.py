@@ -1,0 +1,14 @@
+"""Helpers shared by benchmark modules.
+
+Lives under a unique module name so bench files can import it at runtime
+regardless of pytest argument order — a bare ``import conftest`` resolves
+to whichever conftest.py pytest put on ``sys.path`` first (tests/ or
+benchmarks/), which made mixed tests+benchmarks invocations order-dependent.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -15,11 +15,29 @@ from __future__ import annotations
 
 import pytest
 
+from _bench_util import run_once  # noqa: F401  (re-export for the bench modules)
 from repro.core.config import default_config
 from repro.core.experiment import (
     run_decentralized_experiment,
     run_vanilla_experiment,
 )
+
+
+def pytest_addoption(parser) -> None:
+    """``--smoke``: tiny cohorts and 1-2 rounds, so a bench finishes in
+    seconds (used by the tier-1 suite and quick local sanity runs)."""
+    parser.addoption(
+        "--smoke",
+        action="store_true",
+        default=False,
+        help="run benchmarks in fast smoke mode (tiny cohort, 1-2 rounds)",
+    )
+
+
+@pytest.fixture(scope="session")
+def smoke(request) -> bool:
+    """Whether this session runs in ``--smoke`` fast mode."""
+    return bool(request.config.getoption("--smoke"))
 
 
 class ExperimentCache:
@@ -49,6 +67,6 @@ def experiments() -> ExperimentCache:
     return ExperimentCache()
 
 
-def run_once(benchmark, fn):
-    """Run ``fn`` exactly once under pytest-benchmark timing."""
-    return benchmark.pedantic(fn, rounds=1, iterations=1)
+# run_once lives in _bench_util (re-exported above): bench modules that
+# import it at runtime must not say ``from conftest import ...`` — that
+# module name is ambiguous with tests/conftest.py under mixed invocations.

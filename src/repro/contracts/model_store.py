@@ -52,15 +52,19 @@ class ModelStore(Contract):
         num_samples: int,
         model_kind: str = "",
         reported_accuracy: float = 0.0,
+        size_bytes: int = 0,
     ) -> dict[str, Any]:
         """Commit the sender's local model for ``round_id``.
 
         Re-submission in the same round is rejected — one model per peer per
-        round, as in the paper's protocol.
+        round, as in the paper's protocol.  ``size_bytes`` carries the
+        serialized model size (the paper's model-size metric), read off the
+        same single encoding that produced ``weights_hash``.
         """
         ctx.require(round_id >= 0, "round_id must be non-negative")
         ctx.require(bool(weights_hash), "weights_hash required")
         ctx.require(num_samples > 0, "num_samples must be positive")
+        ctx.require(size_bytes >= 0, "size_bytes must be non-negative")
         registry = ctx.sload(_REGISTRY_KEY)
         if registry is not None:
             ctx.require(
@@ -76,6 +80,7 @@ class ModelStore(Contract):
             "num_samples": int(num_samples),
             "model_kind": model_kind,
             "reported_accuracy": float(reported_accuracy),
+            "size_bytes": int(size_bytes),
             "block_number": ctx.block_number,
             "timestamp": ctx.timestamp,
         }

@@ -8,6 +8,16 @@ round state machine (:mod:`repro.core.rounds`) tracks wait-for-k progress;
 :mod:`repro.core.nonrepudiation` assembles and verifies the on-chain
 authorship evidence; :mod:`repro.core.config` and
 :mod:`repro.core.experiment` define and run the calibrated experiments.
+
+Model commitments flow through a content-addressed cached pipeline: each
+local model is serialized exactly once per round into a
+:class:`~repro.nn.serialize.WeightArchive` whose single encoding supplies
+the off-chain payload (:mod:`repro.core.offchain`), the on-chain
+commitment hash, and the model-size telemetry carried by ``submit_model``;
+the off-chain store memoizes decoded archives so cross-peer fetches never
+re-deserialize.  ``OffchainStore.marshalling_stats()`` and
+``DecentralizedFL.chain_stats()`` expose the counters, and
+``benchmarks/bench_commitment_pipeline.py`` tracks the speedup.
 """
 
 from repro.core.offchain import OffchainStore

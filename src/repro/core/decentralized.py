@@ -74,6 +74,7 @@ class DecentralizedConfig:
     reputation_fitness_margin: float = 0.10
     target_block_interval: float = 13.0
     latency: LatencyModel = field(default_factory=LatencyModel)
+    gossip_batch_window: float = 0.01
     hashrate: float = 1000.0
     max_round_time: float = 100_000.0
     poll_interval: float = 1.0
@@ -147,6 +148,7 @@ class DecentralizedFL:
             self.pow,
             latency=config.latency,
             rng=self.rngs.get("network"),
+            batch_window=config.gossip_batch_window,
         )
         self.peers: dict[str, FullPeer] = {}
         for pc in peer_configs:
@@ -384,6 +386,9 @@ class DecentralizedFL:
         for peer_id in self.peer_ids:
             peer = self.peers[peer_id]
             aggregate = fedavg(updates_by_view[peer_id])
+            # Identical visible sets produce byte-identical aggregates, so
+            # the content-addressed put stores the blob once; each peer
+            # still pays one serialization to discover its aggregate's hash.
             aggregate_hash = self.offchain.put_weights(aggregate)
             vote_tx = peer.make_transaction(
                 to=peer.coordinator_address,
@@ -508,4 +513,5 @@ class DecentralizedFL:
         stats["heights"] = {peer_id: peer.node.height for peer_id, peer in sorted(self.peers.items())}
         stats["offchain_blobs"] = len(self.offchain)
         stats["offchain_bytes"] = self.offchain.total_bytes()
+        stats["offchain_marshalling"] = self.offchain.marshalling_stats()
         return stats

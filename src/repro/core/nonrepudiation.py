@@ -24,7 +24,7 @@ from repro.chain.merkle import merkle_proof, verify_proof
 from repro.chain.node import Node
 from repro.chain.transaction import Transaction
 from repro.errors import ChainError
-from repro.nn.serialize import weights_hash
+from repro.nn.serialize import as_archive
 
 
 @dataclass
@@ -81,6 +81,10 @@ def verify_evidence(node: Node, evidence: EvidenceBundle, weights=None) -> bool:
     Merkle proof places it under the block's tx root; (4) the block is on
     this node's canonical chain; and optionally (5) supplied ``weights``
     hash to the committed value (binding the accusation to exact bytes).
+
+    ``weights`` may be a plain weight dict or an already-encoded
+    :class:`~repro.nn.serialize.WeightArchive` (e.g. straight from the
+    off-chain store), in which case no re-serialization happens.
     """
     tx = evidence.transaction
     if not tx.verify_signature() or tx.sender != evidence.author:
@@ -98,7 +102,7 @@ def verify_evidence(node: Node, evidence: EvidenceBundle, weights=None) -> bool:
     if not _on_canonical_chain(node, evidence):
         return False
 
-    if weights is not None and weights_hash(weights) != evidence.committed_hash:
+    if weights is not None and as_archive(weights).hash != evidence.committed_hash:
         return False
     return True
 

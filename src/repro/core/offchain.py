@@ -6,26 +6,50 @@ IPFS).  We store serialized weights in a content-addressed map shared by
 the cohort: the key IS the hash committed on chain, so fetching by the
 committed hash guarantees integrity — a peer cannot be served different
 bytes than the author committed to.
+
+The store is archive-aware: :meth:`put_archive` ingests a
+:class:`~repro.nn.serialize.WeightArchive` whose single cached encoding
+supplies both the payload and the content hash, and :meth:`get_archive`
+memoizes decoded archives per content hash in a bounded LRU, so a blob
+fetched by many peers across many polls is deserialized exactly once
+while its round is live (historical models fall out of the cache instead
+of pinning their ndarrays forever).  ``serializations`` /
+``deserializations`` count the real marshalling work the store triggered
+— the commitment-pipeline tests pin these to one per model per round.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Optional
 
 import numpy as np
 
 from repro.errors import SerializationError
-from repro.nn.serialize import weights_from_bytes, weights_to_bytes
+from repro.nn.serialize import WeightArchive, WeightsLike, as_archive
 from repro.utils.hashing import keccak_like
+
+#: Decoded archives kept live at once.  A round re-fetches only the current
+#: cohort's models, so the cache needs to span a couple of rounds of a large
+#: cohort — beyond that, pinning every historical model's ndarrays alongside
+#: the (already retained) serialized blobs would grow without bound.
+DEFAULT_ARCHIVE_CACHE_SIZE = 64
 
 
 class OffchainStore:
-    """Shared content-addressed blob store."""
+    """Shared content-addressed blob store with a decoded-archive LRU cache."""
 
-    def __init__(self) -> None:
+    def __init__(self, archive_cache_size: int = DEFAULT_ARCHIVE_CACHE_SIZE) -> None:
+        if archive_cache_size < 1:
+            raise SerializationError("archive_cache_size must be >= 1")
         self._blobs: dict[str, bytes] = {}
+        self._archives: OrderedDict[str, WeightArchive] = OrderedDict()
+        self._archive_cache_size = archive_cache_size
         self.puts = 0
         self.gets = 0
+        self.serializations = 0     # weight encodes this store triggered
+        self.deserializations = 0   # weight decodes this store triggered
+        self.decode_hits = 0        # fetches answered from the decoded cache
 
     def put(self, payload: bytes) -> str:
         """Store bytes; returns their content hash (idempotent)."""
@@ -52,16 +76,63 @@ class OffchainStore:
 
     # -- typed helpers ------------------------------------------------------
 
-    def put_weights(self, weights: dict[str, np.ndarray]) -> str:
-        """Serialize and store a weight dict; returns the commitment hash."""
-        return self.put(weights_to_bytes(weights))
+    def put_archive(self, archive: WeightArchive) -> str:
+        """Store an archive; returns the commitment hash.
 
-    def get_weights(self, key: str) -> dict[str, np.ndarray]:
-        """Fetch and deserialize a weight dict, verifying content integrity."""
+        The archive's cached encoding is the single source of payload,
+        hash, and size — no re-serialization, no re-hash.  The decoded
+        form is retained so subsequent fetches skip deserialization too.
+        """
+        freshly_encoded = not archive.encoded
+        key = archive.hash  # materializes the payload (at most one encode)
+        if freshly_encoded:  # counted only once the encode succeeded
+            self.serializations += 1
+        if key not in self._blobs:
+            self._blobs[key] = archive.payload
+        if key in self._archives:
+            self._archives.move_to_end(key)  # re-commit marks the entry hot
+        else:
+            self._cache_archive(key, archive)
+        self.puts += 1
+        return key
+
+    def _cache_archive(self, key: str, archive: WeightArchive) -> None:
+        """Insert a not-yet-cached key at the LRU's hot end, evicting the
+        stalest entry (both callers handle the already-cached case)."""
+        self._archives[key] = archive
+        while len(self._archives) > self._archive_cache_size:
+            self._archives.popitem(last=False)
+
+    def put_weights(self, weights: WeightsLike) -> str:
+        """Serialize (at most once) and store weights; returns the hash."""
+        return self.put_archive(as_archive(weights))
+
+    def get_archive(self, key: str) -> WeightArchive:
+        """Fetch the archive for ``key``, decoding at most once per
+        residency in the LRU cache (once ever, for live working sets).
+
+        Content integrity (bytes hash back to ``key``) is verified when
+        the archive is materialized; cached hits skip the recheck because
+        the blob map is append-only and cached entries derive from it.
+        """
+        cached = self._archives.get(key)
+        if cached is not None:
+            self.gets += 1
+            self.decode_hits += 1
+            self._archives.move_to_end(key)
+            return cached
         payload = self.get(key)
         if keccak_like(payload) != key:  # defensive: store corruption
             raise SerializationError(f"content hash mismatch for {key[:16]}...")
-        return weights_from_bytes(payload)
+        archive = WeightArchive.from_bytes(payload)
+        archive.weights  # decode eagerly so corrupt payloads fail here
+        self.deserializations += 1  # counted only once the decode succeeded
+        self._cache_archive(key, archive)
+        return archive
+
+    def get_weights(self, key: str) -> dict[str, np.ndarray]:
+        """Fetch a weight dict (fresh array copies, safe to mutate)."""
+        return self.get_archive(key).copy_weights()
 
     def total_bytes(self) -> int:
         """Total stored payload size (for the model-size telemetry)."""
@@ -72,3 +143,13 @@ class OffchainStore:
         if key not in self._blobs:
             return None
         return self.get_weights(key)
+
+    def marshalling_stats(self) -> dict:
+        """Counters for the commitment-pipeline benchmarks."""
+        return {
+            "puts": self.puts,
+            "gets": self.gets,
+            "serializations": self.serializations,
+            "deserializations": self.deserializations,
+            "decode_hits": self.decode_hits,
+        }

@@ -24,7 +24,6 @@ from repro.fl.aggregation import ModelUpdate
 from repro.fl.client import ClientConfig, FLClient
 from repro.fl.trainer import TrainConfig
 from repro.nn.model import Sequential
-from repro.nn.serialize import weights_hash
 
 
 @dataclass
@@ -114,12 +113,17 @@ class FullPeer:
 
         Returns the update (for local bookkeeping) and the signed
         ``submit_model`` transaction ready for broadcast.
+
+        The update's :class:`~repro.nn.serialize.WeightArchive` is the
+        single encoding behind everything committed here: the off-chain
+        payload, the on-chain hash, and the reported model size all come
+        from one serialization (the seed code paid one each).
         """
         if self.model_store_address is None:
             raise ConfigError(f"{self.peer_id}: model store address not set")
         update = self.client.train_local(round_id)
-        commitment = self.offchain.put_weights(update.weights)
-        assert commitment == weights_hash(update.weights)
+        archive = update.archive()
+        commitment = self.offchain.put_archive(archive)
         tx = self.make_transaction(
             to=self.model_store_address,
             method="submit_model",
@@ -129,6 +133,7 @@ class FullPeer:
                 "num_samples": update.num_samples,
                 "model_kind": self.config.model_kind,
                 "reported_accuracy": update.reported_accuracy,
+                "size_bytes": archive.size,
             },
             data=commitment.encode("ascii"),
         )

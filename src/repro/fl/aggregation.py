@@ -9,11 +9,12 @@ averaging is the vulnerable baseline.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.errors import AggregationError
+from repro.nn.serialize import WeightArchive
 
 
 @dataclass
@@ -26,12 +27,27 @@ class ModelUpdate:
     round_id: int = -1
     reported_accuracy: float = 0.0
     metadata: dict = field(default_factory=dict)
+    _archive: Optional[WeightArchive] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.num_samples <= 0:
             raise AggregationError(f"{self.client_id}: num_samples must be positive")
         if not self.weights:
             raise AggregationError(f"{self.client_id}: empty weight dict")
+
+    def archive(self) -> WeightArchive:
+        """Cached single-encoding archive of this update's weights.
+
+        Everything on the commitment path (off-chain payload, on-chain
+        hash, size telemetry) should read from this one archive; building
+        it here means re-commits of the same update never re-serialize.
+        The weights must not be mutated after the first call.
+        """
+        if self._archive is None:
+            self._archive = WeightArchive.from_weights(self.weights)
+        return self._archive
 
 
 def _check_compatible(updates: Sequence[ModelUpdate]) -> list[str]:

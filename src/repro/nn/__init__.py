@@ -2,10 +2,16 @@
 
 Provides the pieces FedAvg-style federated learning needs:
 
-* layers with explicit forward/backward (:mod:`repro.nn.layers`),
+* layers with explicit forward/backward (:mod:`repro.nn.layers`) — the
+  conv/pooling hot paths are vectorized (stride-tricks im2col, a col2im
+  scatter whose formulation was chosen by measurement, tie-normalized
+  pooling backward),
 * losses (:mod:`repro.nn.losses`) and optimizers (:mod:`repro.nn.optimizers`),
 * a :class:`~repro.nn.model.Sequential` container with named parameters,
-* weight (de)serialization for on-chain commitment (:mod:`repro.nn.serialize`),
+* weight (de)serialization for on-chain commitment
+  (:mod:`repro.nn.serialize`), centred on the cached
+  :class:`~repro.nn.serialize.WeightArchive` whose single encoding serves
+  payload, commitment hash, and size on the commitment pipeline,
 * the two evaluation models of the paper (:mod:`repro.nn.models`):
   ``SimpleNN`` (~62k params, trained from scratch) and
   ``EfficientNetB0Sim`` (frozen pretrained-style backbone + trainable head).
@@ -28,7 +34,15 @@ from repro.nn.layers import (
 from repro.nn.losses import CrossEntropyLoss, MSELoss
 from repro.nn.optimizers import SGD, Momentum, Adam
 from repro.nn.model import Sequential
-from repro.nn.serialize import weights_to_bytes, weights_from_bytes, weights_hash
+from repro.nn.serialize import (
+    SERIALIZATION_STATS,
+    WeightArchive,
+    as_archive,
+    weights_to_bytes,
+    weights_from_bytes,
+    weights_hash,
+    weights_size_bytes,
+)
 from repro.nn.metrics import accuracy, confusion_matrix, top_k_accuracy
 from repro.nn.models import build_simple_nn, build_efficientnet_b0_sim, build_model, count_parameters
 
@@ -53,9 +67,13 @@ __all__ = [
     "Momentum",
     "Adam",
     "Sequential",
+    "SERIALIZATION_STATS",
+    "WeightArchive",
+    "as_archive",
     "weights_to_bytes",
     "weights_from_bytes",
     "weights_hash",
+    "weights_size_bytes",
     "accuracy",
     "confusion_matrix",
     "top_k_accuracy",

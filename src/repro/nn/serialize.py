@@ -1,13 +1,27 @@
-"""Weight (de)serialization and hashing.
+"""Weight (de)serialization, hashing, and the cached commitment archive.
 
 Serialized weights are what peers exchange: the bytes go to the off-chain
 content-addressed store, and their hash goes on chain as the non-repudiable
 commitment (see :class:`repro.contracts.model_store.ModelStore`).  The
 format is the library's canonical JSON-with-tagged-ndarrays encoding, so a
 byte-identical round trip is guaranteed for any weight dict.
+
+Encoding a full weight dict is the most expensive marshalling step on the
+commitment hot path, so :class:`WeightArchive` memoizes it: ``payload``,
+``hash``, and ``size`` are all derived from a *single* encoding (and a
+single decoding on the fetch side).  The free functions below remain for
+one-shot use; anything per-round should go through an archive — see
+:meth:`repro.core.offchain.OffchainStore.put_archive` and the peer submit
+path in :meth:`repro.core.peer.FullPeer.train_and_commit`.
+
+Module-level :data:`SERIALIZATION_STATS` counts real encode/decode work so
+tests and benchmarks can assert the hot path serializes once per model.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
 
 import numpy as np
 
@@ -18,18 +32,40 @@ from repro.utils.serialization import canonical_dumps, canonical_loads
 _FORMAT_VERSION = 1
 
 
+@dataclass
+class SerializationStats:
+    """Counters of actual (non-memoized) weight marshalling work."""
+
+    encodes: int = 0
+    decodes: int = 0
+
+    def reset(self) -> None:
+        """Zero the counters (tests/benchmarks call this between phases)."""
+        self.encodes = 0
+        self.decodes = 0
+
+    def as_dict(self) -> dict:
+        return {"encodes": self.encodes, "decodes": self.decodes}
+
+
+#: Process-wide marshalling counters; every :func:`weights_to_bytes` /
+#: :func:`weights_from_bytes` call increments these exactly once.
+SERIALIZATION_STATS = SerializationStats()
+
+
 def weights_to_bytes(weights: dict[str, np.ndarray]) -> bytes:
     """Serialize a named weight dict to canonical bytes."""
     for key, value in weights.items():
         if not isinstance(value, np.ndarray):
             raise SerializationError(f"weight {key!r} is {type(value).__name__}, not ndarray")
+    SERIALIZATION_STATS.encodes += 1
     return canonical_dumps({"version": _FORMAT_VERSION, "weights": weights})
 
 
 def weights_from_bytes(payload: bytes) -> dict[str, np.ndarray]:
     """Inverse of :func:`weights_to_bytes`."""
     decoded = canonical_loads(payload)
-    if not isinstance(decoded, dict) or "weights" in decoded is None:
+    if not isinstance(decoded, dict) or "weights" not in decoded:
         raise SerializationError("payload is not a weight archive")
     version = decoded.get("version")
     if version != _FORMAT_VERSION:
@@ -40,14 +76,114 @@ def weights_from_bytes(payload: bytes) -> dict[str, np.ndarray]:
     for key, value in weights.items():
         if not isinstance(value, np.ndarray):
             raise SerializationError(f"entry {key!r} did not decode to ndarray")
+    SERIALIZATION_STATS.decodes += 1
     return weights
 
 
-def weights_hash(weights: dict[str, np.ndarray]) -> str:
-    """Commitment hash of a weight dict (what goes on chain)."""
-    return keccak_like(weights_to_bytes(weights))
+class WeightArchive:
+    """One weight dict behind a single cached encoding.
+
+    The commitment pipeline needs three views of the same model —
+    ``payload`` (off-chain bytes), ``hash`` (on-chain commitment), and
+    ``size`` (the paper's model-size telemetry) — and the seed code paid
+    one full serialization for each.  An archive computes the encoding
+    lazily, once, and answers all three from it; built from bytes, it
+    decodes lazily, once.
+
+    Arrays reachable through :attr:`weights` are shared, not copied:
+    treat them as read-only (the off-chain store hands out copies to
+    callers that may mutate).
+
+    Exactly one of ``weights`` / ``payload`` may be supplied: the other
+    view is always *derived* from it, so an archive can never carry an
+    inconsistent pair (e.g. honest bytes hiding a different decoded dict
+    — which would let a byzantine peer poison the off-chain store's
+    decoded cache under an honest commitment hash).
+    """
+
+    __slots__ = ("_weights", "_payload", "_hash")
+
+    def __init__(
+        self,
+        weights: Optional[dict[str, np.ndarray]] = None,
+        payload: Optional[bytes] = None,
+    ) -> None:
+        if (weights is None) == (payload is None):
+            raise SerializationError("WeightArchive needs exactly one of weights or payload")
+        self._weights = weights
+        self._payload = payload
+        self._hash: Optional[str] = None
+
+    @classmethod
+    def from_weights(cls, weights: dict[str, np.ndarray]) -> "WeightArchive":
+        """Archive an in-memory weight dict (encoding deferred)."""
+        return cls(weights=weights)
+
+    @classmethod
+    def from_bytes(cls, payload: bytes) -> "WeightArchive":
+        """Archive stored bytes (decoding deferred)."""
+        return cls(payload=bytes(payload))
+
+    @property
+    def encoded(self) -> bool:
+        """Whether the canonical bytes have been materialized yet."""
+        return self._payload is not None
+
+    @property
+    def payload(self) -> bytes:
+        """Canonical archive bytes (encoded once, then cached)."""
+        if self._payload is None:
+            self._payload = weights_to_bytes(self._weights)
+        return self._payload
+
+    @property
+    def weights(self) -> dict[str, np.ndarray]:
+        """The weight dict (decoded once, then cached); treat as read-only."""
+        if self._weights is None:
+            self._weights = weights_from_bytes(self._payload)
+        return self._weights
+
+    @property
+    def hash(self) -> str:
+        """Commitment hash of the canonical bytes (what goes on chain)."""
+        if self._hash is None:
+            self._hash = keccak_like(self.payload)
+        return self._hash
+
+    @property
+    def size(self) -> int:
+        """Serialized byte size — the paper's 'model size' metric."""
+        return len(self.payload)
+
+    def copy_weights(self) -> dict[str, np.ndarray]:
+        """Fresh array copies, safe for callers to mutate."""
+        return {key: value.copy() for key, value in self.weights.items()}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = f"{self.size}B" if self.encoded else "unencoded"
+        return f"WeightArchive({state})"
 
 
-def weights_size_bytes(weights: dict[str, np.ndarray]) -> int:
+WeightsLike = Union[dict, WeightArchive]
+
+
+def as_archive(weights: WeightsLike) -> WeightArchive:
+    """Coerce a weight dict (or pass through an archive) to an archive."""
+    if isinstance(weights, WeightArchive):
+        return weights
+    return WeightArchive.from_weights(weights)
+
+
+def weights_hash(weights: WeightsLike) -> str:
+    """Commitment hash of a weight dict (what goes on chain).
+
+    One-shot convenience: serializes from scratch for a plain dict.  Code
+    that also needs the bytes or the size should build a
+    :class:`WeightArchive` instead and read all three off it.
+    """
+    return as_archive(weights).hash
+
+
+def weights_size_bytes(weights: WeightsLike) -> int:
     """Size of the serialized archive — the paper's 'model size' metric."""
-    return len(weights_to_bytes(weights))
+    return as_archive(weights).size

@@ -1,0 +1,50 @@
+"""Tier-1 smoke coverage of the benchmark harness.
+
+Runs the smoke-scale cores of ``bench_chain_throughput`` and
+``bench_commitment_pipeline`` in-process (the same code paths
+``pytest benchmarks/... --smoke`` exercises), so the tier-1 suite catches
+benchmark bit-rot and enforces the pipeline's headline numbers in seconds.
+"""
+
+import sys
+from pathlib import Path
+
+_BENCHMARKS = Path(__file__).resolve().parent.parent / "benchmarks"
+if str(_BENCHMARKS) not in sys.path:
+    sys.path.insert(0, str(_BENCHMARKS))
+
+import bench_chain_throughput
+import bench_commitment_pipeline
+
+
+class TestChainThroughputSmoke:
+    def test_smoke_backlog_drains(self):
+        result = bench_chain_throughput._drain_backlog(3, n_txs=8, seed=0)
+        assert result["throughput"] > 0
+        assert result["blocks"] > 0
+
+    def test_smoke_sweep_shape(self):
+        rows = bench_chain_throughput._sweep(smoke=True)
+        assert [row["nodes"] for row in rows] == [3, 6]
+        assert all(row["throughput"] > 0 for row in rows)
+        # The paper's accepted finding holds even at smoke scale.
+        assert rows[0]["throughput"] > rows[-1]["throughput"]
+
+
+class TestCommitmentPipelineSmoke:
+    def test_speedup_meets_acceptance_floor(self):
+        result = bench_commitment_pipeline.compare_pipelines(
+            **bench_commitment_pipeline.pipeline_params(smoke=True)
+        )
+        # The deterministic marshalling counters are the hard contract;
+        # the wall-clock ratio (typically ~5x, acceptance floor 2x in the
+        # opt-in bench) gets slack here so a loaded CI box can't flake
+        # tier-1 on a sub-millisecond timing.
+        assert result["speedup"] >= 1.5
+        assert result["cached_encodes_per_model"] == 1.0
+        assert result["legacy_encodes_per_model"] >= 3.0
+
+    def test_live_round_profile(self):
+        profile = bench_commitment_pipeline.round_serialization_profile(rounds=1)
+        assert profile["encodes_per_model"] == 1.0
+        assert profile["store"]["deserializations"] == 0

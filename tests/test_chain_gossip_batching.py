@@ -1,0 +1,132 @@
+"""Tests for batched gossip delivery in the P2P network."""
+
+import numpy as np
+import pytest
+
+from repro.chain.crypto import KeyPair
+from repro.chain.network import LatencyModel, P2PNetwork
+from repro.chain.node import GenesisSpec, Node, NodeConfig
+from repro.chain.pow import ProofOfWork, RetargetRule
+from repro.chain.runtime import ContractRuntime
+from repro.chain.transaction import Transaction
+from repro.contracts import register_all
+from repro.errors import NetworkError
+from repro.utils.events import Simulator
+
+
+def build_network(n_nodes=3, batch_window=0.01, seed=0, drop_rate=0.0):
+    runtime = ContractRuntime()
+    register_all(runtime)
+    keypairs = [KeyPair.from_seed(f"batch-{i}") for i in range(n_nodes)]
+    genesis = GenesisSpec(allocations={kp.address: 10**15 for kp in keypairs})
+    sim = Simulator()
+    network = P2PNetwork(
+        sim,
+        ProofOfWork(np.random.default_rng(seed), retarget=RetargetRule(target_interval=5.0)),
+        latency=LatencyModel(base=0.05, jitter=0.02),
+        rng=np.random.default_rng(seed + 1),
+        drop_rate=drop_rate,
+        batch_window=batch_window,
+    )
+    nodes = []
+    for kp in keypairs:
+        node = Node(kp, genesis, runtime, NodeConfig())
+        network.add_node(node)
+        nodes.append(node)
+    return network, nodes, keypairs
+
+
+def _txs(keypairs, count):
+    sender = keypairs[0]
+    return [
+        Transaction(sender=sender.address, to=keypairs[1].address, nonce=nonce, value=1).sign_with(sender)
+        for nonce in range(count)
+    ]
+
+
+class TestBatchedDelivery:
+    def test_burst_coalesces_into_fewer_events(self):
+        """A same-instant burst delivers every message with far fewer batches."""
+        network, nodes, keypairs = build_network(n_nodes=3, batch_window=0.05)
+        for tx in _txs(keypairs, 8):
+            network.broadcast_transaction(nodes[0].address, tx)
+        network.sim.run()
+        # 8 txs to each of 2 destinations = 16 messages...
+        assert network.stats.messages_delivered == 16
+        # ...delivered in (roughly) one batch per destination.
+        assert network.stats.batches_delivered <= 4
+        for node in nodes[1:]:
+            assert len(node.mempool) == 8
+
+    def test_messages_never_arrive_before_their_latency(self):
+        network, nodes, keypairs = build_network(n_nodes=2, batch_window=0.5)
+        for tx in _txs(keypairs, 3):
+            network.broadcast_transaction(nodes[0].address, tx)
+        # Nothing can arrive before the base link latency.
+        network.sim.run(until=0.04)
+        assert len(nodes[1].mempool) == 0
+        network.sim.run()
+        assert len(nodes[1].mempool) == 3
+
+    def test_zero_window_still_delivers_everything(self):
+        network, nodes, keypairs = build_network(n_nodes=3, batch_window=0.0)
+        for tx in _txs(keypairs, 5):
+            network.broadcast_transaction(nodes[0].address, tx)
+        network.sim.run()
+        assert network.stats.messages_delivered == 10
+        for node in nodes[1:]:
+            assert len(node.mempool) == 5
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(NetworkError):
+            build_network(batch_window=-0.1)
+
+    def test_partition_respected_with_batching(self):
+        network, nodes, keypairs = build_network(n_nodes=3, batch_window=0.05)
+        network.partition(nodes[0].address, nodes[1].address)
+        for tx in _txs(keypairs, 4):
+            network.broadcast_transaction(nodes[0].address, tx)
+        network.sim.run()
+        assert len(nodes[1].mempool) == 0   # cut link: nothing crossed
+        assert len(nodes[2].mempool) == 4   # healthy link: everything did
+        assert network.stats.messages_dropped == 4
+
+    def test_batches_counted_in_stats_dict(self):
+        network, nodes, keypairs = build_network(n_nodes=2, batch_window=0.05)
+        network.broadcast_transaction(nodes[0].address, _txs(keypairs, 1)[0])
+        network.sim.run()
+        stats = network.stats.as_dict()
+        assert stats["batches_delivered"] == 1
+        assert stats["messages_delivered"] == 1
+
+    def test_fast_message_pulls_flush_forward(self):
+        """A later send with a smaller sampled latency must not be held
+        until the slower message's flush — the flush reschedules so no
+        message waits more than batch_window past its own arrival."""
+        network, nodes, keypairs = build_network(n_nodes=2, batch_window=0.1)
+
+        class ScriptedLatency:
+            def __init__(self, delays):
+                self.delays = list(delays)
+
+            def sample(self, rng):
+                return self.delays.pop(0)
+
+        network.latency = ScriptedLatency([0.5, 0.05])
+        slow_tx, fast_tx = _txs(keypairs, 2)
+        network.broadcast_transaction(nodes[0].address, slow_tx)   # arrival 0.5
+        network.broadcast_transaction(nodes[0].address, fast_tx)   # arrival 0.05
+        # Fast message delivered at its own arrival + window (0.15), well
+        # before the slow message's 0.6 flush.
+        network.sim.run(until=0.2)
+        assert len(nodes[1].mempool) == 1
+        network.sim.run()
+        assert len(nodes[1].mempool) == 2
+
+    def test_mining_still_converges_with_batching(self):
+        network, nodes, _ = build_network(n_nodes=3, batch_window=0.05)
+        network.start_mining()
+        network.run_until_height(5)
+        network.stop_mining()
+        network.run_for(5.0)
+        assert network.sync_check()

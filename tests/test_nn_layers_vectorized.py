@@ -1,0 +1,170 @@
+"""Equivalence tests pinning vectorized Conv2D/MaxPool2D against naive loops.
+
+The production layers use stride-tricks/matmul formulations (im2col
+forward, the measured-fastest col2im scatter, tie-normalized pooling).
+These tests re-derive the same math with explicit Python loops on random
+NHWC tensors and require exact-shape, tight-tolerance agreement across
+kernel sizes, strides, and paddings — including the loop-free
+``stride == k`` col2im path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Conv2D, MaxPool2D
+
+
+def _loop_conv_forward(x, w, b, stride, pad):
+    """Reference convolution with explicit loops."""
+    lo, hi = pad
+    xp = np.pad(x, ((0, 0), (lo, hi), (lo, hi), (0, 0)))
+    n, hp, wp, c = xp.shape
+    k = w.shape[0]
+    f = w.shape[3]
+    oh = (hp - k) // stride + 1
+    ow = (wp - k) // stride + 1
+    out = np.zeros((n, oh, ow, f))
+    for oy in range(oh):
+        for ox in range(ow):
+            patch = xp[:, oy * stride : oy * stride + k, ox * stride : ox * stride + k, :]
+            out[:, oy, ox, :] = np.tensordot(patch, w, axes=([1, 2, 3], [0, 1, 2])) + b
+    return out, xp.shape
+
+
+def _loop_conv_backward_dx(grad_out, w, xp_shape, x_shape, stride, pad):
+    """Reference input gradient: scatter each output grad through the kernel."""
+    n, oh, ow, f = grad_out.shape
+    k = w.shape[0]
+    dxp = np.zeros(xp_shape)
+    for oy in range(oh):
+        for ox in range(ow):
+            # dL/dpatch = grad_out[n, oy, ox, :] . W
+            dxp[:, oy * stride : oy * stride + k, ox * stride : ox * stride + k, :] += (
+                np.tensordot(grad_out[:, oy, ox, :], w, axes=([1], [3]))
+            )
+    lo, hi = pad
+    if lo or hi:
+        dxp = dxp[:, lo : dxp.shape[1] - hi, lo : dxp.shape[2] - hi, :]
+    return dxp.reshape(x_shape)
+
+
+def _loop_conv_backward_dw(grad_out, xp, k, stride):
+    """Reference weight gradient accumulated patch by patch."""
+    n, oh, ow, f = grad_out.shape
+    c = xp.shape[3]
+    dw = np.zeros((k, k, c, f))
+    for oy in range(oh):
+        for ox in range(ow):
+            patch = xp[:, oy * stride : oy * stride + k, ox * stride : ox * stride + k, :]
+            dw += np.tensordot(patch, grad_out[:, oy, ox, :], axes=([0], [0]))
+    return dw
+
+
+CONV_CASES = [
+    # (input hwc, filters, kernel, stride, padding)
+    ((8, 8, 3), 4, 3, 1, "same"),
+    ((8, 8, 3), 4, 3, 1, "valid"),
+    ((9, 9, 2), 3, 3, 2, "valid"),
+    ((8, 8, 1), 2, 2, 2, "valid"),
+    ((11, 11, 2), 3, 5, 3, "valid"),
+    ((6, 6, 2), 5, 3, 2, "same"),
+]
+
+
+class TestConv2DEquivalence:
+    @pytest.mark.parametrize("shape,filters,kernel,stride,padding", CONV_CASES)
+    def test_forward_matches_loop(self, rng, shape, filters, kernel, stride, padding):
+        layer = Conv2D(filters, kernel_size=kernel, stride=stride, padding=padding)
+        layer.build(rng, shape)
+        x = rng.normal(size=(4, *shape))
+        got = layer.forward(x, training=True)
+        want, _ = _loop_conv_forward(x, layer.params["W"], layer.params["b"], stride, layer._pad)
+        np.testing.assert_allclose(got, want, rtol=1e-10, atol=1e-12)
+
+    @pytest.mark.parametrize("shape,filters,kernel,stride,padding", CONV_CASES)
+    def test_backward_matches_loop(self, rng, shape, filters, kernel, stride, padding):
+        layer = Conv2D(filters, kernel_size=kernel, stride=stride, padding=padding)
+        layer.build(rng, shape)
+        x = rng.normal(size=(4, *shape))
+        out = layer.forward(x, training=True)
+        grad_out = rng.normal(size=out.shape)
+        layer.zero_grads()
+        got_dx = layer.backward(grad_out)
+
+        _, xp_shape = _loop_conv_forward(x, layer.params["W"], layer.params["b"], stride, layer._pad)
+        lo, hi = layer._pad
+        xp = np.pad(x, ((0, 0), (lo, hi), (lo, hi), (0, 0)))
+        want_dx = _loop_conv_backward_dx(grad_out, layer.params["W"], xp_shape, x.shape, stride, layer._pad)
+        want_dw = _loop_conv_backward_dw(grad_out, xp, kernel, stride)
+
+        assert got_dx.shape == x.shape
+        np.testing.assert_allclose(got_dx, want_dx, rtol=1e-10, atol=1e-12)
+        np.testing.assert_allclose(layer.grads["W"], want_dw, rtol=1e-10, atol=1e-12)
+        np.testing.assert_allclose(layer.grads["b"], grad_out.sum(axis=(0, 1, 2)), rtol=1e-10, atol=1e-12)
+
+
+def _loop_maxpool_forward(x, p):
+    n, h, w, c = x.shape
+    oh, ow = h // p, w // p
+    out = np.zeros((n, oh, ow, c))
+    for oy in range(oh):
+        for ox in range(ow):
+            window = x[:, oy * p : (oy + 1) * p, ox * p : (ox + 1) * p, :]
+            out[:, oy, ox, :] = window.max(axis=(1, 2))
+    return out
+
+
+def _loop_maxpool_backward(x, grad_out, p):
+    """Reference backward: split the gradient equally among window maxima."""
+    n, h, w, c = x.shape
+    oh, ow = h // p, w // p
+    dx = np.zeros_like(x)
+    for b in range(n):
+        for oy in range(oh):
+            for ox in range(ow):
+                for ch in range(c):
+                    window = x[b, oy * p : (oy + 1) * p, ox * p : (ox + 1) * p, ch]
+                    ties = window == window.max()
+                    dx[b, oy * p : (oy + 1) * p, ox * p : (ox + 1) * p, ch][ties] = (
+                        grad_out[b, oy, ox, ch] / ties.sum()
+                    )
+    return dx
+
+
+POOL_CASES = [
+    ((8, 8, 3), 2),
+    ((6, 6, 1), 3),
+    ((12, 8, 4), 4),
+    ((4, 4, 2), 2),
+]
+
+
+class TestMaxPool2DEquivalence:
+    @pytest.mark.parametrize("shape,pool", POOL_CASES)
+    def test_forward_matches_loop(self, rng, shape, pool):
+        layer = MaxPool2D(pool_size=pool)
+        layer.build(rng, shape)
+        x = rng.normal(size=(3, *shape))
+        for training in (True, False):
+            got = layer.forward(x, training=training)
+            np.testing.assert_array_equal(got, _loop_maxpool_forward(x, pool))
+
+    @pytest.mark.parametrize("shape,pool", POOL_CASES)
+    def test_backward_matches_loop(self, rng, shape, pool):
+        layer = MaxPool2D(pool_size=pool)
+        layer.build(rng, shape)
+        x = rng.normal(size=(3, *shape))
+        out = layer.forward(x, training=True)
+        grad_out = rng.normal(size=out.shape)
+        got = layer.backward(grad_out)
+        np.testing.assert_array_equal(got, _loop_maxpool_backward(x, grad_out, pool))
+
+    def test_tie_splits_gradient_instead_of_duplicating(self, rng):
+        """A tied window receives the gradient exactly once, split equally."""
+        layer = MaxPool2D(pool_size=2)
+        layer.build(rng, (2, 2, 1))
+        x = np.full((1, 2, 2, 1), 3.5)  # every element tied
+        layer.forward(x, training=True)
+        dx = layer.backward(np.ones((1, 1, 1, 1)))
+        assert dx.sum() == 1.0  # seed's mask formulation returned 4.0 here
+        np.testing.assert_array_equal(dx.reshape(-1), np.full(4, 0.25))
