@@ -16,12 +16,12 @@ package provides the equivalent substrate in-process:
 """
 
 from repro.chain.crypto import KeyPair, Address, sign, verify, recover_check
-from repro.chain.transaction import Transaction, Receipt
+from repro.chain.transaction import Transaction, Receipt, VALIDATION_STATS
 from repro.chain.block import Block, BlockHeader, GENESIS_PARENT
 from repro.chain.merkle import merkle_root, merkle_proof, verify_proof
 from repro.chain.gas import GasSchedule, intrinsic_gas
 from repro.chain.pow import ProofOfWork, mine_header, pow_target, check_pow
-from repro.chain.state import WorldState, AccountState
+from repro.chain.state import WorldState, AccountState, StateError, STATE_STATS
 from repro.chain.mempool import Mempool
 from repro.chain.chainstore import ChainStore
 from repro.chain.runtime import ContractRuntime, Contract, CallContext
@@ -50,6 +50,9 @@ __all__ = [
     "check_pow",
     "WorldState",
     "AccountState",
+    "StateError",
+    "STATE_STATS",
+    "VALIDATION_STATS",
     "Mempool",
     "ChainStore",
     "ContractRuntime",

@@ -42,6 +42,9 @@ class ChainStore:
         self._total_difficulty: dict[str, int] = {genesis.block_hash: genesis.header.difficulty}
         self._arrival: dict[str, int] = {genesis.block_hash: 0}
         self._arrival_counter = 0
+        # height -> canonical block hash, maintained on every head switch,
+        # so height lookups (and the node's log range queries) are O(1).
+        self._canonical_by_number: dict[int, str] = {0: genesis.block_hash}
         self.genesis_hash = genesis.block_hash
         self.head_hash = genesis.block_hash
 
@@ -91,9 +94,13 @@ class ChainStore:
         return chain
 
     def block_at_height(self, number: int) -> Optional[Block]:
-        """Canonical block at ``number`` (None if above the head)."""
+        """Canonical block at ``number`` (None if above the head); O(1)."""
         if number < 0 or number > self.height:
             return None
+        block_hash = self._canonical_by_number.get(number)
+        if block_hash is not None:
+            return self._blocks[block_hash]
+        # Defensive fallback: walk down from the head.
         cursor = self.head
         while cursor.number > number:
             cursor = self._blocks[cursor.header.parent_hash]
@@ -144,6 +151,10 @@ class ChainStore:
         ancestor = self._common_ancestor(old_head, new_head)
         rolled_back = self._path_down(old_head, ancestor)
         applied = list(reversed(self._path_down(new_head, ancestor)))
+        for block_hash in rolled_back:
+            self._canonical_by_number.pop(self._blocks[block_hash].number, None)
+        for block_hash in applied:
+            self._canonical_by_number[self._blocks[block_hash].number] = block_hash
         self.head_hash = new_head
         return ReorgInfo(
             old_head=old_head,
@@ -152,6 +163,21 @@ class ChainStore:
             rolled_back=rolled_back,
             applied=applied,
         )
+
+    def revert_head(self, reorg: ReorgInfo) -> None:
+        """Undo a head switch whose blocks failed post-fork-choice checks.
+
+        The node calls this when an ``applied`` block's state root does not
+        match execution: the blocks stay in the store (they are valid as
+        data), but the canonical head and height index return to the old
+        branch.  A later, heavier descendant re-enters fork choice and gets
+        re-checked then.
+        """
+        for block_hash in reorg.applied:
+            self._canonical_by_number.pop(self._blocks[block_hash].number, None)
+        for block_hash in reorg.rolled_back:
+            self._canonical_by_number[self._blocks[block_hash].number] = block_hash
+        self.head_hash = reorg.old_head
 
     def _path_down(self, tip: str, ancestor: str) -> list[str]:
         """Hashes from ``tip`` down to (excluding) ``ancestor``."""

@@ -4,14 +4,19 @@ Equivalent of one Geth process in the paper's deployment.  Each node keeps:
 
 * a :class:`ChainStore` of all known blocks,
 * the executed :class:`WorldState` at the canonical head (plus per-block
-  state snapshots so reorgs restore cheaply),
+  journal marks so reorgs roll back in O(touched entries), Geth-journal
+  style, instead of restoring deep snapshots),
 * a :class:`Mempool`, and
 * the shared :class:`ContractRuntime` class registry.
 
 Transaction execution follows Ethereum's recipe: charge intrinsic gas,
 buy gas up front, run the transfer/deployment/call, refund unused gas, pay
 the miner fee.  Failed executions (revert / out-of-gas) still consume gas
-and bump the nonce but roll back their state effects.
+and bump the nonce but roll back their state effects — via a journal
+checkpoint, so the rollback cost is proportional to what the transaction
+touched.  Block candidates execute on a copy-on-write overlay of the head
+state, and state roots are incremental (only accounts a block touched are
+re-hashed when its root is computed or verified).
 """
 
 from __future__ import annotations
@@ -47,6 +52,11 @@ class NodeConfig:
     ``verify_pow`` distinguishes the two sealing modes: real nonce search
     (tests, small difficulty) versus statistically simulated sealing driven
     by the network simulator (``verify_pow=False``).
+
+    ``keep_state_snapshots`` keeps per-block journal marks so reorgs roll
+    back cheaply; ``state_history`` bounds how many blocks of undo history
+    the journal retains (deeper reorgs fall back to replay-from-genesis,
+    like a Geth node asked to reorg past its snapshot window).
     """
 
     block_gas_limit: int = UNBOUNDED_BLOCK_GAS
@@ -55,6 +65,7 @@ class NodeConfig:
     max_txs_per_block: Optional[int] = None
     retarget: RetargetRule = field(default_factory=RetargetRule)
     keep_state_snapshots: bool = True
+    state_history: int = 128
     schedule: GasSchedule = DEFAULT_SCHEDULE
 
 
@@ -101,11 +112,18 @@ class Node:
         genesis = genesis_spec.build_genesis()
         self.store = ChainStore(genesis)
         self.state = genesis_spec.build_state()
+        self.state.flatten_journal()  # allocation credits never roll back
         self.mempool = Mempool()
         self.receipts: dict[str, Receipt] = {}
-        self._state_snapshots: dict[str, dict] = {}
+        # block hash -> journal mark of self.state right after that block
+        # executed; reorgs roll the journal back to the common ancestor's
+        # mark instead of restoring a deep snapshot.
+        self._state_marks: dict[str, int] = {}
         if self.config.keep_state_snapshots:
-            self._state_snapshots[genesis.block_hash] = self.state.snapshot()
+            self._state_marks[genesis.block_hash] = self.state.checkpoint()
+        # block hash -> receipts in transaction order, for executed
+        # canonical blocks (the eth_getLogs range index).
+        self._receipts_by_block: dict[str, list[Receipt]] = {}
         self._orphans: dict[str, list[Block]] = {}
         self.blocks_mined = 0
         self.reorgs_seen = 0
@@ -138,7 +156,7 @@ class Node:
 
     def has_contract(self, address: Address) -> bool:
         """True iff a contract is deployed at ``address`` in head state."""
-        return self.state.has_account(address) and self.state.account(address).is_contract
+        return self.state.is_contract(address)
 
     def get_logs(
         self,
@@ -150,18 +168,21 @@ class Node:
         """Query contract events from canonical receipts (``eth_getLogs``).
 
         Filters by emitting contract ``address`` and/or event ``topic`` over
-        the canonical block range.  Only transactions this node executed
-        (i.e. whose blocks it imported) are visible — the same property a
-        real node has.
+        the canonical block range.  The walk covers only the requested
+        range: canonical blocks resolve by height in O(1) and each block's
+        receipts come from the per-block execution index, so a narrow query
+        near the tip of a long chain no longer scans the whole chain.  Only
+        transactions this node executed (i.e. whose blocks it imported) are
+        visible — the same property a real node has.
         """
-        upper = to_block if to_block is not None else self.height
+        upper = self.height if to_block is None else min(to_block, self.height)
         matches = []
-        for block in self.store.canonical_chain():
-            if block.number < from_block or block.number > upper:
+        for number in range(max(from_block, 0), upper + 1):
+            block = self.store.block_at_height(number)
+            if block is None:
                 continue
-            for tx in block.transactions:
-                receipt = self.receipts.get(tx.tx_hash)
-                if receipt is None or not receipt.success:
+            for receipt in self._receipts_by_block.get(block.block_hash, ()):
+                if not receipt.success:
                     continue
                 for entry in receipt.logs:
                     if address is not None and entry.address != address:
@@ -193,8 +214,7 @@ class Node:
 
     def next_nonce_for(self, sender: Address) -> int:
         """Nonce a wallet should use next: head nonce plus pending count."""
-        pending = sum(1 for tx in self.mempool.pending() if tx.sender == sender)
-        return self.state.nonce_of(sender) + pending
+        return self.state.nonce_of(sender) + self.mempool.pending_count(sender)
 
     # ------------------------------------------------------------------
     # Execution
@@ -231,7 +251,7 @@ class Node:
 
         meter = GasMeter(tx.gas_limit, self.config.schedule)
         meter.charge(base_cost, "intrinsic")
-        snapshot = state.snapshot()
+        mark = state.checkpoint()
         receipt = Receipt(tx_hash=tx.tx_hash, success=True, gas_used=0, block_number=block_number)
         try:
             if tx.value:
@@ -245,7 +265,7 @@ class Node:
                 receipt.return_value = result
                 receipt.logs = logs
         except (ContractRevertError, OutOfGasError, InsufficientFundsError, ChainError) as exc:
-            state.restore(snapshot)
+            state.rollback(mark)
             receipt.success = False
             receipt.revert_reason = str(exc)
             if isinstance(exc, OutOfGasError):
@@ -281,7 +301,10 @@ class Node:
         """Assemble and execute a block candidate on top of the head.
 
         The candidate's header commits to the post-execution state root; the
-        caller (test or network simulator) seals it with a nonce.
+        caller (test or network simulator) seals it with a nonce.  Execution
+        runs on a copy-on-write overlay of the head state — only accounts
+        the candidate touches are cloned, and its state root re-hashes only
+        those accounts (untouched ones reuse the head's cached hashes).
         """
         parent = self.head
         if difficulty is None:
@@ -294,7 +317,7 @@ class Node:
             max_count=self.config.max_txs_per_block,
             max_gas=self.config.block_gas_limit,
         )
-        scratch = self.state.copy()
+        scratch = self.state.overlay()
         header = BlockHeader(
             parent_hash=parent.block_hash,
             number=parent.number + 1,
@@ -361,9 +384,13 @@ class Node:
     def _apply_head_change(self, reorg: ReorgInfo) -> None:
         """Re-execute state along the new canonical branch.
 
-        Transactions from rolled-back blocks are re-injected into the
-        mempool (as Geth does) so work mined on a losing branch is not
-        silently dropped; stale ones are purged after the new state is in.
+        The head state rolls back to the common ancestor's journal mark in
+        O(entries the rolled-back blocks touched); only when the mark has
+        been pruned (reorg deeper than ``state_history``) does the node
+        fall back to a replay from genesis.  Transactions from rolled-back
+        blocks are re-injected into the mempool (as Geth does) so work
+        mined on a losing branch is not silently dropped; stale ones are
+        purged after the new state is in.
         """
         rolled_back_txs = [
             tx
@@ -371,24 +398,35 @@ class Node:
             for tx in self.store.get(block_hash).transactions
         ]
         base_hash = reorg.common_ancestor
-        if self.config.keep_state_snapshots and base_hash in self._state_snapshots:
-            state = WorldState()
-            state.restore(self._state_snapshots[base_hash])
+        base_mark = self._state_marks.get(base_hash)
+        if base_mark is not None and self.state.can_rollback_to(base_mark):
+            state = self.state
+            if state.checkpoint() != base_mark:
+                state.rollback(base_mark)
+            for block_hash in reorg.rolled_back:
+                self._state_marks.pop(block_hash, None)
+                self._receipts_by_block.pop(block_hash, None)
         else:
             state = self._replay_to(base_hash)
-        for block_hash in reorg.applied:
+        ancestor_mark = state.checkpoint()
+        for position, block_hash in enumerate(reorg.applied):
             block = self.store.get(block_hash)
             receipts = self._execute_block(state, block)
             if block.header.state_root != state.state_root():
+                self._abort_head_change(reorg, state, ancestor_mark, reorg.applied[:position])
                 raise InvalidBlockError(
                     f"state root mismatch executing {block_hash[:10]}"
                 )
             for receipt in receipts:
                 self.receipts[receipt.tx_hash] = receipt
+            self._receipts_by_block[block_hash] = receipts
             if self.config.keep_state_snapshots:
-                self._state_snapshots[block_hash] = state.snapshot()
+                self._state_marks[block_hash] = state.checkpoint()
+            else:
+                state.flatten_journal()
             self.mempool.remove(tx.tx_hash for tx in block.transactions)
         self.state = state
+        self._prune_state_history()
         for tx in rolled_back_txs:
             try:
                 self.mempool.add(tx, state=self.state)
@@ -396,16 +434,80 @@ class Node:
                 continue  # already mined on the new branch, or stale
         self.mempool.drop_stale(self.state)
 
+    def _abort_head_change(
+        self,
+        reorg: ReorgInfo,
+        state: WorldState,
+        ancestor_mark: int,
+        applied_so_far: list[str],
+    ) -> None:
+        """Restore the pre-reorg canonical view after an applied block
+        failed its state-root check.
+
+        State rolls back to the common ancestor, the losing-branch blocks
+        that fork choice rolled back are re-executed (they validated when
+        first applied), and the store's head switch is reverted — so the
+        node keeps serving and mining the old branch instead of diverging
+        from its own chain store.
+        """
+        state.rollback(ancestor_mark)
+        for block_hash in applied_so_far:
+            self._state_marks.pop(block_hash, None)
+            self._receipts_by_block.pop(block_hash, None)
+        for block_hash in reversed(reorg.rolled_back):  # ancestor-side first
+            block = self.store.get(block_hash)
+            receipts = self._execute_block(state, block)
+            for receipt in receipts:
+                self.receipts[receipt.tx_hash] = receipt
+            self._receipts_by_block[block_hash] = receipts
+            if self.config.keep_state_snapshots:
+                self._state_marks[block_hash] = state.checkpoint()
+            else:
+                state.flatten_journal()
+        self.store.revert_head(reorg)
+        self.state = state
+
+    def _prune_state_history(self) -> None:
+        """Bound journal memory: drop marks (and their undo records) for
+        blocks more than ``state_history`` below the head."""
+        history = self.config.state_history
+        if not self.config.keep_state_snapshots or history is None:
+            return
+        cutoff = self.height - history
+        if cutoff <= 0:
+            return
+        for block_hash in [
+            bh for bh in self._state_marks if self.store.get(bh).number < cutoff
+        ]:
+            del self._state_marks[block_hash]
+        if self._state_marks:
+            floor = min(self._state_marks.values())
+            if self.state.can_rollback_to(floor):
+                self.state.prune_journal(floor)
+
     def _replay_to(self, block_hash: str) -> WorldState:
-        """Rebuild state by replaying from genesis to ``block_hash``."""
+        """Rebuild state by replaying from genesis to ``block_hash``.
+
+        Resets the per-block journal marks to the replayed lineage (marks
+        into the abandoned state object would be meaningless).
+        """
         path: list[Block] = []
         cursor = self.store.get(block_hash)
         while cursor.number > 0:
             path.append(cursor)
             cursor = self.store.get(cursor.header.parent_hash)
         state = self.genesis_spec.build_state()
+        state.flatten_journal()
+        self._state_marks = {}
+        if self.config.keep_state_snapshots:
+            self._state_marks[self.store.genesis_hash] = state.checkpoint()
         for block in reversed(path):
-            self._execute_block(state, block)
+            receipts = self._execute_block(state, block)
+            self._receipts_by_block[block.block_hash] = receipts
+            if self.config.keep_state_snapshots:
+                self._state_marks[block.block_hash] = state.checkpoint()
+            else:
+                state.flatten_journal()
         return state
 
     def seal_and_import(self, block: Block, nonce: int) -> Optional[ReorgInfo]:

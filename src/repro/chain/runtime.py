@@ -51,33 +51,34 @@ class CallContext:
     depth: int = 0
 
     # -- storage ---------------------------------------------------------
-
-    def _storage(self) -> dict:
-        return self.state.account(self.contract_address).storage
+    #
+    # All access goes through the WorldState storage API so every write is
+    # journaled (transaction revert and block reorg roll back in O(touched))
+    # and reads never materialize accounts.  Values read via sload must be
+    # treated as immutable: store a replacement object through sstore.
 
     def sload(self, key: str, default: Any = None) -> Any:
         """Metered storage read."""
         self.meter.charge_sload()
-        return self._storage().get(key, default)
+        return self.state.storage_get(self.contract_address, key, default)
 
     def sstore(self, key: str, value: Any) -> None:
         """Metered storage write; charges by value size for large payloads."""
-        storage = self._storage()
         encoded_size = len(canonical_dumps(value))
-        self.meter.charge_sstore(fresh=key not in storage, value_size=encoded_size)
-        storage[key] = value
+        fresh = not self.state.storage_has(self.contract_address, key)
+        self.meter.charge_sstore(fresh=fresh, value_size=encoded_size)
+        self.state.storage_set(self.contract_address, key, value)
 
     def sdelete(self, key: str) -> None:
         """Remove a storage slot (charged as an update)."""
-        storage = self._storage()
-        if key in storage:
+        if self.state.storage_has(self.contract_address, key):
             self.meter.charge_sstore(fresh=False)
-            del storage[key]
+            self.state.storage_delete(self.contract_address, key)
 
     def skeys(self, prefix: str = "") -> list[str]:
         """Metered scan of storage keys with ``prefix``."""
         self.meter.charge_sload()
-        return sorted(key for key in self._storage() if key.startswith(prefix))
+        return self.state.storage_keys(self.contract_address, prefix)
 
     # -- environment ------------------------------------------------------
 
@@ -222,10 +223,10 @@ class ContractRuntime:
         timestamp: float,
     ) -> tuple[Any, list[LogEntry]]:
         """Run a top-level contract call transaction."""
-        account = state.account(tx.to)
-        if not account.is_contract:
+        name = state.contract_name_of(tx.to)
+        if name is None:
             raise ContractNotFoundError(f"no contract at {tx.to}")
-        instance = self._instantiate(account.contract_name)
+        instance = self._instantiate(name)
         ctx = CallContext(
             state=state,
             meter=meter,
@@ -242,10 +243,10 @@ class ContractRuntime:
 
     def internal_call(self, parent: CallContext, target: Address, method: str, args: dict) -> Any:
         """Nested call: new context, shared meter, sender = calling contract."""
-        account = parent.state.account(target)
-        if not account.is_contract:
+        name = parent.state.contract_name_of(target)
+        if name is None:
             raise ContractNotFoundError(f"no contract at {target}")
-        instance = self._instantiate(account.contract_name)
+        instance = self._instantiate(name)
         ctx = CallContext(
             state=parent.state,
             meter=parent.meter,
@@ -273,13 +274,14 @@ class ContractRuntime:
         gas_limit: int = 10**9,
         **args: Any,
     ) -> Any:
-        """web3-style ``eth_call``: execute against a state copy, discard writes."""
-        scratch = state.copy()
+        """web3-style ``eth_call``: execute on a discarded copy-on-write
+        overlay, so reads touch nothing and writes never reach ``state``."""
+        scratch = state.overlay()
         meter = GasMeter(gas_limit, self.schedule)
-        account = scratch.account(contract_address)
-        if not account.is_contract:
+        name = scratch.contract_name_of(contract_address)
+        if name is None:
             raise ContractNotFoundError(f"no contract at {contract_address}")
-        instance = self._instantiate(account.contract_name)
+        instance = self._instantiate(name)
         ctx = CallContext(
             state=scratch,
             meter=meter,

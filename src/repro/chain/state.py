@@ -1,21 +1,92 @@
 """World state: account balances, nonces, and contract storage.
 
-The state is a snapshot-able mapping from address to :class:`AccountState`.
-Contract storage is a per-account key/value dict whose values must be
-canonically serializable so state roots are deterministic across nodes.
-Snapshots power transaction-level rollback (revert/out-of-gas) and block-level
-rollback (reorgs re-execute from the fork point).
+The state is a mapping from address to :class:`AccountState` with three
+rollback mechanisms, cheapest first:
+
+* **Journal checkpoints** — every mutation made through the ``WorldState``
+  API appends one undo record to an in-order journal.  ``checkpoint()``
+  returns a mark, ``rollback(mark)`` undoes everything after it in
+  O(touched entries), and ``commit(mark)`` keeps the changes while leaving
+  the undo records in place for any *enclosing* checkpoint (checkpoints
+  nest arbitrarily).  Transaction-level revert/out-of-gas and block-level
+  reorg rollback both ride this journal instead of deep-copying the state.
+* **Copy-on-write overlays** — ``overlay()`` returns a child state that
+  reads through to its (frozen) base and copies an account locally only
+  on first write.  Block-candidate execution and read-only ``eth_call``
+  run on overlays, so speculative work never clones untouched accounts.
+* **Deep snapshots** — ``snapshot()``/``restore()``/``copy()`` keep the
+  original O(state) semantics for callers that need a fully detached
+  replica (tests, tooling, replay bootstrap).
+
+State roots are incremental: each account's canonical hash is cached and
+invalidated when the account is touched, so ``state_root()`` after a block
+re-hashes only the accounts that block touched.  The root is a hash over
+the sorted ``{address: account_hash}`` map; every node computes it with the
+same formula, which is all determinism requires.
+
+Two caveats, enforced by convention exactly as the contract runtime
+documents: values reached through ``storage_get``/``sload`` must be treated
+as immutable (write a new object through ``storage_set`` instead of
+mutating in place), and an overlay's base must not be mutated while the
+overlay is alive.  Mutating an :class:`AccountState` obtained from
+``account()`` directly is supported for tooling/tests but bypasses the
+journal — such edits are invisible to ``rollback`` (the hash cache *is*
+invalidated, so roots stay correct).
+
+Module-level :data:`STATE_STATS` counts journal entries written, rollback
+work, and account re-hashes so benchmarks can assert rollback cost is
+proportional to touched entries and re-rooting is proportional to dirty
+accounts.
 """
 
 from __future__ import annotations
 
 import copy
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Iterable, Optional
 
 from repro.chain.crypto import Address
-from repro.errors import InsufficientFundsError
+from repro.errors import ChainError, InsufficientFundsError
 from repro.utils.hashing import hash_object
+
+
+class StateError(ChainError):
+    """Invalid journal operation (bad mark, pruned history)."""
+
+
+@dataclass
+class StateStats:
+    """Counters of journal and root-cache work (benchmark contract)."""
+
+    journal_entries: int = 0     # undo records written
+    rollbacks: int = 0           # rollback() calls
+    entries_reverted: int = 0    # undo records replayed by rollbacks
+    accounts_hashed: int = 0     # per-account hashes actually computed
+    roots_computed: int = 0      # state_root() calls
+
+    def reset(self) -> None:
+        """Zero the counters (tests/benchmarks call this between phases)."""
+        self.journal_entries = 0
+        self.rollbacks = 0
+        self.entries_reverted = 0
+        self.accounts_hashed = 0
+        self.roots_computed = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "journal_entries": self.journal_entries,
+            "rollbacks": self.rollbacks,
+            "entries_reverted": self.entries_reverted,
+            "accounts_hashed": self.accounts_hashed,
+            "roots_computed": self.roots_computed,
+        }
+
+
+#: Process-wide state-machinery counters.
+STATE_STATS = StateStats()
+
+#: Sentinel for "storage slot did not exist" in sstore undo records.
+_MISSING = object()
 
 
 @dataclass
@@ -42,38 +113,106 @@ class AccountState:
 
 
 class WorldState:
-    """Mutable world state with snapshot/restore support."""
+    """Mutable world state with journaled checkpoints and CoW overlays."""
 
-    def __init__(self) -> None:
+    def __init__(self, base: Optional["WorldState"] = None) -> None:
         self._accounts: dict[Address, AccountState] = {}
+        self._base = base
+        # Undo log.  Marks handed out by checkpoint() are absolute positions
+        # (journal_base + local length) so pruning old history does not
+        # invalidate the marks that survive it.
+        self._journal: list[tuple] = []
+        self._journal_base = 0
+        # address -> cached hash of the account's canonical form; an absent
+        # entry means the account is dirty and will be re-hashed on demand.
+        self._hash_cache: dict[Address, str] = {}
 
     # ------------------------------------------------------------------
     # Account access
     # ------------------------------------------------------------------
 
+    def _lookup(self, address: Address) -> Optional[AccountState]:
+        """Resolve an account for reading (no creation, no copy)."""
+        account = self._accounts.get(address)
+        if account is None and self._base is not None:
+            return self._base._lookup(address)
+        return account
+
+    def _write_account(self, address: Address) -> AccountState:
+        """Resolve an account for writing.
+
+        Creates it (journaled) if unknown; for overlays, copies the base
+        account into the local map first — balance/nonce/code by value and
+        storage as a fresh dict sharing the (immutable-by-convention)
+        stored values.
+        """
+        account = self._accounts.get(address)
+        if account is None:
+            shadow = self._base._lookup(address) if self._base is not None else None
+            if shadow is None:
+                account = AccountState()
+            else:
+                account = AccountState(
+                    balance=shadow.balance,
+                    nonce=shadow.nonce,
+                    contract_name=shadow.contract_name,
+                    storage=dict(shadow.storage),
+                )
+            self._accounts[address] = account
+            self._log(("added", address), address)
+        return account
+
+    def _log(self, record: tuple, address: Address) -> None:
+        """Append one undo record and mark the account dirty."""
+        self._journal.append(record)
+        STATE_STATS.journal_entries += 1
+        self._hash_cache.pop(address, None)
+
     def account(self, address: Address) -> AccountState:
-        """Return (creating lazily) the account at ``address``."""
-        if address not in self._accounts:
-            self._accounts[address] = AccountState()
-        return self._accounts[address]
+        """Return (creating lazily) the account at ``address``.
+
+        The caller may mutate the returned object directly; the account is
+        marked dirty for root purposes, but direct edits bypass the journal
+        (use the typed mutators for anything that must be rollback-able).
+        """
+        account = self._write_account(address)
+        self._hash_cache.pop(address, None)
+        return account
 
     def has_account(self, address: Address) -> bool:
         """True if the account exists without creating it."""
-        return address in self._accounts
+        return self._lookup(address) is not None
+
+    def _iter_addresses(self) -> Iterable[Address]:
+        if self._base is None:
+            return self._accounts.keys()
+        merged = set(self._base._iter_addresses())
+        merged.update(self._accounts)
+        return merged
 
     def addresses(self) -> list[Address]:
         """Sorted list of known addresses."""
-        return sorted(self._accounts)
+        return sorted(self._iter_addresses())
 
     def balance_of(self, address: Address) -> int:
         """Balance, zero for unknown accounts (no account creation)."""
-        account = self._accounts.get(address)
+        account = self._lookup(address)
         return account.balance if account else 0
 
     def nonce_of(self, address: Address) -> int:
         """Nonce, zero for unknown accounts."""
-        account = self._accounts.get(address)
+        account = self._lookup(address)
         return account.nonce if account else 0
+
+    def is_contract(self, address: Address) -> bool:
+        """True iff a contract is deployed at ``address`` (no creation)."""
+        account = self._lookup(address)
+        return account is not None and account.is_contract
+
+    def contract_name_of(self, address: Address) -> Optional[str]:
+        """Deployed contract class name, or ``None`` (no creation)."""
+        account = self._lookup(address)
+        return account.contract_name if account else None
 
     # ------------------------------------------------------------------
     # Mutation
@@ -83,17 +222,20 @@ class WorldState:
         """Add ``amount`` to the account balance."""
         if amount < 0:
             raise ValueError("credit amount must be non-negative")
-        self.account(address).balance += amount
+        account = self._write_account(address)
+        self._log(("balance", address, account.balance), address)
+        account.balance += amount
 
     def debit(self, address: Address, amount: int) -> None:
         """Subtract ``amount``; raises :class:`InsufficientFundsError`."""
         if amount < 0:
             raise ValueError("debit amount must be non-negative")
-        account = self.account(address)
+        account = self._write_account(address)
         if account.balance < amount:
             raise InsufficientFundsError(
                 f"{address} balance {account.balance} < debit {amount}"
             )
+        self._log(("balance", address, account.balance), address)
         account.balance -= amount
 
     def transfer(self, src: Address, dst: Address, amount: int) -> None:
@@ -103,33 +245,184 @@ class WorldState:
 
     def bump_nonce(self, address: Address) -> int:
         """Increment and return the account nonce."""
-        account = self.account(address)
+        account = self._write_account(address)
+        self._log(("nonce", address, account.nonce), address)
         account.nonce += 1
         return account.nonce
 
     def deploy(self, address: Address, contract_name: str, initial_storage: Optional[dict] = None) -> None:
         """Mark an address as hosting a contract with optional seed storage."""
-        account = self.account(address)
+        account = self._write_account(address)
+        self._log(("code", address, account.contract_name), address)
         account.contract_name = contract_name
         if initial_storage:
-            account.storage.update(initial_storage)
+            for key, value in initial_storage.items():
+                self.storage_set(address, key, value)
 
     # ------------------------------------------------------------------
-    # Snapshot / root
+    # Contract storage (journaled; the runtime's only mutation path)
     # ------------------------------------------------------------------
+
+    def storage_get(self, address: Address, key: str, default: Any = None) -> Any:
+        """Read a storage slot (no account creation); treat the value as
+        immutable — write replacements through :meth:`storage_set`."""
+        account = self._lookup(address)
+        if account is None:
+            return default
+        return account.storage.get(key, default)
+
+    def storage_has(self, address: Address, key: str) -> bool:
+        """True iff the slot exists (no account creation)."""
+        account = self._lookup(address)
+        return account is not None and key in account.storage
+
+    def storage_keys(self, address: Address, prefix: str = "") -> list[str]:
+        """Sorted storage keys with ``prefix`` (no account creation)."""
+        account = self._lookup(address)
+        if account is None:
+            return []
+        return sorted(key for key in account.storage if key.startswith(prefix))
+
+    def storage_set(self, address: Address, key: str, value: Any) -> None:
+        """Write a storage slot (journaled)."""
+        account = self._write_account(address)
+        old = account.storage.get(key, _MISSING)
+        self._log(("sstore", address, key, old), address)
+        account.storage[key] = value
+
+    def storage_delete(self, address: Address, key: str) -> None:
+        """Remove a storage slot if present (journaled)."""
+        account = self._write_account(address)
+        if key in account.storage:
+            self._log(("sstore", address, key, account.storage[key]), address)
+            del account.storage[key]
+
+    # ------------------------------------------------------------------
+    # Journal checkpoints
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> int:
+        """Open a (nested) checkpoint; returns the mark to commit/rollback."""
+        return self._journal_base + len(self._journal)
+
+    def commit(self, mark: int) -> None:
+        """Accept everything since ``mark``.
+
+        Undo records stay in the journal so enclosing checkpoints (and the
+        node's per-block marks) can still roll past this point; use
+        :meth:`flatten_journal` to discard history outright.
+        """
+        self._check_mark(mark)
+
+    def rollback(self, mark: int) -> None:
+        """Undo every change made since ``mark`` in O(touched entries)."""
+        self._check_mark(mark)
+        STATE_STATS.rollbacks += 1
+        keep = mark - self._journal_base
+        for record in reversed(self._journal[keep:]):
+            self._undo(record)
+            STATE_STATS.entries_reverted += 1
+        del self._journal[keep:]
+
+    def _check_mark(self, mark: int) -> None:
+        if not self._journal_base <= mark <= self.checkpoint():
+            raise StateError(
+                f"mark {mark} outside live journal "
+                f"[{self._journal_base}, {self.checkpoint()}]"
+            )
+
+    def can_rollback_to(self, mark: int) -> bool:
+        """True iff ``mark`` is still inside the (unpruned) journal."""
+        return self._journal_base <= mark <= self.checkpoint()
+
+    def prune_journal(self, mark: int) -> None:
+        """Discard undo history below ``mark`` (marks below it die)."""
+        self._check_mark(mark)
+        del self._journal[: mark - self._journal_base]
+        self._journal_base = mark
+
+    def flatten_journal(self) -> None:
+        """Discard all undo history; open marks become unreachable."""
+        self.prune_journal(self.checkpoint())
+
+    def journal_size(self) -> int:
+        """Number of live undo records (diagnostics/benchmarks)."""
+        return len(self._journal)
+
+    def _undo(self, record: tuple) -> None:
+        kind = record[0]
+        address = record[1]
+        if kind == "added":
+            self._accounts.pop(address, None)
+        elif kind == "balance":
+            self._accounts[address].balance = record[2]
+        elif kind == "nonce":
+            self._accounts[address].nonce = record[2]
+        elif kind == "code":
+            self._accounts[address].contract_name = record[2]
+        elif kind == "sstore":
+            storage = self._accounts[address].storage
+            if record[3] is _MISSING:
+                storage.pop(record[2], None)
+            else:
+                storage[record[2]] = record[3]
+        self._hash_cache.pop(address, None)
+
+    # ------------------------------------------------------------------
+    # Overlays / snapshots / roots
+    # ------------------------------------------------------------------
+
+    def overlay(self) -> "WorldState":
+        """Copy-on-write child reading through to this (now frozen) state.
+
+        Do not mutate the base while the overlay is alive; discard the
+        overlay to discard its writes.
+        """
+        return WorldState(base=self)
 
     def snapshot(self) -> dict:
-        """Deep-copy snapshot for rollback."""
-        return {address: copy.deepcopy(account) for address, account in self._accounts.items()}
+        """Deep-copy snapshot for rollback (overlays are materialized)."""
+        snap = self._base.snapshot() if self._base is not None else {}
+        snap.update(
+            {address: copy.deepcopy(account) for address, account in self._accounts.items()}
+        )
+        return snap
 
     def restore(self, snap: dict) -> None:
-        """Restore a snapshot taken by :meth:`snapshot`."""
+        """Restore a snapshot taken by :meth:`snapshot`.
+
+        The state becomes a detached full replica: any overlay base is
+        dropped and the journal (with every open mark) is reset.
+        """
         self._accounts = {address: copy.deepcopy(account) for address, account in snap.items()}
+        self._base = None
+        self._journal = []
+        self._journal_base = 0
+        self._hash_cache = {}
+
+    def account_hash(self, address: Address) -> str:
+        """Cached canonical hash of one account (must exist)."""
+        account = self._accounts.get(address)
+        if account is None:
+            if self._base is not None:
+                return self._base.account_hash(address)
+            raise StateError(f"no account {address}")
+        cached = self._hash_cache.get(address)
+        if cached is None:
+            cached = hash_object(account.to_dict())
+            STATE_STATS.accounts_hashed += 1
+            self._hash_cache[address] = cached
+        return cached
 
     def state_root(self) -> str:
-        """Deterministic hash over the full state (storage included)."""
+        """Deterministic hash over the full state (storage included).
+
+        Combines cached per-account hashes, so only accounts touched since
+        the last call are re-hashed.
+        """
+        STATE_STATS.roots_computed += 1
         return hash_object(
-            {address: account.to_dict() for address, account in self._accounts.items()}
+            {address: self.account_hash(address) for address in self._iter_addresses()}
         )
 
     def copy(self) -> "WorldState":
@@ -139,4 +432,5 @@ class WorldState:
         return clone
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"WorldState(accounts={len(self._accounts)})"
+        kind = "overlay" if self._base is not None else "state"
+        return f"WorldState({kind}, accounts={len(self._accounts)}, journal={len(self._journal)})"

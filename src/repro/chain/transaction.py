@@ -5,6 +5,16 @@ A transaction is either a value transfer, a contract deployment (``to`` is
 ``args`` describe the invocation).  The FL peers use contract calls to
 submit model commitments and read aggregation state — exactly the web3
 interaction pattern of the paper's NodeJS pipeline.
+
+Validation is one-shot: the signing payload, digest, transaction hash, and
+signature-verification verdict are all memoized on the instance, so the
+three verification sites on a transaction's lifetime (mempool admission,
+block validation, execution) pay for one encode and one crypto check total.
+The cache is mutation-safe — assigning any signed field drops it, and
+in-place edits of the mutable containers (``args``, ``public_bundle``) are
+caught by re-probing their (small) canonical encoding on every cached read
+— so tampering after signing is still detected.  :data:`VALIDATION_STATS` counts the real work for the
+benchmarks.
 """
 
 from __future__ import annotations
@@ -14,8 +24,53 @@ from typing import Any, Optional
 
 from repro.chain.crypto import Address, KeyPair, Signature, recover_check
 from repro.errors import InvalidSignatureError
-from repro.utils.hashing import keccak_like
+from repro.utils.hashing import keccak_like, sha256_bytes
 from repro.utils.serialization import canonical_dumps
+
+
+@dataclass
+class ValidationStats:
+    """Counters of actual (non-memoized) transaction validation work."""
+
+    payload_encodes: int = 0        # full signing-payload serializations
+    signatures_verified: int = 0    # crypto verifications actually run
+    signature_cache_hits: int = 0   # verifications answered from the cache
+
+    def reset(self) -> None:
+        """Zero the counters (tests/benchmarks call this between phases)."""
+        self.payload_encodes = 0
+        self.signatures_verified = 0
+        self.signature_cache_hits = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "payload_encodes": self.payload_encodes,
+            "signatures_verified": self.signatures_verified,
+            "signature_cache_hits": self.signature_cache_hits,
+        }
+
+
+#: Process-wide validation counters; the block-execution benchmark pins
+#: these to one signature verification per transaction lifetime.
+VALIDATION_STATS = ValidationStats()
+
+#: Assigning any of these fields invalidates the memoized payload/digest/
+#: hash/verdict (``signature``/``public_bundle`` feed tx_hash and verify).
+_CACHE_FIELDS = frozenset(
+    {
+        "sender",
+        "to",
+        "nonce",
+        "value",
+        "gas_limit",
+        "gas_price",
+        "method",
+        "args",
+        "data",
+        "signature",
+        "public_bundle",
+    }
+)
 
 
 @dataclass
@@ -54,36 +109,67 @@ class Transaction:
     public_bundle: Optional[dict] = None
 
     # ------------------------------------------------------------------
-    # Identity and signing
+    # Identity and signing (memoized)
     # ------------------------------------------------------------------
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        if name in _CACHE_FIELDS and "_memo" in self.__dict__:
+            del self.__dict__["_memo"]
+        object.__setattr__(self, name, value)
+
+    def _cache(self) -> dict:
+        """Memoized payload/digest, re-validated against in-place edits.
+
+        Field assignment drops the cache via ``__setattr__``.  The two
+        mutable containers — the args dict and the public-key bundle —
+        can be edited in place, so their (small) canonical encoding is
+        re-probed on every read and a mismatch rebuilds the cache
+        (``Signature`` is frozen and ``data`` is immutable bytes, so
+        every tamper vector is covered).
+        """
+        memo = self.__dict__.get("_memo")
+        probe = canonical_dumps({"args": self.args, "bundle": self.public_bundle})
+        if memo is None or memo["args_probe"] != probe:
+            payload = canonical_dumps(
+                {
+                    "sender": self.sender,
+                    "to": self.to,
+                    "nonce": self.nonce,
+                    "value": self.value,
+                    "gas_limit": self.gas_limit,
+                    "gas_price": self.gas_price,
+                    "method": self.method,
+                    "args": self.args,
+                    "data": self.data,
+                }
+            )
+            VALIDATION_STATS.payload_encodes += 1
+            memo = {
+                "args_probe": probe,
+                "payload": payload,
+                "digest": sha256_bytes(payload),
+            }
+            object.__setattr__(self, "_memo", memo)
+        return memo
 
     def signing_payload(self) -> bytes:
         """Canonical bytes covered by the signature (everything but it)."""
-        return canonical_dumps(
-            {
-                "sender": self.sender,
-                "to": self.to,
-                "nonce": self.nonce,
-                "value": self.value,
-                "gas_limit": self.gas_limit,
-                "gas_price": self.gas_price,
-                "method": self.method,
-                "args": self.args,
-                "data": self.data,
-            }
-        )
+        return self._cache()["payload"]
 
     def digest(self) -> bytes:
         """32-byte digest of the signing payload."""
-        from repro.utils.hashing import sha256_bytes
-
-        return sha256_bytes(self.signing_payload())
+        return self._cache()["digest"]
 
     @property
     def tx_hash(self) -> str:
         """Transaction hash (includes the signature, like Ethereum)."""
-        sig = self.signature.to_dict() if self.signature else None
-        return keccak_like(self.signing_payload() + canonical_dumps({"sig": sig}))
+        memo = self._cache()
+        cached = memo.get("tx_hash")
+        if cached is None:
+            sig = self.signature.to_dict() if self.signature else None
+            cached = keccak_like(memo["payload"] + canonical_dumps({"sig": sig}))
+            memo["tx_hash"] = cached
+        return cached
 
     def sign_with(self, keypair: KeyPair) -> "Transaction":
         """Sign in place with ``keypair`` and return ``self``.
@@ -100,10 +186,23 @@ class Transaction:
         return self
 
     def verify_signature(self) -> bool:
-        """True iff the signature verifies and recovers the declared sender."""
+        """True iff the signature verifies and recovers the declared sender.
+
+        The crypto check runs once per (payload, signature) lifetime; every
+        later call — block validation, execution, cross-node re-validation
+        of a gossiped instance — is a cache hit.
+        """
         if self.signature is None or self.public_bundle is None:
             return False
-        return recover_check(self.public_bundle, self.digest(), self.signature, self.sender)
+        memo = self._cache()
+        verdict = memo.get("verdict")
+        if verdict is None:
+            verdict = recover_check(self.public_bundle, memo["digest"], self.signature, self.sender)
+            VALIDATION_STATS.signatures_verified += 1
+            memo["verdict"] = verdict
+        else:
+            VALIDATION_STATS.signature_cache_hits += 1
+        return verdict
 
     # ------------------------------------------------------------------
     # Classification helpers

@@ -2,9 +2,9 @@
 
 Serialized weights are what peers exchange: the bytes go to the off-chain
 content-addressed store, and their hash goes on chain as the non-repudiable
-commitment (see :class:`repro.contracts.model_store.ModelStore`).  The
-format is the library's canonical JSON-with-tagged-ndarrays encoding, so a
-byte-identical round trip is guaranteed for any weight dict.
+commitment (see :class:`repro.contracts.model_store.ModelStore`).  A
+byte-identical round trip is guaranteed for any weight dict in either
+format version (see below).
 
 Encoding a full weight dict is the most expensive marshalling step on the
 commitment hot path, so :class:`WeightArchive` memoizes it: ``payload``,
@@ -14,12 +14,23 @@ one-shot use; anything per-round should go through an archive — see
 :meth:`repro.core.offchain.OffchainStore.put_archive` and the peer submit
 path in :meth:`repro.core.peer.FullPeer.train_and_commit`.
 
+Two wire formats coexist behind the same functions.  **v2** (the default)
+is binary: a fixed magic, a compact JSON header describing name/dtype/shape
+per entry, then the raw C-contiguous array buffers concatenated — no
+base64, no JSON number parsing for array data, so encoding is a header
+plus ``len(weights)`` buffer copies.  **v1** is the library's canonical
+JSON-with-tagged-ndarrays encoding; it is still produced on request
+(``weights_to_bytes(..., version=1)``) and always decoded, so archives
+written before the codec change remain readable.  The decoder dispatches
+on the magic prefix, and both formats round-trip byte-identically.
+
 Module-level :data:`SERIALIZATION_STATS` counts real encode/decode work so
 tests and benchmarks can assert the hot path serializes once per model.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 from typing import Optional, Union
 
@@ -29,7 +40,11 @@ from repro.errors import SerializationError
 from repro.utils.hashing import keccak_like
 from repro.utils.serialization import canonical_dumps, canonical_loads
 
-_FORMAT_VERSION = 1
+_V1_VERSION = 1
+_FORMAT_VERSION = 2
+#: v2 payloads start with this magic (never valid JSON, so v1 is unambiguous).
+_V2_MAGIC = b"WAv2\x00"
+_V2_HEADER_LEN_BYTES = 8
 
 
 @dataclass
@@ -53,22 +68,92 @@ class SerializationStats:
 SERIALIZATION_STATS = SerializationStats()
 
 
-def weights_to_bytes(weights: dict[str, np.ndarray]) -> bytes:
-    """Serialize a named weight dict to canonical bytes."""
+def weights_to_bytes(weights: dict[str, np.ndarray], version: int = _FORMAT_VERSION) -> bytes:
+    """Serialize a named weight dict to canonical bytes.
+
+    ``version=2`` (default) emits the raw-buffer binary format; ``version=1``
+    emits the legacy JSON/base64 encoding (kept for compatibility tests and
+    cross-version measurements).
+    """
     for key, value in weights.items():
         if not isinstance(value, np.ndarray):
             raise SerializationError(f"weight {key!r} is {type(value).__name__}, not ndarray")
+    if version == _V1_VERSION:
+        SERIALIZATION_STATS.encodes += 1
+        return canonical_dumps({"version": _V1_VERSION, "weights": weights})
+    if version != _FORMAT_VERSION:
+        raise SerializationError(f"unknown weight format version {version!r}")
+    entries = []
+    buffers = []
+    for key in sorted(weights):
+        array = weights[key]
+        if array.dtype.hasobject:
+            # tobytes() would serialize pointers: an undecodable payload
+            # that still hashes fine — refuse before it can be committed.
+            raise SerializationError(f"weight {key!r} has non-serializable dtype {array.dtype}")
+        if not array.flags.c_contiguous:  # ascontiguousarray would promote 0-d to 1-d
+            array = np.ascontiguousarray(array)
+        entries.append({"name": key, "dtype": str(array.dtype), "shape": list(array.shape)})
+        buffers.append(array.tobytes())
+    header = json.dumps(
+        {"version": _FORMAT_VERSION, "entries": entries},
+        sort_keys=True,
+        separators=(",", ":"),
+    ).encode("utf-8")
     SERIALIZATION_STATS.encodes += 1
-    return canonical_dumps({"version": _FORMAT_VERSION, "weights": weights})
+    return b"".join(
+        [_V2_MAGIC, len(header).to_bytes(_V2_HEADER_LEN_BYTES, "big"), header, *buffers]
+    )
+
+
+def _weights_from_v2(payload: bytes) -> dict[str, np.ndarray]:
+    offset = len(_V2_MAGIC) + _V2_HEADER_LEN_BYTES
+    header_len = int.from_bytes(payload[len(_V2_MAGIC):offset], "big")
+    try:
+        header = json.loads(payload[offset:offset + header_len].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SerializationError(f"corrupt v2 weight header: {exc}") from exc
+    if not isinstance(header, dict) or not isinstance(header.get("entries"), list):
+        raise SerializationError("payload is not a weight archive")
+    if header.get("version") != _FORMAT_VERSION:
+        raise SerializationError(f"unsupported weight format version {header.get('version')!r}")
+    cursor = offset + header_len
+    weights: dict[str, np.ndarray] = {}
+    for entry in header["entries"]:
+        try:
+            name = entry["name"]
+            dtype = np.dtype(entry["dtype"])
+            shape = tuple(int(dim) for dim in entry["shape"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SerializationError(f"corrupt v2 weight entry: {exc}") from exc
+        count = 1
+        for dim in shape:
+            count *= dim
+        nbytes = count * dtype.itemsize
+        if cursor + nbytes > len(payload):
+            raise SerializationError(f"truncated v2 buffer for entry {name!r}")
+        try:
+            array = np.frombuffer(payload, dtype=dtype, count=count, offset=cursor)
+            weights[name] = array.reshape(shape).copy()
+        except (ValueError, TypeError) as exc:  # e.g. object dtype in a forged header
+            raise SerializationError(f"undecodable v2 buffer for entry {name!r}: {exc}") from exc
+        cursor += nbytes
+    if cursor != len(payload):
+        raise SerializationError("trailing bytes after v2 weight buffers")
+    return weights
 
 
 def weights_from_bytes(payload: bytes) -> dict[str, np.ndarray]:
-    """Inverse of :func:`weights_to_bytes`."""
+    """Inverse of :func:`weights_to_bytes` (accepts v2 and legacy v1)."""
+    if payload[: len(_V2_MAGIC)] == _V2_MAGIC:
+        weights = _weights_from_v2(bytes(payload))
+        SERIALIZATION_STATS.decodes += 1
+        return weights
     decoded = canonical_loads(payload)
     if not isinstance(decoded, dict) or "weights" not in decoded:
         raise SerializationError("payload is not a weight archive")
     version = decoded.get("version")
-    if version != _FORMAT_VERSION:
+    if version != _V1_VERSION:
         raise SerializationError(f"unsupported weight format version {version!r}")
     weights = decoded.get("weights")
     if not isinstance(weights, dict):

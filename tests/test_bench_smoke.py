@@ -1,9 +1,10 @@
 """Tier-1 smoke coverage of the benchmark harness.
 
-Runs the smoke-scale cores of ``bench_chain_throughput`` and
-``bench_commitment_pipeline`` in-process (the same code paths
-``pytest benchmarks/... --smoke`` exercises), so the tier-1 suite catches
-benchmark bit-rot and enforces the pipeline's headline numbers in seconds.
+Runs the smoke-scale cores of ``bench_chain_throughput``,
+``bench_commitment_pipeline``, and ``bench_block_execution`` in-process
+(the same code paths ``pytest benchmarks/... --smoke`` exercises), so the
+tier-1 suite catches benchmark bit-rot and enforces the pipelines'
+headline numbers in seconds.
 """
 
 import sys
@@ -13,6 +14,7 @@ _BENCHMARKS = Path(__file__).resolve().parent.parent / "benchmarks"
 if str(_BENCHMARKS) not in sys.path:
     sys.path.insert(0, str(_BENCHMARKS))
 
+import bench_block_execution
 import bench_chain_throughput
 import bench_commitment_pipeline
 
@@ -48,3 +50,29 @@ class TestCommitmentPipelineSmoke:
         profile = bench_commitment_pipeline.round_serialization_profile(rounds=1)
         assert profile["encodes_per_model"] == 1.0
         assert profile["store"]["deserializations"] == 0
+
+    def test_codec_v2_size_win(self):
+        # The size ratio is deterministic (base64 + JSON framing vs raw
+        # buffers); the wall-clock speedup gets no floor here so a loaded
+        # CI box can't flake tier-1.
+        codec = bench_commitment_pipeline.codec_comparison(n_models=2, repeats=1)
+        assert codec["size_ratio"] < 0.8
+
+
+class TestBlockExecutionSmoke:
+    def test_speedup_and_counters(self):
+        result = bench_block_execution.compare_block_execution(
+            **bench_block_execution.execution_params(smoke=True)
+        )
+        # The deterministic counters (one crypto verification per tx,
+        # journal entries ~ touched, re-hashes ~ dirty accounts) are the
+        # hard contract; the wall-clock ratio (typically >4x at smoke
+        # scale, 3x acceptance floor in the opt-in bench at full scale)
+        # gets slack so timing noise can't flake tier-1.
+        assert result["speedup"] >= 1.5
+        bench_block_execution._check_counters(result)
+
+    def test_rollback_cost_flat_in_state_size(self):
+        small = bench_block_execution.rollback_profile(64)
+        large = bench_block_execution.rollback_profile(1024)
+        assert small["entries_reverted"] == large["entries_reverted"]

@@ -73,6 +73,26 @@ class TestGetLogs:
         addresses = {entry.payload["address"] for entry in logs}
         assert alice.address in addresses
 
+    def test_range_query_bounds(self, logging_node):
+        node, registry, _a, _b = logging_node
+        # The registrations landed in block 2; a window around it matches
+        # exactly, windows outside it match nothing, and out-of-range
+        # bounds are clamped instead of erroring.
+        assert len(node.get_logs(address=registry, from_block=2, to_block=2)) == 2
+        assert node.get_logs(address=registry, from_block=0, to_block=0) == []
+        assert node.get_logs(address=registry, from_block=3, to_block=50) == []
+        assert len(node.get_logs(address=registry, from_block=-7, to_block=99)) == 2
+
+    def test_range_query_after_more_blocks(self, logging_node):
+        node, registry, alice, _b = logging_node
+        # Mine two empty blocks; a tip-anchored window stays empty while
+        # the historical window still answers from the receipts index.
+        for offset in (40.0, 53.0):
+            block = node.build_block_candidate(offset, difficulty=1)
+            node.seal_and_import(block, nonce=0)
+        assert node.get_logs(address=registry, from_block=node.height, to_block=node.height) == []
+        assert len(node.get_logs(address=registry, from_block=2, to_block=2)) == 2
+
     def test_failed_tx_logs_excluded(self, logging_node):
         node, registry, alice, _bob = logging_node
         # Duplicate registration reverts; its logs must not appear.

@@ -181,6 +181,41 @@ class TestBlockImport:
         with pytest.raises(InvalidBlockError):
             node.seal_and_import(block, nonce=0)
 
+    def test_state_root_mismatch_leaves_node_consistent(self, node, alice, bob):
+        # A rejected block must not become the head: state and store stay
+        # on the old branch and the node keeps mining.
+        tx = transfer_tx(node, alice, bob.address, 5)
+        node.submit_transaction(tx)
+        bad = node.build_block_candidate(13.0, difficulty=1)
+        bad.header.state_root = "0x" + "de" * 32
+        with pytest.raises(InvalidBlockError):
+            node.seal_and_import(bad, nonce=0)
+        assert node.height == 0
+        assert node.head.block_hash == node.store.genesis_hash
+        assert node.balance_of(bob.address) == 10**15
+        assert tx.tx_hash in node.mempool  # not consumed by the bad block
+        good = mine_one(node, timestamp=14.0)
+        assert node.head.block_hash == good.block_hash
+        assert node.balance_of(bob.address) == 10**15 + 5
+
+    def test_state_root_mismatch_mid_reorg_restores_old_branch(
+        self, three_nodes, alice, bob
+    ):
+        # B's heavier branch ends in a corrupted block: A must re-execute
+        # its rolled-back branch and stay on it, store and state agreeing.
+        a, b = three_nodes["A"], three_nodes["B"]
+        a.submit_transaction(transfer_tx(a, alice, bob.address, 777))
+        block_a = mine_one(a)
+        b1, b2 = mine_one(b), mine_one(b)
+        b2.header.state_root = "0x" + "de" * 32
+        b2.header.tx_root = b2.compute_tx_root()
+        a.import_block(b1)
+        with pytest.raises(InvalidBlockError):
+            a.import_block(b2)
+        assert a.head.block_hash == block_a.block_hash
+        assert a.balance_of(bob.address) == 10**15 + 777
+        assert a.receipt_of(a.store.get(block_a.block_hash).transactions[0].tx_hash)
+
 
 class TestReorgs:
     def test_reorg_replays_state(self, three_nodes, alice, bob):
@@ -216,6 +251,47 @@ class TestReorgs:
             a.submit_transaction(tx)
         except MempoolError:
             pytest.fail("valid tx rejected after reorg")
+
+
+class TestStateHistory:
+    def test_reorg_without_journal_marks_replays(self, keypairs, genesis_spec, runtime):
+        # keep_state_snapshots=False keeps no marks: reorgs rebuild state
+        # by replaying from genesis and must reach the same balances.
+        a = Node(keypairs["A"], genesis_spec, runtime, NodeConfig(keep_state_snapshots=False))
+        b = Node(keypairs["B"], genesis_spec, runtime, NodeConfig())
+        a.submit_transaction(transfer_tx(a, keypairs["A"], keypairs["B"].address, 777))
+        mine_one(a)
+        b1, b2 = mine_one(b), mine_one(b)
+        a.import_block(b1)
+        a.import_block(b2)
+        assert a.head.block_hash == b2.block_hash
+        assert a.balance_of(keypairs["B"].address) == 10**15 + 2 * a.config.block_reward
+
+    def test_pruned_history_falls_back_to_replay(self, keypairs, genesis_spec, runtime):
+        # state_history=1 prunes marks quickly; a reorg past the pruned
+        # window replays from genesis instead of rolling the journal back.
+        a = Node(keypairs["A"], genesis_spec, runtime, NodeConfig(state_history=1))
+        b = Node(keypairs["B"], genesis_spec, runtime, NodeConfig())
+        for _ in range(4):
+            mine_one(a)
+        assert len(a._state_marks) <= 3  # pruned to the history window
+        fork = [mine_one(b) for _ in range(5)]  # heavier branch from genesis
+        for block in fork:
+            a.import_block(block)
+        assert a.head.block_hash == fork[-1].block_hash
+        assert a.balance_of(keypairs["B"].address) == 10**15 + 5 * a.config.block_reward
+        assert a.height == 5
+
+    def test_journal_pruned_to_history_window(self, node, alice, bob):
+        node.config.state_history = 2
+        for _ in range(6):
+            node.submit_transaction(transfer_tx(node, alice, bob.address, 1))
+            mine_one(node)
+        # Marks exist only for the last two blocks (plus nothing older),
+        # and the journal holds only their undo records.
+        numbers = sorted(node.store.get(bh).number for bh in node._state_marks)
+        assert numbers == [4, 5, 6]
+        assert node.state.journal_size() < 60
 
 
 class TestPowVerification:

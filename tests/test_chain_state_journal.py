@@ -1,0 +1,259 @@
+"""Journaled WorldState: checkpoint/rollback semantics, overlays, pruning.
+
+The hypothesis property drives a journaled state and a deep-snapshot mirror
+(the seed's semantics: push ``snapshot()`` at checkpoint, ``restore()`` at
+rollback) through identical random op sequences — credits, debits,
+deployments, storage writes/deletes, nonce bumps, and nested
+checkpoint/commit/rollback — asserting the two remain observably identical
+after every step, including ``state_root()`` equality (which also proves
+the per-account hash cache invalidates correctly across rollbacks).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.chain.state import STATE_STATS, StateError, WorldState
+from repro.errors import InsufficientFundsError
+
+ADDRESSES = ["0x" + f"{i:02x}" * 20 for i in range(4)]
+KEYS = ["k0", "k1", "slot:a"]
+
+
+def _assert_same(journaled: WorldState, mirror: WorldState) -> None:
+    assert journaled.addresses() == mirror.addresses()
+    for address in journaled.addresses():
+        assert journaled.account(address).to_dict() == mirror.account(address).to_dict()
+    assert journaled.state_root() == mirror.state_root()
+
+
+_OPS = st.one_of(
+    st.tuples(st.just("credit"), st.sampled_from(ADDRESSES), st.integers(0, 100)),
+    st.tuples(st.just("debit"), st.sampled_from(ADDRESSES), st.integers(0, 100)),
+    st.tuples(st.just("bump"), st.sampled_from(ADDRESSES)),
+    st.tuples(st.just("deploy"), st.sampled_from(ADDRESSES), st.sampled_from(["m", "n"])),
+    st.tuples(
+        st.just("sstore"),
+        st.sampled_from(ADDRESSES),
+        st.sampled_from(KEYS),
+        st.one_of(st.integers(0, 9), st.lists(st.integers(0, 3), max_size=2)),
+    ),
+    st.tuples(st.just("sdelete"), st.sampled_from(ADDRESSES), st.sampled_from(KEYS)),
+    st.tuples(st.just("checkpoint")),
+    st.tuples(st.just("rollback")),
+    st.tuples(st.just("commit")),
+)
+
+
+@given(st.lists(_OPS, min_size=1, max_size=40))
+@settings(max_examples=80, deadline=None)
+def test_journal_matches_deep_snapshot_semantics(ops):
+    journaled = WorldState()
+    mirror = WorldState()
+    marks: list[int] = []
+    snaps: list[dict] = []
+    for op in ops:
+        kind = op[0]
+        if kind == "checkpoint":
+            marks.append(journaled.checkpoint())
+            snaps.append(mirror.snapshot())
+        elif kind == "rollback" and marks:
+            journaled.rollback(marks.pop())
+            mirror.restore(snaps.pop())
+        elif kind == "commit" and marks:
+            journaled.commit(marks.pop())
+            snaps.pop()
+        elif kind == "credit":
+            journaled.credit(op[1], op[2])
+            mirror.credit(op[1], op[2])
+        elif kind == "debit":
+            outcomes = []
+            for state in (journaled, mirror):
+                try:
+                    state.debit(op[1], op[2])
+                    outcomes.append("ok")
+                except InsufficientFundsError:
+                    outcomes.append("insufficient")
+            assert outcomes[0] == outcomes[1]
+        elif kind == "bump":
+            assert journaled.bump_nonce(op[1]) == mirror.bump_nonce(op[1])
+        elif kind == "deploy":
+            journaled.deploy(op[1], op[2], {"seed": 1})
+            mirror.deploy(op[1], op[2], {"seed": 1})
+        elif kind == "sstore":
+            journaled.storage_set(op[1], op[2], op[3])
+            mirror.storage_set(op[1], op[2], op[3])
+        elif kind == "sdelete":
+            journaled.storage_delete(op[1], op[2])
+            mirror.storage_delete(op[1], op[2])
+        _assert_same(journaled, mirror)
+
+
+ALICE, BOB = ADDRESSES[0], ADDRESSES[1]
+
+
+class TestCheckpoints:
+    def test_nested_rollback_innermost_first(self):
+        state = WorldState()
+        state.credit(ALICE, 100)
+        outer = state.checkpoint()
+        state.credit(ALICE, 10)
+        inner = state.checkpoint()
+        state.credit(ALICE, 1)
+        state.rollback(inner)
+        assert state.balance_of(ALICE) == 110
+        state.rollback(outer)
+        assert state.balance_of(ALICE) == 100
+
+    def test_commit_keeps_enclosing_rollback(self):
+        state = WorldState()
+        outer = state.checkpoint()
+        state.credit(ALICE, 5)
+        inner = state.checkpoint()
+        state.credit(ALICE, 7)
+        state.commit(inner)  # accepted, but outer can still undo it
+        assert state.balance_of(ALICE) == 12
+        state.rollback(outer)
+        assert state.balance_of(ALICE) == 0
+
+    def test_rollback_removes_created_accounts(self):
+        state = WorldState()
+        mark = state.checkpoint()
+        state.credit(ALICE, 1)
+        assert state.has_account(ALICE)
+        state.rollback(mark)
+        assert not state.has_account(ALICE)
+
+    def test_rollback_restores_storage_and_code(self):
+        state = WorldState()
+        state.deploy(ALICE, "m", {"x": 1})
+        mark = state.checkpoint()
+        state.storage_set(ALICE, "x", 2)
+        state.storage_set(ALICE, "y", 3)
+        state.storage_delete(ALICE, "x")
+        state.rollback(mark)
+        assert state.storage_get(ALICE, "x") == 1
+        assert not state.storage_has(ALICE, "y")
+
+    def test_bad_mark_raises(self):
+        state = WorldState()
+        with pytest.raises(StateError):
+            state.rollback(99)
+
+    def test_rollback_cost_is_touched_entries(self):
+        state = WorldState()
+        for index in range(500):
+            state.credit("0x" + f"{index:04x}" * 10, 1)
+        STATE_STATS.reset()
+        mark = state.checkpoint()
+        state.credit(ALICE, 1)
+        state.credit(BOB, 1)
+        state.rollback(mark)
+        # 2 touched (pre-existing) accounts -> 2 balance records, not 500.
+        assert STATE_STATS.entries_reverted == 2
+
+
+class TestPruning:
+    def test_pruned_marks_unreachable(self):
+        state = WorldState()
+        old = state.checkpoint()
+        state.credit(ALICE, 1)
+        new = state.checkpoint()
+        state.prune_journal(new)
+        assert not state.can_rollback_to(old)
+        assert state.can_rollback_to(new)
+        with pytest.raises(StateError):
+            state.rollback(old)
+
+    def test_marks_survive_pruning_below_them(self):
+        state = WorldState()
+        state.credit(ALICE, 1)
+        keep = state.checkpoint()
+        state.prune_journal(keep)
+        state.credit(ALICE, 2)
+        state.rollback(keep)
+        assert state.balance_of(ALICE) == 1
+
+
+class TestOverlay:
+    def test_reads_pass_through(self):
+        base = WorldState()
+        base.credit(ALICE, 10)
+        base.deploy(BOB, "m", {"k": 1})
+        overlay = base.overlay()
+        assert overlay.balance_of(ALICE) == 10
+        assert overlay.storage_get(BOB, "k") == 1
+        assert overlay.is_contract(BOB)
+        assert overlay.addresses() == base.addresses()
+
+    def test_writes_never_reach_base(self):
+        base = WorldState()
+        base.credit(ALICE, 10)
+        base.deploy(BOB, "m", {"k": 1})
+        overlay = base.overlay()
+        overlay.credit(ALICE, 90)
+        overlay.storage_set(BOB, "k", 2)
+        overlay.storage_delete(BOB, "missing")
+        assert overlay.balance_of(ALICE) == 100
+        assert overlay.storage_get(BOB, "k") == 2
+        assert base.balance_of(ALICE) == 10
+        assert base.storage_get(BOB, "k") == 1
+
+    def test_overlay_root_matches_materialized_copy(self):
+        base = WorldState()
+        base.credit(ALICE, 10)
+        base.deploy(BOB, "m", {"k": 1})
+        base.state_root()  # warm the base cache; overlay must not corrupt it
+        overlay = base.overlay()
+        overlay.transfer(ALICE, BOB, 4)
+        overlay.storage_set(BOB, "k", 7)
+        materialized = base.copy()
+        materialized.transfer(ALICE, BOB, 4)
+        materialized.storage_set(BOB, "k", 7)
+        assert overlay.state_root() == materialized.state_root()
+        # Discarding the overlay leaves the base root unchanged.
+        assert base.state_root() == base.copy().state_root()
+
+    def test_overlay_rollback_falls_back_to_base(self):
+        base = WorldState()
+        base.credit(ALICE, 10)
+        overlay = base.overlay()
+        mark = overlay.checkpoint()
+        overlay.credit(ALICE, 5)
+        overlay.rollback(mark)
+        assert overlay.balance_of(ALICE) == 10
+        assert ALICE not in overlay._accounts  # shadow removed, reads hit base
+
+
+class TestIncrementalRoot:
+    def test_root_equals_fresh_state_root_after_churn(self):
+        state = WorldState()
+        state.credit(ALICE, 100)
+        state.deploy(BOB, "m", {"k": 1})
+        state.state_root()
+        mark = state.checkpoint()
+        state.transfer(ALICE, BOB, 30)
+        state.storage_set(BOB, "k", 2)
+        state.rollback(mark)
+        state.storage_set(BOB, "j", 9)
+        fresh = WorldState()
+        fresh.credit(ALICE, 100)
+        fresh.deploy(BOB, "m", {"k": 1})
+        fresh.storage_set(BOB, "j", 9)
+        assert state.state_root() == fresh.state_root()
+
+    def test_rerooting_hashes_only_dirty_accounts(self):
+        state = WorldState()
+        for index in range(50):
+            state.credit("0x" + f"{index:04x}" * 10, 1)
+        state.state_root()
+        STATE_STATS.reset()
+        state.credit(ALICE, 1)
+        state.state_root()
+        assert STATE_STATS.accounts_hashed == 1
+
+    def test_direct_account_mutation_still_dirties_root(self):
+        state = WorldState()
+        state.deploy(ALICE, "m", {"k": 1})
+        before = state.state_root()
+        state.account(ALICE).storage["k"] = 2  # bypasses the journal
+        assert state.state_root() != before
