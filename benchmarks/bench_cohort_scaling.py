@@ -1,0 +1,145 @@
+"""X4 — cohort scaling: the speed/precision trade-off at 10-50 peers.
+
+The ROADMAP's open question after the batched-gossip (PR 1) and
+journaled-state (PR 2) substrate work: does the paper's trade-off survive
+cohorts an order of magnitude beyond its three VMs?  This bench drives the
+scenario sweep driver (:func:`repro.scenarios.sweep.cohort_sweep`) over
+10/25/50-peer cohorts with heterogeneous device speeds, wait-for-all
+against wait-for-k, and greedy combination selection above the exhaustive
+limit, reporting mean per-peer wait (simulated seconds) against cohort-mean
+final accuracy.
+
+Shape criteria: under wait-for-all the mean wait grows from the smallest
+to the largest cohort (the slowest of n devices is increasing in n;
+intermediate sizes can jitter by one block interval, so only the endpoints
+are asserted), wait-for-k waits less than wait-for-all at the same size,
+and accuracy stays in a sane band (aggregation at scale does not collapse).
+
+``--smoke`` shrinks to 4/6-peer cohorts and test-scale data so the tier-1
+suite can run the same code path in seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from _bench_util import run_once
+from repro.fl.async_policy import WaitForK
+from repro.metrics.tables import format_sweep_table
+from repro.scenarios import ScenarioContext, cohort_scenario, cohort_sweep
+
+_CACHE: dict = {}
+
+
+def sweep_params(smoke: bool = False) -> dict:
+    """Cohort sizes and the wait-for-k midpoint for one tier."""
+    if smoke:
+        return {"sizes": [4, 6], "k": 3, "quick": True}
+    return {"sizes": [10, 25, 50], "k": 5, "quick": False}
+
+
+def scaling_sweep(sizes: list[int], k: int, quick: bool, seed: int = 42) -> dict:
+    """Run the sweep under wait-for-all and wait-for-k; share datasets."""
+    key = (tuple(sizes), k, quick, seed)
+    if key in _CACHE:
+        return _CACHE[key]
+    base = cohort_scenario(min(sizes), seed=seed)
+    if quick:
+        # Tier-1 scale: one round, tiny splits — the policies, greedy
+        # selection, and chain substrate still run end to end.
+        base = replace(
+            base.quick(),
+            rounds=1,
+            cohort=replace(base.cohort, train_samples=80, test_samples=60),
+            aggregator_test_samples=60,
+        )
+    context = ScenarioContext()
+    result = {
+        "wait_all": cohort_sweep(sizes, base=base, seed=seed, context=context),
+        "wait_k": cohort_sweep(
+            sizes, base=base, seed=seed, policy=WaitForK(k), context=context
+        ),
+        "dataset_hits": context.stats["dataset_hits"],
+        "dataset_misses": context.stats["dataset_misses"],
+    }
+    _CACHE[key] = result
+    return result
+
+
+def _print_rows(label: str, rows: list[dict]) -> None:
+    print()
+    print(format_sweep_table(f"X4: cohort scaling ({label})", rows))
+
+
+def test_cohort_scaling_wait_grows_with_size(benchmark, smoke):
+    """Wait-for-all: the biggest cohort waits longer than the smallest.
+
+    Only the endpoints are compared: the mean wait of an intermediate
+    size can land one block interval early or late (inclusion timing
+    quantizes readiness), which is noise, not signal.
+    """
+    params = sweep_params(smoke)
+    result = run_once(
+        benchmark, lambda: scaling_sweep(params["sizes"], params["k"], params["quick"])
+    )
+    rows = result["wait_all"]
+    _print_rows("wait-for-all", rows)
+    waits = [row["mean_wait_s"] for row in rows]
+    assert all(wait > 0.0 for wait in waits)
+    assert waits[-1] > waits[0], f"wait should grow with cohort size, got {waits}"
+    assert all(0.0 < row["final_accuracy"] <= 1.0 for row in rows)
+
+
+def test_cohort_scaling_async_is_faster(benchmark, smoke):
+    """Wait-for-k waits less than wait-for-all at every cohort size."""
+    params = sweep_params(smoke)
+    result = run_once(
+        benchmark, lambda: scaling_sweep(params["sizes"], params["k"], params["quick"])
+    )
+    _print_rows(f"wait-for-{params['k']}", result["wait_k"])
+    for row_all, row_k in zip(result["wait_all"], result["wait_k"]):
+        assert row_k["cohort"] == row_all["cohort"]
+        assert row_k["mean_wait_s"] <= row_all["mean_wait_s"]
+    # Precision: asynchronous aggregation costs little accuracy at scale
+    # (the paper's claim, re-measured beyond three peers).
+    acc_all = [row["final_accuracy"] for row in result["wait_all"]]
+    acc_k = [row["final_accuracy"] for row in result["wait_k"]]
+    assert max(abs(a - b) for a, b in zip(acc_all, acc_k)) < 0.15
+
+
+def test_cohort_sweep_shares_datasets(benchmark, smoke):
+    """The sweep driver pays for each distinct dataset split exactly once."""
+    params = sweep_params(smoke)
+    result = run_once(
+        benchmark, lambda: scaling_sweep(params["sizes"], params["k"], params["quick"])
+    )
+    # The two policy sweeps cover the same (size, client) splits, so the
+    # second sweep should be all cache hits: misses < total requests / 2.
+    total = result["dataset_hits"] + result["dataset_misses"]
+    assert result["dataset_hits"] >= total / 2, (
+        f"expected shared datasets, got {result['dataset_hits']} hits / {total}"
+    )
+
+
+@pytest.mark.parametrize("size", [10])
+def test_greedy_selection_engages_beyond_limit(benchmark, smoke, size):
+    """Above the exhaustive limit the adopted combination comes from greedy
+    forward selection: the per-round log holds one combination, not 2^n."""
+    if smoke:
+        size = 8
+    spec = cohort_scenario(size, seed=1)
+    spec = replace(
+        spec.quick(),
+        rounds=1,
+        cohort=replace(spec.cohort, size=size, train_samples=80, test_samples=60),
+        aggregator_test_samples=60,
+    )
+    from repro.scenarios import run_scenario
+
+    result = run_once(benchmark, lambda: run_scenario(spec))
+    assert len(result.client_accuracy) == size
+    for log in result.round_logs:
+        assert len(log.combination_accuracy) == 1, "expected greedy single-entry log"
+        assert log.updates_visible == size

@@ -1,0 +1,19 @@
+"""A 10-peer adversarial sweep through the scenario API.
+
+Sweeps the attacker fraction over a 10-peer cohort (label-flip attackers,
+heterogeneous devices, greedy combination selection) and prints one
+speed/precision row per point — datasets are shared across the grid.
+
+Run: ``PYTHONPATH=src python examples/cohort_sweep.py``
+"""
+from repro.metrics.tables import format_sweep_table
+from repro.scenarios import AdversarySpec, cohort_scenario, grid, run_grid
+
+base = cohort_scenario(10, seed=7).quick()
+points = grid(base, {"adversary": [
+    AdversarySpec(),
+    AdversarySpec(kind="label_flip", fraction=0.2),
+    AdversarySpec(kind="label_flip", fraction=0.4),
+]})
+rows = [{"attackers": ",".join(p.result.adversaries) or "-", **p.result.summary()} for p in run_grid(points)]
+print(format_sweep_table("10-peer cohort vs label-flip fraction", rows))

@@ -23,6 +23,10 @@ Subpackages
     The paper's contribution — fully coupled blockchain-based FL peers,
     decentralized orchestration, non-repudiation evidence, calibrated
     experiment runners.
+``repro.scenarios``
+    Declarative scenario API: compose cohort/adversary/heterogeneity/chain
+    axes into a ``ScenarioSpec``, run any registered workload by name
+    (``paper/table1`` … ``cohort/50``), sweep grids with shared datasets.
 ``repro.metrics``
     Table/figure formatters reproducing the paper's reporting.
 """

@@ -42,8 +42,20 @@ class ExperimentConfig:
             raise ConfigError(f"unknown model kind {self.model_kind!r}")
         if self.rounds < 1:
             raise ConfigError("rounds must be >= 1")
+        if self.local_epochs < 1:
+            raise ConfigError(f"local_epochs must be >= 1, got {self.local_epochs}")
+        if self.batch_size < 1:
+            raise ConfigError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.learning_rate <= 0:
+            raise ConfigError(f"learning_rate must be positive, got {self.learning_rate}")
         if len(self.client_ids) < 2:
             raise ConfigError("need at least two clients")
+        if len(set(self.client_ids)) != len(self.client_ids):
+            raise ConfigError(f"client_ids must be unique, got {self.client_ids!r}")
+        if min(self.train_samples_per_client, self.test_samples_per_client, self.aggregator_test_samples) < 1:
+            raise ConfigError("per-client and aggregator sample counts must be >= 1")
+        if self.client_skew < 0:
+            raise ConfigError(f"client_skew must be non-negative, got {self.client_skew}")
 
     def train_config(self) -> TrainConfig:
         """Local-training hyperparameters for this experiment."""

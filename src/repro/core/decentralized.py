@@ -39,7 +39,7 @@ from repro.data.dataset import Dataset
 from repro.errors import ConfigError, NetworkError, RoundError
 from repro.fl.aggregation import ModelUpdate, fedavg
 from repro.fl.async_policy import AsyncPolicy, WaitForAll
-from repro.fl.selection import enumerate_combinations
+from repro.fl.selection import enumerate_combinations, greedy_combination
 from repro.nn.model import Sequential
 from repro.utils.events import Simulator
 from repro.utils.rng import RngFactory
@@ -65,6 +65,15 @@ class DecentralizedConfig:
     ``enable_reputation`` adds the incentive extension: after aggregating,
     each peer rates the others on the reputation ledger according to
     whether their solo models passed its local fitness check.
+
+    ``selection`` picks the combination-search strategy in personalized
+    mode: ``"exhaustive"`` enumerates every subset (the paper's Tables
+    II-IV), ``"greedy"`` runs forward selection
+    (:func:`~repro.fl.selection.greedy_combination`, O(n^2) instead of
+    O(2^n)), and ``"auto"`` — the default — stays exhaustive up to
+    ``exhaustive_limit`` visible updates and switches to greedy beyond it,
+    so the paper's 3-peer tables are bit-identical while 10-50-peer
+    cohorts stay tractable.
     """
 
     rounds: int = 10
@@ -72,6 +81,8 @@ class DecentralizedConfig:
     mode: str = "personalized"
     enable_reputation: bool = False
     reputation_fitness_margin: float = 0.10
+    selection: str = "auto"
+    exhaustive_limit: int = 6
     target_block_interval: float = 13.0
     latency: LatencyModel = field(default_factory=LatencyModel)
     gossip_batch_window: float = 0.01
@@ -84,6 +95,12 @@ class DecentralizedConfig:
             raise ConfigError(f"rounds must be >= 1, got {self.rounds}")
         if self.mode not in ("personalized", "global_vote"):
             raise ConfigError(f"unknown mode {self.mode!r}")
+        if self.selection not in ("exhaustive", "greedy", "auto"):
+            raise ConfigError(f"unknown selection strategy {self.selection!r}")
+        if self.exhaustive_limit < 1:
+            raise ConfigError(
+                f"exhaustive_limit must be >= 1, got {self.exhaustive_limit}"
+            )
 
 
 @dataclass
@@ -163,6 +180,9 @@ class DecentralizedFL:
                 test_set=test_sets[pc.peer_id],
                 model_builder=model_builder,
                 rng=self.rngs.get("peer", pc.peer_id),
+                attack_rng=(
+                    self.rngs.get("attack", pc.peer_id) if pc.attacker is not None else None
+                ),
             )
         self.peer_ids = [pc.peer_id for pc in peer_configs]
         self.id_of_address: dict[Address, str] = {
@@ -354,17 +374,35 @@ class DecentralizedFL:
             self._rate_round(round_id, updates_by_view)
         return logs
 
+    def _use_greedy(self, n_updates: int) -> bool:
+        """Whether this round's combination search should be greedy."""
+        if self.config.selection == "greedy":
+            return True
+        return self.config.selection == "auto" and n_updates > self.config.exhaustive_limit
+
     def _aggregate_for(self, peer: FullPeer, round_id: int, updates: list[ModelUpdate]) -> PeerRoundLog:
-        """Enumerate combinations on the peer's test set; adopt the best."""
-        results = enumerate_combinations(
-            updates, peer.client.model, peer.client.test_set, aggregator=fedavg
-        )
+        """Search combinations on the peer's test set; adopt the best.
+
+        Exhaustive enumeration reproduces the paper's tables; above the
+        configured cohort threshold forward selection takes over and the
+        log records only the adopted combination (the full table would
+        have 2^n rows).
+        """
         log = PeerRoundLog(peer_id=peer.peer_id, round_id=round_id)
-        for result in results:
-            log.combination_accuracy[result.label] = result.accuracy
-        top_acc = results[0].accuracy
-        tied = [result for result in results if result.accuracy == top_acc]
-        chosen = tied[int(peer.rng.integers(0, len(tied)))] if len(tied) > 1 else tied[0]
+        if self._use_greedy(len(updates)):
+            chosen = greedy_combination(
+                updates, peer.client.model, peer.client.test_set, aggregator=fedavg
+            )
+            log.combination_accuracy[chosen.label] = chosen.accuracy
+        else:
+            results = enumerate_combinations(
+                updates, peer.client.model, peer.client.test_set, aggregator=fedavg
+            )
+            for result in results:
+                log.combination_accuracy[result.label] = result.accuracy
+            top_acc = results[0].accuracy
+            tied = [result for result in results if result.accuracy == top_acc]
+            chosen = tied[int(peer.rng.integers(0, len(tied)))] if len(tied) > 1 else tied[0]
         log.chosen_combination = chosen.members
         log.chosen_accuracy = chosen.accuracy
         log.models_used = len(chosen.members)

@@ -1,28 +1,38 @@
-"""Experiment runners producing the paper's tables and figures.
+"""Legacy experiment runners — thin shims over the scenario API.
 
 ``run_vanilla_experiment`` regenerates Table I / Figure 3 series for one
 aggregation type; ``run_decentralized_experiment`` regenerates Tables
-II-IV / Figure 4.  Both are deterministic functions of their config.
+II-IV / Figure 4.  Both are deterministic functions of their config, and
+both now delegate to :func:`repro.scenarios.run_scenario` — the scenario
+runner uses the same named random streams, so results are bit-identical
+to the pre-scenario implementations.  New workloads (large cohorts,
+adversaries, heterogeneity) should build a
+:class:`~repro.scenarios.ScenarioSpec` directly instead of extending
+these signatures.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from functools import partial
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
-import numpy as np
-
 from repro.core.config import ExperimentConfig
-from repro.core.decentralized import DecentralizedConfig, DecentralizedFL, PeerRoundLog
-from repro.core.peer import PeerConfig
+from repro.core.decentralized import DecentralizedConfig, PeerRoundLog
 from repro.data.dataset import Dataset
-from repro.data.synthetic import SyntheticImageDataset, client_class_probs
-from repro.fl.async_policy import AsyncPolicy, WaitForAll
-from repro.fl.client import ClientConfig, FLClient
-from repro.fl.vanilla import VanillaConfig, VanillaFL, VanillaRoundLog
-from repro.nn.models import build_model
+from repro.data.synthetic import SyntheticImageDataset
+from repro.fl.async_policy import AsyncPolicy
+from repro.fl.vanilla import VanillaRoundLog
 from repro.utils.rng import RngFactory
+
+# repro.scenarios imports this package's siblings, and this module is part
+# of repro.core's public __init__ — import the scenario layer lazily to
+# keep `import repro.scenarios` and `import repro.core` both cycle-free.
+
+
+def _scenarios():
+    from repro import scenarios
+
+    return scenarios
 
 
 @dataclass
@@ -59,50 +69,25 @@ def _build_datasets(
 ) -> tuple[SyntheticImageDataset, dict[str, Dataset], dict[str, Dataset], Dataset]:
     """Per-client train/test splits plus the aggregator's default test set.
 
-    Every split samples the *same* underlying distribution through
-    independent streams — the IID-ish setting of the paper's deployment
-    (three VMs fed from one dataset).
+    Kept for the benchmark harness; the scenario runner owns the logic
+    (identical streams) and this wrapper adapts its return shape.
     """
-    factory = SyntheticImageDataset(config.data_spec)
-    train_sets: dict[str, Dataset] = {}
-    test_sets: dict[str, Dataset] = {}
-    for index, client_id in enumerate(config.client_ids):
-        probs = client_class_probs(
-            index,
-            len(config.client_ids),
-            config.data_spec.num_classes,
-            skew=config.client_skew,
-        )
-        train_sets[client_id] = factory.sample(
-            config.train_samples_per_client,
-            rngs.get("data", "train", client_id),
-            name=f"train/{client_id}",
-            class_probs=probs,
-        )
-        test_sets[client_id] = factory.sample(
-            config.test_samples_per_client,
-            rngs.get("data", "test", client_id),
-            name=f"test/{client_id}",
-        )
-    aggregator_test = factory.sample(
-        config.aggregator_test_samples,
-        rngs.get("data", "test", "aggregator"),
-        name="test/aggregator",
-    )
-    return factory, train_sets, test_sets, aggregator_test
+    from repro.scenarios.runner import ScenarioContext, _cohort_datasets
+
+    sc = _scenarios()
+    ctx = ScenarioContext()
+    spec = sc.ScenarioSpec.from_experiment_config(config)
+    train_sets, test_sets, aggregator_test = _cohort_datasets(spec, rngs, ctx)
+    return ctx.factory(spec.data_spec), train_sets, test_sets, aggregator_test
 
 
 def _model_builder(config: ExperimentConfig, factory: SyntheticImageDataset):
-    """Shared-architecture builder; init seed comes from the caller's rng.
+    """Shared-architecture builder; init seed comes from the caller's rng."""
+    from repro.scenarios.runner import ScenarioContext, _builder
 
-    The transfer-learning model receives the domain-pretrained backbone
-    derived from the dataset factory (see DESIGN.md §2 for the
-    substitution); SimpleNN trains from scratch.
-    """
-    if config.model_kind == "efficientnet_b0_sim":
-        backbone = factory.pretrained_backbone(mismatch=config.backbone_mismatch)
-        return partial(build_model, config.model_kind, backbone=backbone, sigma=config.backbone_sigma)
-    return partial(build_model, config.model_kind)
+    del factory  # the scenario context re-derives the backbone deterministically
+    sc = _scenarios()
+    return _builder(sc.ScenarioSpec.from_experiment_config(config), ScenarioContext())
 
 
 def run_vanilla_experiment(
@@ -110,35 +95,14 @@ def run_vanilla_experiment(
     consider: bool,
 ) -> VanillaExperimentResult:
     """Centralized FL, one aggregation type (half of Table I)."""
-    rngs = RngFactory(config.seed)
-    factory, train_sets, test_sets, aggregator_test = _build_datasets(config, rngs)
-    builder = _model_builder(config, factory)
-    # All clients start from identical initial weights (the shared model),
-    # matching both the paper's deployment and standard FedAvg.
-    init_rng_seed = rngs.integers("model-init")
-    clients = [
-        FLClient(
-            ClientConfig(client_id=client_id, train_config=config.train_config(), model_kind=config.model_kind),
-            train_sets[client_id],
-            test_sets[client_id],
-            lambda rng, _seed=init_rng_seed: builder(np.random.default_rng(_seed)),
-            rngs.get("client", client_id),
-        )
-        for client_id in config.client_ids
-    ]
-    driver = VanillaFL(
-        clients,
-        aggregator_test,
-        VanillaConfig(rounds=config.rounds, consider=consider),
-        model_builder=lambda rng: builder(np.random.default_rng(init_rng_seed)),
-        rng=rngs.get("tie-break"),
-    )
-    logs = driver.run()
+    sc = _scenarios()
+    spec = sc.ScenarioSpec.from_experiment_config(config, kind="vanilla", consider=consider)
+    result = sc.run_scenario(spec)
     return VanillaExperimentResult(
         config=config,
         aggregation_type="consider" if consider else "not_consider",
-        client_accuracy={client_id: driver.accuracy_series(client_id) for client_id in config.client_ids},
-        round_logs=logs,
+        client_accuracy=result.client_accuracy,
+        round_logs=result.round_logs,
     )
 
 
@@ -156,56 +120,54 @@ def run_decentralized_experiment(
     assigns each client a simulated local-training duration (heterogeneous
     devices — the situation that motivates not waiting); the default is a
     homogeneous 30 s, matching the paper's three equal VMs.
-    """
-    rngs = RngFactory(config.seed)
-    factory, train_sets, test_sets, _ = _build_datasets(config, rngs)
-    builder = _model_builder(config, factory)
-    init_rng_seed = rngs.integers("model-init")
 
+    ``policy`` overrides only the waiting policy of ``chain_config``
+    (``dataclasses.replace``) — every other field, including ``mode`` and
+    ``enable_reputation``, survives.
+    """
+    sc = _scenarios()
     dec_config = chain_config if chain_config is not None else DecentralizedConfig()
     if policy is not None:
-        dec_config = DecentralizedConfig(
-            rounds=dec_config.rounds,
-            policy=policy,
+        dec_config = replace(dec_config, policy=policy)
+
+    if training_times is not None:
+        missing = [cid for cid in config.client_ids if cid not in training_times]
+        if missing:
+            from repro.errors import ConfigError
+
+            raise ConfigError(f"training_times missing entries for {missing}")
+        heterogeneity = sc.HeterogeneitySpec(
+            kind="custom",
+            times=tuple(training_times[cid] for cid in config.client_ids),
+        )
+    else:
+        heterogeneity = sc.HeterogeneitySpec()
+
+    spec = sc.ScenarioSpec.from_experiment_config(
+        config,
+        kind="decentralized",
+        policy=dec_config.policy,
+        mode=dec_config.mode,
+        enable_reputation=dec_config.enable_reputation,
+        reputation_fitness_margin=dec_config.reputation_fitness_margin,
+        selection=dec_config.selection,
+        exhaustive_limit=dec_config.exhaustive_limit,
+        heterogeneity=heterogeneity,
+        chain=sc.ChainSpec(
             target_block_interval=dec_config.target_block_interval,
-            latency=dec_config.latency,
+            gossip_batch_window=dec_config.gossip_batch_window,
             hashrate=dec_config.hashrate,
             max_round_time=dec_config.max_round_time,
             poll_interval=dec_config.poll_interval,
-        )
-    dec_config.rounds = config.rounds
-
-    peer_configs = [
-        PeerConfig(
-            peer_id=client_id,
-            train_config=config.train_config(),
-            model_kind=config.model_kind,
-            training_time=(
-                training_times[client_id] if training_times is not None else 30.0
-            ),
-        )
-        for client_id in config.client_ids
-    ]
-    driver = DecentralizedFL(
-        peer_configs,
-        train_sets,
-        test_sets,
-        model_builder=lambda rng: builder(np.random.default_rng(init_rng_seed)),
-        config=dec_config,
-        rng_factory=rngs.spawn("chain"),
+            latency_base=dec_config.latency.base,
+            latency_jitter=dec_config.latency.jitter,
+        ),
     )
-    logs = driver.run()
-
-    combination_accuracy: dict[str, dict[str, list[float]]] = {}
-    for log in logs:
-        peer_table = combination_accuracy.setdefault(log.peer_id, {})
-        for combo, acc in log.combination_accuracy.items():
-            peer_table.setdefault(combo, []).append(acc)
-
+    result = sc.run_scenario(spec)
     return DecentralizedExperimentResult(
         config=config,
-        combination_accuracy=combination_accuracy,
-        wait_times=driver.wait_time_summary(),
-        chain_stats=driver.chain_stats(),
-        round_logs=logs,
+        combination_accuracy=result.combination_accuracy,
+        wait_times=result.wait_times,
+        chain_stats=result.chain_stats,
+        round_logs=result.round_logs,
     )

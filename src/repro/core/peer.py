@@ -22,19 +22,27 @@ from repro.data.dataset import Dataset
 from repro.errors import ConfigError
 from repro.fl.aggregation import ModelUpdate
 from repro.fl.client import ClientConfig, FLClient
+from repro.fl.poisoning import Attacker
 from repro.fl.trainer import TrainConfig
 from repro.nn.model import Sequential
 
 
 @dataclass
 class PeerConfig:
-    """Identity plus FL hyperparameters for one peer."""
+    """Identity plus FL hyperparameters for one peer.
+
+    ``attacker`` makes the peer adversarial: the hook is forwarded to the
+    embedded :class:`~repro.fl.client.FLClient`, so every update the peer
+    commits on chain has passed through
+    :meth:`~repro.fl.poisoning.Attacker.poison_update`.
+    """
 
     peer_id: str                      # display id, e.g. "A"
     train_config: TrainConfig
     model_kind: str = "simple_nn"
     training_time: float = 30.0       # simulated seconds of local training
     training_time_jitter: float = 5.0
+    attacker: Optional[Attacker] = None
 
     def __post_init__(self) -> None:
         if not self.peer_id:
@@ -56,6 +64,7 @@ class FullPeer:
         test_set: Dataset,
         model_builder: Callable[[np.random.Generator], Sequential],
         rng: np.random.Generator,
+        attack_rng: Optional[np.random.Generator] = None,
     ) -> None:
         self.config = config
         self.peer_id = config.peer_id
@@ -68,11 +77,13 @@ class FullPeer:
                 client_id=config.peer_id,
                 train_config=config.train_config,
                 model_kind=config.model_kind,
+                attacker=config.attacker,
             ),
             train_set,
             test_set,
             model_builder,
             rng,
+            attack_rng=attack_rng,
         )
         self.model_store_address: Optional[Address] = None
         self.coordinator_address: Optional[Address] = None

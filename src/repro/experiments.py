@@ -1,19 +1,26 @@
-"""Command-line experiment runner: regenerate any paper artifact.
+"""Command-line scenario runner: one declarative entry point per workload.
 
 Usage::
 
-    python -m repro.experiments table1 [--model simple_nn|efficientnet_b0_sim]
-    python -m repro.experiments table2            # client A combinations
-    python -m repro.experiments table3            # client B
-    python -m repro.experiments table4            # client C
-    python -m repro.experiments fig3              # vanilla curves
-    python -m repro.experiments fig4              # combination curves
-    python -m repro.experiments tradeoff          # wait-for-k sweep
-    python -m repro.experiments all               # everything
+    python -m repro.experiments list                  # registered scenarios
+    python -m repro.experiments run paper/table1      # any scenario by name
+    python -m repro.experiments run cohort/25 --quick
+    python -m repro.experiments run adversarial/label_flip --seed 7
+    python -m repro.experiments sweep cohort --sizes 10 25 50
 
-Each command runs the calibrated full-size experiment (10 rounds, 3 peers)
-and prints the corresponding table or figure series.  Results are
-deterministic per ``--seed``.
+``run`` executes a named scenario from the registry
+(:mod:`repro.scenarios.registry`) — the paper's artifacts
+(``paper/table1``, ``paper/tables234``, ``paper/tradeoff``), cohort-scaling
+workloads (any ``cohort/<n>``), adversarial and heterogeneous-device
+setups — and prints its rendered report.  ``sweep`` drives grids through
+the shared-dataset sweep driver (:mod:`repro.scenarios.sweep`); the
+``cohort`` axis is the ROADMAP's 10-50-peer speed/precision measurement.
+Results are deterministic per ``--seed``; ``--quick`` shrinks any scenario
+to test scale.
+
+The pre-scenario artifact commands (``table1`` … ``table4``, ``fig3``,
+``fig4``, ``tradeoff``, ``all``) are kept as aliases and print
+byte-identical output.
 """
 
 from __future__ import annotations
@@ -21,21 +28,39 @@ from __future__ import annotations
 import argparse
 import sys
 
-import numpy as np
-
 from repro.core.config import default_config
 from repro.core.decentralized import DecentralizedConfig
 from repro.core.experiment import run_decentralized_experiment, run_vanilla_experiment
+from repro.errors import ConfigError
 from repro.fl.async_policy import WaitForAll, WaitForK
 from repro.metrics.figures import (
     combination_figure_series,
     render_ascii_chart,
     vanilla_figure_series,
 )
-from repro.metrics.tables import format_combination_table, format_table1, render_table
+from repro.metrics.tables import (
+    MODEL_LABELS,
+    format_combination_table,
+    format_sweep_table,
+    format_table1,
+    render_table,
+)
+from repro.scenarios import (
+    ScenarioContext,
+    cohort_sweep,
+    get_scenario,
+    list_scenarios,
+    run_scenario,
+)
+from repro.scenarios.registry import PAPER_MODELS, TRADEOFF_HEADER, tradeoff_row
 
-MODEL_LABELS = {"simple_nn": "Simple NN", "efficientnet_b0_sim": "Efficient-B0"}
 _PEER_OF_TABLE = {"table2": "A", "table3": "B", "table4": "C"}
+_LEGACY_ARTIFACTS = ("table1", "table2", "table3", "table4", "fig3", "fig4", "tradeoff")
+
+
+# ---------------------------------------------------------------------------
+# Legacy artifact helpers (alias commands print byte-identical output)
+# ---------------------------------------------------------------------------
 
 
 def _table1(model_kind: str, seed: int) -> str:
@@ -95,16 +120,9 @@ def _tradeoff(model_kind: str, seed: int) -> str:
         result = run_decentralized_experiment(
             config, chain_config=DecentralizedConfig(policy=policy)
         )
-        mean_wait = float(np.mean(list(result.wait_times.values())))
-        final_acc = float(np.mean([log.chosen_accuracy for log in result.round_logs[-3:]]))
-        visible = float(np.mean([log.updates_visible for log in result.round_logs]))
-        rows.append(
-            [policy.describe(), f"{mean_wait:.1f}", f"{final_acc:.4f}", f"{visible:.2f}"]
-        )
+        rows.append(tradeoff_row(policy.describe(), result.wait_times, result.round_logs))
     return render_table(
-        f"Wait-or-not sweep ({MODEL_LABELS[model_kind]})",
-        ["policy", "mean wait (sim s)", "final acc", "models visible"],
-        rows,
+        f"Wait-or-not sweep ({MODEL_LABELS[model_kind]})", TRADEOFF_HEADER, rows
     )
 
 
@@ -116,44 +134,138 @@ COMMANDS = {
 }
 
 
-def main(argv: list[str] | None = None) -> int:
-    """Entry point; returns a process exit code."""
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.experiments",
-        description="Regenerate the paper's tables and figures.",
-    )
-    parser.add_argument(
-        "artifact",
-        choices=["table1", "table2", "table3", "table4", "fig3", "fig4", "tradeoff", "all"],
-        help="which paper artifact to regenerate",
-    )
-    parser.add_argument(
-        "--model",
-        choices=["simple_nn", "efficientnet_b0_sim", "both"],
-        default="both",
-        help="model family (default: both, as in the paper's tables)",
-    )
-    parser.add_argument("--seed", type=int, default=42, help="experiment seed")
-    args = parser.parse_args(argv)
-
-    model_kinds = (
-        ["simple_nn", "efficientnet_b0_sim"] if args.model == "both" else [args.model]
-    )
-    artifacts = (
-        ["table1", "table2", "table3", "table4", "fig3", "fig4", "tradeoff"]
-        if args.artifact == "all"
-        else [args.artifact]
-    )
-
-    for artifact in artifacts:
+def _run_legacy(artifact: str, model: str, seed: int) -> int:
+    model_kinds = list(PAPER_MODELS) if model == "both" else [model]
+    artifacts = list(_LEGACY_ARTIFACTS) if artifact == "all" else [artifact]
+    for name in artifacts:
         for model_kind in model_kinds:
-            if artifact in _PEER_OF_TABLE:
-                text = _combination_table(model_kind, _PEER_OF_TABLE[artifact], args.seed)
+            if name in _PEER_OF_TABLE:
+                text = _combination_table(model_kind, _PEER_OF_TABLE[name], seed)
             else:
-                text = COMMANDS[artifact](model_kind, args.seed)
+                text = COMMANDS[name](model_kind, seed)
             print(text)
             print()
     return 0
+
+
+# ---------------------------------------------------------------------------
+# Scenario commands
+# ---------------------------------------------------------------------------
+
+
+def _run_named_scenario(name: str, seed: int, quick: bool, model: str | None) -> int:
+    try:
+        definition = get_scenario(name)
+    except ConfigError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    models = None
+    if model is not None:
+        models = PAPER_MODELS if model == "both" else (model,)
+    specs = definition.build(seed=seed, quick=quick, models=models)
+    context = ScenarioContext()
+    results = [run_scenario(spec, context=context) for spec in specs]
+    for block in definition.render(specs, results):
+        print(block)
+        print()
+    return 0
+
+
+def _run_sweep(axis: str, sizes: list[int], wait_for: int | None, seed: int, quick: bool) -> int:
+    del axis  # only "cohort" exists today; argparse restricts the choice
+    try:
+        policy = WaitForK(wait_for) if wait_for is not None else None
+        rows = cohort_sweep(sizes, seed=seed, quick=quick, policy=policy)
+    except ConfigError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(format_sweep_table("Cohort scaling sweep (speed vs precision)", rows))
+    return 0
+
+
+def _run_list() -> int:
+    rows = [[definition.name, definition.description] for definition in list_scenarios()]
+    rows.append(["cohort/<n>", "any cohort size n >= 2 resolves dynamically"])
+    print(render_table("Registered scenarios", ["name", "description"], rows))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    model_choices = ["simple_nn", "efficientnet_b0_sim", "both"]
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Run declarative scenarios (and regenerate the paper's artifacts).",
+    )
+    # The seed CLI accepted flag-first orderings like `--seed 7 table1`;
+    # keep them valid by mirroring --seed/--model at the top level (the
+    # per-subcommand flags, when given, win).
+    parser.add_argument(
+        "--seed", type=int, default=None, dest="global_seed", help=argparse.SUPPRESS
+    )
+    parser.add_argument(
+        "--model",
+        choices=model_choices,
+        default=None,
+        dest="global_model",
+        help=argparse.SUPPRESS,
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser("run", help="run a named scenario from the registry")
+    run_parser.add_argument("scenario", help="scenario name, e.g. paper/table1 or cohort/25")
+    run_parser.add_argument("--seed", type=int, default=None, help="experiment seed (default 42)")
+    run_parser.add_argument(
+        "--quick", action="store_true", help="shrink to test scale (2 rounds, small splits)"
+    )
+    run_parser.add_argument(
+        "--model",
+        choices=model_choices,
+        default=None,
+        help="override the scenario's model families",
+    )
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="sweep a scenario axis through the shared-dataset driver"
+    )
+    sweep_parser.add_argument("axis", choices=["cohort"], help="axis to sweep")
+    sweep_parser.add_argument(
+        "--sizes", type=int, nargs="+", default=[10, 25, 50], help="cohort sizes"
+    )
+    sweep_parser.add_argument(
+        "--wait-for", type=int, default=None, help="use wait-for-k instead of wait-for-all"
+    )
+    sweep_parser.add_argument("--seed", type=int, default=None, help="experiment seed (default 42)")
+    sweep_parser.add_argument("--quick", action="store_true", help="shrink to test scale")
+
+    subparsers.add_parser("list", help="list registered scenarios")
+
+    for artifact in (*_LEGACY_ARTIFACTS, "all"):
+        legacy = subparsers.add_parser(
+            artifact, help=f"(legacy alias) regenerate {artifact}"
+        )
+        legacy.add_argument(
+            "--model",
+            choices=model_choices,
+            default=None,
+            help="model family (default: both, as in the paper's tables)",
+        )
+        legacy.add_argument("--seed", type=int, default=None, help="experiment seed (default 42)")
+
+    args = parser.parse_args(argv)
+    seed = next(
+        (value for value in (getattr(args, "seed", None), args.global_seed) if value is not None),
+        42,
+    )
+    model = getattr(args, "model", None) or args.global_model
+
+    if args.command == "run":
+        return _run_named_scenario(args.scenario, seed, args.quick, model)
+    if args.command == "sweep":
+        return _run_sweep(args.axis, args.sizes, args.wait_for, seed, args.quick)
+    if args.command == "list":
+        return _run_list()
+    return _run_legacy(args.command, model or "both", seed)
 
 
 if __name__ == "__main__":

@@ -10,6 +10,9 @@ from __future__ import annotations
 
 from typing import Sequence
 
+#: Display names of the two model families, as the paper's tables print them.
+MODEL_LABELS = {"simple_nn": "Simple NN", "efficientnet_b0_sim": "Efficient-B0"}
+
 
 def series_row(label: str, values: Sequence[float], precision: int = 4) -> list[str]:
     """One table row: label plus formatted per-round values."""
@@ -78,3 +81,19 @@ def format_combination_table(
         rows.append([model_name, combo] + [f"{v:.4f}" for v in combination_series[combo]])
     title = f"{title_prefix} - Client {peer_id}"
     return render_table(title, header, rows)
+
+
+def format_sweep_table(title: str, rows: Sequence[dict]) -> str:
+    """Render sweep-driver rows (list of uniform dicts) as one table.
+
+    Column order follows the first row's key order; floats print with four
+    decimals, everything else via ``str``.
+    """
+    if not rows:
+        return render_table(title, ["(empty sweep)"], [])
+    header = list(rows[0])
+    formatted = [
+        [f"{row[key]:.4f}" if isinstance(row[key], float) else str(row[key]) for key in header]
+        for row in rows
+    ]
+    return render_table(title, header, formatted)

@@ -1,0 +1,380 @@
+"""Named-scenario registry: every workload reproducible by name.
+
+A :class:`ScenarioDefinition` bundles the specs a named workload runs and
+how to render their results.  Built-ins cover the paper's artifacts
+(``paper/table1``, ``paper/tables234``, ``paper/tradeoff``), cohort-scaling
+workloads (``cohort/10`` … ``cohort/50`` — any ``cohort/<n>`` resolves
+dynamically), the adversarial ablation (``adversarial/label_flip``), and
+device heterogeneity (``hetero/stragglers``).  Unknown names raise
+:class:`~repro.errors.ConfigError` with a did-you-mean listing.
+
+Register project-specific workloads with :func:`register_scenario`::
+
+    @register_scenario("mylab/night-run", "50 peers, scale attack, wait-for-10")
+    def _night_run(seed=42, quick=False, models=None):
+        return (replace(cohort_scenario(50, seed=seed), ...),)
+"""
+
+from __future__ import annotations
+
+import difflib
+import re
+from dataclasses import dataclass, replace
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import default_config
+from repro.errors import ConfigError
+from repro.fl.async_policy import WaitForAll, WaitForK
+from repro.metrics.tables import (
+    MODEL_LABELS,
+    format_combination_table,
+    format_table1,
+    render_table,
+)
+from repro.scenarios.runner import ScenarioResult
+from repro.scenarios.spec import (
+    AdversarySpec,
+    CohortSpec,
+    HeterogeneitySpec,
+    ScenarioSpec,
+)
+
+#: Model families a paper artifact covers, in the paper's table order.
+PAPER_MODELS = ("simple_nn", "efficientnet_b0_sim")
+
+#: ``build`` signature: (seed, quick, models) -> ordered specs to run.
+BuildFn = Callable[..., tuple[ScenarioSpec, ...]]
+#: ``render`` signature: (specs, results) -> printable text blocks.
+RenderFn = Callable[[Sequence[ScenarioSpec], Sequence[ScenarioResult]], list[str]]
+
+
+def default_render(specs: Sequence[ScenarioSpec], results: Sequence[ScenarioResult]) -> list[str]:
+    """Generic speed/precision summary — one row per scenario run."""
+    rows = []
+    for result in results:
+        summary = result.summary()
+        rows.append(
+            [
+                summary["scenario"],
+                str(summary["cohort"]),
+                summary["policy"],
+                f"{summary['mean_wait_s']:.1f}",
+                f"{summary['final_accuracy']:.4f}",
+                ",".join(result.adversaries) or "-",
+            ]
+        )
+    table = render_table(
+        "Scenario summary",
+        ["scenario", "cohort", "policy", "mean wait (sim s)", "final acc", "adversaries"],
+        rows,
+    )
+    return [table]
+
+
+@dataclass(frozen=True)
+class ScenarioDefinition:
+    """One named workload: what it runs and how it reports."""
+
+    name: str
+    description: str
+    build: BuildFn
+    render: RenderFn = default_render
+
+
+_REGISTRY: dict[str, ScenarioDefinition] = {}
+
+
+def register_scenario(
+    name: str, description: str, render: Optional[RenderFn] = None
+) -> Callable[[BuildFn], BuildFn]:
+    """Decorator registering ``build`` under ``name``."""
+    def decorator(build: BuildFn) -> BuildFn:
+        if name in _REGISTRY:
+            raise ConfigError(f"scenario {name!r} already registered")
+        _REGISTRY[name] = ScenarioDefinition(
+            name=name,
+            description=description,
+            build=build,
+            render=render if render is not None else default_render,
+        )
+        return build
+    return decorator
+
+
+def list_scenarios() -> list[ScenarioDefinition]:
+    """Registered definitions, sorted by name."""
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+_COHORT_PATTERN = re.compile(r"^cohort/(\d+)$")
+
+
+def get_scenario(name: str) -> ScenarioDefinition:
+    """Resolve a scenario by name.
+
+    ``cohort/<n>`` resolves for any integer n >= 2, registered or not;
+    anything else must be registered.  Unknown names get a did-you-mean
+    listing built from the registry.
+    """
+    if name in _REGISTRY:
+        return _REGISTRY[name]
+    match = _COHORT_PATTERN.match(name)
+    if match:
+        size = int(match.group(1))
+        if size < 2:
+            raise ConfigError(f"cohort size must be >= 2, got {name!r}")
+        return _cohort_definition(size)
+    suggestions = difflib.get_close_matches(name, sorted(_REGISTRY), n=3, cutoff=0.4)
+    hint = f"; did you mean: {', '.join(suggestions)}?" if suggestions else ""
+    raise ConfigError(
+        f"unknown scenario {name!r}{hint} "
+        f"(run `python -m repro.experiments list` for all names)"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Paper artifacts
+# ---------------------------------------------------------------------------
+
+
+def _paper_models(models: Optional[Sequence[str]]) -> tuple[str, ...]:
+    return tuple(models) if models else PAPER_MODELS
+
+
+def _maybe_quick(spec: ScenarioSpec, quick: bool) -> ScenarioSpec:
+    return spec.quick() if quick else spec
+
+
+def paper_spec(
+    model_kind: str, seed: int = 42, kind: str = "decentralized", **overrides: object
+) -> ScenarioSpec:
+    """The paper-faithful spec for one model family (3 clients, 10 rounds)."""
+    return ScenarioSpec.from_experiment_config(
+        default_config(model_kind, seed=seed), kind=kind, **overrides
+    )
+
+
+def _render_table1(specs, results) -> list[str]:
+    blocks = []
+    for index in range(0, len(results), 2):
+        consider, not_consider = results[index], results[index + 1]
+        model_kind = specs[index].model_kind
+        series = {
+            client: {
+                "consider": consider.client_accuracy[client],
+                "not_consider": not_consider.client_accuracy[client],
+            }
+            for client in specs[index].client_ids()
+        }
+        blocks.append(format_table1(MODEL_LABELS[model_kind], series))
+    return blocks
+
+
+@register_scenario(
+    "paper/table1",
+    "Table I: vanilla FL, consider vs not-consider, both model families",
+    render=_render_table1,
+)
+def _build_table1(seed: int = 42, quick: bool = False, models=None) -> tuple[ScenarioSpec, ...]:
+    specs = []
+    for model_kind in _paper_models(models):
+        for consider in (True, False):
+            specs.append(
+                _maybe_quick(
+                    paper_spec(
+                        model_kind,
+                        seed=seed,
+                        kind="vanilla",
+                        consider=consider,
+                        name="paper/table1",
+                    ),
+                    quick,
+                )
+            )
+    return tuple(specs)
+
+
+def _render_tables234(specs, results) -> list[str]:
+    blocks = []
+    for peer_id in ("A", "B", "C"):
+        for spec, result in zip(specs, results):
+            blocks.append(
+                format_combination_table(
+                    MODEL_LABELS[spec.model_kind],
+                    peer_id,
+                    result.combination_accuracy[peer_id],
+                )
+            )
+    return blocks
+
+
+@register_scenario(
+    "paper/tables234",
+    "Tables II-IV: blockchain FL combination tables for clients A, B, C",
+    render=_render_tables234,
+)
+def _build_tables234(seed: int = 42, quick: bool = False, models=None) -> tuple[ScenarioSpec, ...]:
+    return tuple(
+        _maybe_quick(paper_spec(model_kind, seed=seed, name="paper/tables234"), quick)
+        for model_kind in _paper_models(models)
+    )
+
+
+#: Column headers of the wait-or-not sweep table (shared with the legacy
+#: ``tradeoff`` CLI alias so the two outputs cannot drift apart).
+TRADEOFF_HEADER = ["policy", "mean wait (sim s)", "final acc", "models visible"]
+
+
+def tradeoff_row(policy_label: str, wait_times: dict, round_logs: list) -> list[str]:
+    """One wait-or-not sweep row: policy, mean wait, final acc, visibility.
+
+    The single source of the row formula — the registry render and the
+    legacy ``tradeoff`` CLI alias both call it, keeping their outputs
+    byte-identical by construction.
+    """
+    mean_wait = float(np.mean(list(wait_times.values())))
+    final_acc = float(np.mean([log.chosen_accuracy for log in round_logs[-3:]]))
+    visible = float(np.mean([log.updates_visible for log in round_logs]))
+    return [policy_label, f"{mean_wait:.1f}", f"{final_acc:.4f}", f"{visible:.2f}"]
+
+
+def _render_tradeoff(specs, results) -> list[str]:
+    blocks = []
+    for index in range(0, len(results), 3):
+        model_kind = specs[index].model_kind
+        rows = [
+            tradeoff_row(result.spec.policy.describe(), result.wait_times, result.round_logs)
+            for result in results[index:index + 3]
+        ]
+        blocks.append(
+            render_table(
+                f"Wait-or-not sweep ({MODEL_LABELS[model_kind]})",
+                TRADEOFF_HEADER,
+                rows,
+            )
+        )
+    return blocks
+
+
+@register_scenario(
+    "paper/tradeoff",
+    "Headline trade-off: wait-for-k sweep (k = 1, 2, all) per model family",
+    render=_render_tradeoff,
+)
+def _build_tradeoff(seed: int = 42, quick: bool = False, models=None) -> tuple[ScenarioSpec, ...]:
+    specs = []
+    for model_kind in _paper_models(models):
+        for policy in (WaitForK(1), WaitForK(2), WaitForAll()):
+            specs.append(
+                _maybe_quick(
+                    paper_spec(
+                        model_kind, seed=seed, policy=policy, name="paper/tradeoff"
+                    ),
+                    quick,
+                )
+            )
+    return tuple(specs)
+
+
+# ---------------------------------------------------------------------------
+# Beyond the paper: cohorts, adversaries, heterogeneity
+# ---------------------------------------------------------------------------
+
+
+def cohort_scenario(size: int, seed: int = 42) -> ScenarioSpec:
+    """Bench-scale ``size``-peer decentralized scenario.
+
+    Reduced data and rounds keep 10-50-peer runs tractable; heterogeneous
+    device speeds (uniform 60 ± 40 s) make the waiting policy matter, and
+    ``selection="auto"`` switches to greedy forward selection above the
+    exhaustive limit — the configuration behind the ROADMAP's
+    speed/precision-at-scale measurement.
+    """
+    return ScenarioSpec(
+        name=f"cohort/{size}",
+        kind="decentralized",
+        model_kind="simple_nn",
+        rounds=3,
+        local_epochs=2,
+        cohort=CohortSpec(size=size, train_samples=200, test_samples=150),
+        heterogeneity=HeterogeneitySpec(kind="uniform", base_time=60.0, spread=40.0),
+        seed=seed,
+        aggregator_test_samples=150,
+    )
+
+
+def _cohort_build(size: int, seed: int = 42, quick: bool = False, models=None):
+    return tuple(
+        _maybe_quick(replace(cohort_scenario(size, seed=seed), model_kind=model_kind), quick)
+        for model_kind in (models or ("simple_nn",))
+    )
+
+
+def _cohort_definition(size: int) -> ScenarioDefinition:
+    """The one source of ``cohort/<n>`` definitions — registered sizes and
+    dynamically resolved ones describe the workload identically."""
+    return ScenarioDefinition(
+        name=f"cohort/{size}",
+        description=(
+            f"{size}-peer decentralized cohort at bench scale (greedy selection, "
+            "heterogeneous devices)"
+        ),
+        build=lambda seed=42, quick=False, models=None, _n=size: _cohort_build(
+            _n, seed=seed, quick=quick, models=models
+        ),
+    )
+
+
+for _size in (10, 25, 50):
+    _REGISTRY[f"cohort/{_size}"] = _cohort_definition(_size)
+
+
+@register_scenario(
+    "adversarial/label_flip",
+    "Paper cohort with one label-flipping adversary (consider should exclude it)",
+)
+def _build_label_flip(seed: int = 42, quick: bool = False, models=None) -> tuple[ScenarioSpec, ...]:
+    return tuple(
+        _maybe_quick(
+            paper_spec(
+                model_kind,
+                seed=seed,
+                name="adversarial/label_flip",
+                adversary=AdversarySpec(kind="label_flip", fraction=1 / 3),
+            ),
+            quick,
+        )
+        for model_kind in (models or ("simple_nn",))
+    )
+
+
+@register_scenario(
+    "hetero/stragglers",
+    "5-peer cohort with one 5x straggler device under wait-for-all",
+)
+def _build_stragglers(seed: int = 42, quick: bool = False, models=None) -> tuple[ScenarioSpec, ...]:
+    return tuple(
+        _maybe_quick(
+            ScenarioSpec(
+                name="hetero/stragglers",
+                kind="decentralized",
+                model_kind=model_kind,
+                rounds=5,
+                local_epochs=2,
+                cohort=CohortSpec(size=5, train_samples=400, test_samples=300),
+                heterogeneity=HeterogeneitySpec(
+                    kind="stragglers",
+                    base_time=30.0,
+                    straggler_fraction=0.2,
+                    straggler_factor=5.0,
+                ),
+                policy=WaitForAll(),
+                seed=seed,
+                aggregator_test_samples=300,
+            ),
+            quick,
+        )
+        for model_kind in (models or ("simple_nn",))
+    )

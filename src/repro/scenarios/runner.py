@@ -1,0 +1,349 @@
+"""Run one :class:`~repro.scenarios.spec.ScenarioSpec` end to end.
+
+``run_scenario`` is the single entry point behind every workload: the
+paper's tables, large cohorts, adversarial cohorts, heterogeneous-device
+sweeps.  The legacy ``run_vanilla_experiment`` / ``run_decentralized_experiment``
+functions are thin shims over it.
+
+Determinism contract: for a given spec, results are a pure function of
+``spec.seed``.  Every random stream is named (see
+:class:`~repro.utils.rng.RngFactory`), and the stream names used here for
+the honest, homogeneous, 3-client paper configuration are *exactly* the
+seed implementation's names — so the paper tables regenerate
+bit-identically through the scenario API.  New axes (adversaries,
+heterogeneity) draw from their own streams (``attack/...``, ``hetero``),
+which by construction never perturb the honest streams.
+
+A :class:`ScenarioContext` memoizes the dataset factory, sampled splits,
+and pretrained backbones across runs; the sweep driver passes one context
+to every point of a grid so a 10-50-peer sweep pays for each dataset once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Optional
+
+import numpy as np
+
+from repro.core.decentralized import DecentralizedConfig, DecentralizedFL
+from repro.core.peer import PeerConfig
+from repro.chain.network import LatencyModel
+from repro.data.dataset import Dataset
+from repro.data.synthetic import SyntheticImageDataset, SyntheticSpec, client_class_probs
+from repro.fl.client import ClientConfig, FLClient
+from repro.fl.trainer import TrainConfig
+from repro.fl.vanilla import VanillaConfig, VanillaFL
+from repro.nn.models import build_model
+from repro.scenarios.spec import ScenarioSpec
+from repro.utils.rng import RngFactory
+
+
+class ScenarioContext:
+    """Caches shared across the runs of a sweep.
+
+    Dataset splits are deterministic functions of (data spec, experiment
+    seed, split name, size, class skew), so memoizing them is
+    behaviour-preserving: a cache hit returns byte-identical arrays to what
+    a fresh run would sample.  Consumers treat datasets as read-only
+    (adversarial corruption copies before mutating).
+    """
+
+    def __init__(self) -> None:
+        self._factories: dict[SyntheticSpec, SyntheticImageDataset] = {}
+        self._backbones: dict[tuple, tuple[np.ndarray, np.ndarray]] = {}
+        self._datasets: dict[tuple, Dataset] = {}
+        self.stats = {"dataset_hits": 0, "dataset_misses": 0}
+
+    def factory(self, data_spec: SyntheticSpec) -> SyntheticImageDataset:
+        """The (cached) dataset factory for one generation spec."""
+        if data_spec not in self._factories:
+            self._factories[data_spec] = SyntheticImageDataset(data_spec)
+        return self._factories[data_spec]
+
+    def backbone(self, data_spec: SyntheticSpec, mismatch: float):
+        """Cached pretrained trunk for the transfer-learning model."""
+        key = (data_spec, mismatch)
+        if key not in self._backbones:
+            self._backbones[key] = self.factory(data_spec).pretrained_backbone(mismatch=mismatch)
+        return self._backbones[key]
+
+    def dataset(self, key: tuple, sample) -> Dataset:
+        """Memoized split: ``sample()`` runs only on a cache miss."""
+        if key not in self._datasets:
+            self.stats["dataset_misses"] += 1
+            self._datasets[key] = sample()
+        else:
+            self.stats["dataset_hits"] += 1
+        return self._datasets[key]
+
+
+@dataclass
+class ScenarioResult:
+    """Everything one scenario run produced.
+
+    ``client_accuracy`` is the per-client accuracy series in both kinds
+    (vanilla: local test accuracy after each round; decentralized: the
+    adopted combination's accuracy).  ``combination_accuracy`` /
+    ``wait_times`` / ``chain_stats`` are decentralized-only.
+    """
+
+    spec: ScenarioSpec
+    client_accuracy: dict[str, list[float]]
+    combination_accuracy: dict[str, dict[str, list[float]]] = field(default_factory=dict)
+    wait_times: dict[str, float] = field(default_factory=dict)
+    chain_stats: dict = field(default_factory=dict)
+    round_logs: list = field(default_factory=list)
+    adversaries: tuple[str, ...] = ()
+    training_times: dict[str, float] = field(default_factory=dict)
+
+    def final_accuracy(self, client_id: str) -> float:
+        """Accuracy after the last round for one client."""
+        return self.client_accuracy[client_id][-1]
+
+    def mean_final_accuracy(self, honest_only: bool = False) -> float:
+        """Cohort-mean final accuracy (optionally excluding adversaries)."""
+        ids = [
+            cid for cid in self.client_accuracy
+            if not (honest_only and cid in self.adversaries)
+        ]
+        return float(np.mean([self.client_accuracy[cid][-1] for cid in ids]))
+
+    def mean_wait(self) -> float:
+        """Mean per-peer wait time (0.0 for vanilla runs)."""
+        if not self.wait_times:
+            return 0.0
+        return float(np.mean(list(self.wait_times.values())))
+
+    def summary(self) -> dict:
+        """Speed/precision digest — one sweep-table row."""
+        return {
+            "scenario": self.spec.name or self.spec.kind,
+            "kind": self.spec.kind,
+            "cohort": len(self.client_accuracy),
+            "policy": self.spec.policy.describe() if self.spec.kind == "decentralized" else "-",
+            "mean_wait_s": round(self.mean_wait(), 4),
+            "final_accuracy": round(self.mean_final_accuracy(), 6),
+            "adversaries": len(self.adversaries),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Shared building blocks (stream names identical to the seed implementation)
+# ---------------------------------------------------------------------------
+
+
+def _cohort_datasets(
+    spec: ScenarioSpec,
+    rngs: RngFactory,
+    ctx: ScenarioContext,
+) -> tuple[dict[str, Dataset], dict[str, Dataset], Dataset]:
+    """Per-client train/test splits plus the aggregator's default test set.
+
+    Streams: ``data/train/<id>`` and ``data/test/<id>`` per client,
+    ``data/test/aggregator`` for the central set — the seed layout.
+    Adversarial dataset corruption (``attack/<id>``) happens here, after
+    sampling, so honest splits stay cache-shareable across scenarios.
+    """
+    factory = ctx.factory(spec.data_spec)
+    client_ids = spec.client_ids()
+    attacker = spec.adversary.build_attacker()
+    adversary_ids = set(spec.adversary.adversary_ids(client_ids))
+    train_sets: dict[str, Dataset] = {}
+    test_sets: dict[str, Dataset] = {}
+    for index, client_id in enumerate(client_ids):
+        probs = client_class_probs(
+            index,
+            len(client_ids),
+            spec.data_spec.num_classes,
+            skew=spec.cohort.label_skew,
+        )
+        volume = spec.cohort.volume_of(index)
+        train_key = (spec.data_spec, spec.seed, "train", client_id, volume,
+                     index, len(client_ids), spec.cohort.label_skew)
+        train_sets[client_id] = ctx.dataset(
+            train_key,
+            lambda: factory.sample(
+                volume,
+                rngs.get("data", "train", client_id),
+                name=f"train/{client_id}",
+                class_probs=probs,
+            ),
+        )
+        test_key = (spec.data_spec, spec.seed, "test", client_id, spec.cohort.test_samples)
+        test_sets[client_id] = ctx.dataset(
+            test_key,
+            lambda: factory.sample(
+                spec.cohort.test_samples,
+                rngs.get("data", "test", client_id),
+                name=f"test/{client_id}",
+            ),
+        )
+        if attacker is not None and client_id in adversary_ids:
+            train_sets[client_id] = attacker.poison_dataset(
+                train_sets[client_id], rngs.get("attack", client_id)
+            )
+    aggregator_key = (spec.data_spec, spec.seed, "aggregator", spec.aggregator_test_samples)
+    aggregator_test = ctx.dataset(
+        aggregator_key,
+        lambda: factory.sample(
+            spec.aggregator_test_samples,
+            rngs.get("data", "test", "aggregator"),
+            name="test/aggregator",
+        ),
+    )
+    return train_sets, test_sets, aggregator_test
+
+
+def _builder(spec: ScenarioSpec, ctx: ScenarioContext):
+    """Shared-architecture builder; init seed comes from the caller's rng."""
+    if spec.model_kind == "efficientnet_b0_sim":
+        backbone = ctx.backbone(spec.data_spec, spec.backbone_mismatch)
+        return partial(
+            build_model, spec.model_kind, backbone=backbone, sigma=spec.backbone_sigma
+        )
+    return partial(build_model, spec.model_kind)
+
+
+def _train_config(spec: ScenarioSpec) -> TrainConfig:
+    """Local-training hyperparameters of the scenario."""
+    return TrainConfig(
+        epochs=spec.local_epochs,
+        batch_size=spec.batch_size,
+        learning_rate=spec.resolved_learning_rate(),
+    )
+
+
+# ---------------------------------------------------------------------------
+# The two deployment kinds
+# ---------------------------------------------------------------------------
+
+
+def _run_vanilla(
+    spec: ScenarioSpec, rngs: RngFactory, ctx: ScenarioContext
+) -> ScenarioResult:
+    train_sets, test_sets, aggregator_test = _cohort_datasets(spec, rngs, ctx)
+    builder = _builder(spec, ctx)
+    client_ids = spec.client_ids()
+    attacker = spec.adversary.build_attacker()
+    adversary_ids = spec.adversary.adversary_ids(client_ids)
+    # All clients start from identical initial weights (the shared model),
+    # matching both the paper's deployment and standard FedAvg.
+    init_rng_seed = rngs.integers("model-init")
+    train_config = _train_config(spec)
+    clients = [
+        FLClient(
+            ClientConfig(
+                client_id=client_id,
+                train_config=train_config,
+                model_kind=spec.model_kind,
+                attacker=attacker if client_id in adversary_ids else None,
+            ),
+            train_sets[client_id],
+            test_sets[client_id],
+            lambda rng, _seed=init_rng_seed: builder(np.random.default_rng(_seed)),
+            rngs.get("client", client_id),
+            attack_rng=(
+                rngs.get("attack", client_id) if client_id in adversary_ids else None
+            ),
+        )
+        for client_id in client_ids
+    ]
+    driver = VanillaFL(
+        clients,
+        aggregator_test,
+        VanillaConfig(rounds=spec.rounds, consider=spec.consider),
+        model_builder=lambda rng: builder(np.random.default_rng(init_rng_seed)),
+        rng=rngs.get("tie-break"),
+    )
+    logs = driver.run()
+    return ScenarioResult(
+        spec=spec,
+        client_accuracy={cid: driver.accuracy_series(cid) for cid in client_ids},
+        round_logs=logs,
+        adversaries=adversary_ids,
+    )
+
+
+def _run_decentralized(
+    spec: ScenarioSpec, rngs: RngFactory, ctx: ScenarioContext
+) -> ScenarioResult:
+    train_sets, test_sets, _ = _cohort_datasets(spec, rngs, ctx)
+    builder = _builder(spec, ctx)
+    client_ids = spec.client_ids()
+    attacker = spec.adversary.build_attacker()
+    adversary_ids = spec.adversary.adversary_ids(client_ids)
+    init_rng_seed = rngs.integers("model-init")
+    training_times = spec.heterogeneity.training_times(client_ids, rngs.get("hetero"))
+
+    dec_config = DecentralizedConfig(
+        rounds=spec.rounds,
+        policy=spec.policy,
+        mode=spec.mode,
+        enable_reputation=spec.enable_reputation,
+        reputation_fitness_margin=spec.reputation_fitness_margin,
+        selection=spec.selection,
+        exhaustive_limit=spec.exhaustive_limit,
+        target_block_interval=spec.chain.target_block_interval,
+        latency=LatencyModel(base=spec.chain.latency_base, jitter=spec.chain.latency_jitter),
+        gossip_batch_window=spec.chain.gossip_batch_window,
+        hashrate=spec.chain.hashrate,
+        max_round_time=spec.chain.max_round_time,
+        poll_interval=spec.chain.poll_interval,
+    )
+    train_config = _train_config(spec)
+    peer_configs = [
+        PeerConfig(
+            peer_id=client_id,
+            train_config=train_config,
+            model_kind=spec.model_kind,
+            training_time=training_times[client_id],
+            attacker=attacker if client_id in adversary_ids else None,
+        )
+        for client_id in client_ids
+    ]
+    driver = DecentralizedFL(
+        peer_configs,
+        train_sets,
+        test_sets,
+        model_builder=lambda rng: builder(np.random.default_rng(init_rng_seed)),
+        config=dec_config,
+        rng_factory=rngs.spawn("chain"),
+    )
+    logs = driver.run()
+
+    combination_accuracy: dict[str, dict[str, list[float]]] = {}
+    client_accuracy: dict[str, list[float]] = {cid: [] for cid in client_ids}
+    for log in logs:
+        peer_table = combination_accuracy.setdefault(log.peer_id, {})
+        for combo, acc in log.combination_accuracy.items():
+            peer_table.setdefault(combo, []).append(acc)
+        client_accuracy[log.peer_id].append(log.chosen_accuracy)
+
+    return ScenarioResult(
+        spec=spec,
+        client_accuracy=client_accuracy,
+        combination_accuracy=combination_accuracy,
+        wait_times=driver.wait_time_summary(),
+        chain_stats=driver.chain_stats(),
+        round_logs=logs,
+        adversaries=adversary_ids,
+        training_times=training_times,
+    )
+
+
+def run_scenario(
+    spec: ScenarioSpec, context: Optional[ScenarioContext] = None
+) -> ScenarioResult:
+    """Execute one scenario; deterministic in ``spec`` (including its seed).
+
+    Pass a shared :class:`ScenarioContext` when running several related
+    scenarios (the sweep driver does) to reuse dataset splits and
+    pretrained backbones across runs.
+    """
+    rngs = RngFactory(spec.seed)
+    ctx = context if context is not None else ScenarioContext()
+    if spec.kind == "vanilla":
+        return _run_vanilla(spec, rngs, ctx)
+    return _run_decentralized(spec, rngs, ctx)

@@ -1,10 +1,10 @@
 """Tier-1 smoke coverage of the benchmark harness.
 
 Runs the smoke-scale cores of ``bench_chain_throughput``,
-``bench_commitment_pipeline``, and ``bench_block_execution`` in-process
-(the same code paths ``pytest benchmarks/... --smoke`` exercises), so the
-tier-1 suite catches benchmark bit-rot and enforces the pipelines'
-headline numbers in seconds.
+``bench_commitment_pipeline``, ``bench_block_execution``, and
+``bench_cohort_scaling`` in-process (the same code paths
+``pytest benchmarks/... --smoke`` exercises), so the tier-1 suite catches
+benchmark bit-rot and enforces the pipelines' headline numbers in seconds.
 """
 
 import sys
@@ -16,6 +16,7 @@ if str(_BENCHMARKS) not in sys.path:
 
 import bench_block_execution
 import bench_chain_throughput
+import bench_cohort_scaling
 import bench_commitment_pipeline
 
 
@@ -76,3 +77,27 @@ class TestBlockExecutionSmoke:
         small = bench_block_execution.rollback_profile(64)
         large = bench_block_execution.rollback_profile(1024)
         assert small["entries_reverted"] == large["entries_reverted"]
+
+
+class TestCohortScalingSmoke:
+    """Smoke-tier cohort sweep: policies, greedy selection, shared datasets."""
+
+    @classmethod
+    def _sweep(cls):
+        params = bench_cohort_scaling.sweep_params(smoke=True)
+        return bench_cohort_scaling.scaling_sweep(
+            params["sizes"], params["k"], params["quick"]
+        )
+
+    def test_wait_grows_and_async_is_faster(self):
+        result = self._sweep()
+        waits_all = [row["mean_wait_s"] for row in result["wait_all"]]
+        assert waits_all[-1] > waits_all[0] > 0.0
+        for row_all, row_k in zip(result["wait_all"], result["wait_k"]):
+            assert row_k["mean_wait_s"] <= row_all["mean_wait_s"]
+            assert 0.0 < row_k["final_accuracy"] <= 1.0
+
+    def test_sweep_shares_datasets(self):
+        result = self._sweep()
+        total = result["dataset_hits"] + result["dataset_misses"]
+        assert result["dataset_hits"] >= total / 2

@@ -12,6 +12,14 @@ class TestArgumentParsing:
         assert excinfo.value.code == 2
         assert "invalid choice" in capsys.readouterr().err
 
+    def test_help_lists_scenario_commands(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli.main(["--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        for command in ("run", "sweep", "list"):
+            assert command in out
+
     def test_unknown_model_rejected(self, capsys):
         with pytest.raises(SystemExit):
             cli.main(["table1", "--model", "resnet"])
@@ -59,3 +67,75 @@ class TestHelpers:
         code = cli.main(["table1", "--model", "simple_nn", "--seed", "1"])
         assert code == 0
         assert "Table I" in capsys.readouterr().out
+
+    def test_flag_first_ordering_still_accepted(self, capsys):
+        """The seed CLI allowed `--seed 1 table1`; the subcommand redesign
+        keeps that ordering (and subcommand-local flags win over global)."""
+        code = cli.main(["--seed", "1", "--model", "simple_nn", "table1"])
+        assert code == 0
+        flag_first = capsys.readouterr().out
+        assert cli.main(["table1", "--model", "simple_nn", "--seed", "1"]) == 0
+        assert capsys.readouterr().out == flag_first
+
+
+class TestListCommand:
+    def test_list_prints_registry(self, capsys):
+        assert cli.main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("paper/table1", "cohort/25", "adversarial/label_flip", "hetero/stragglers"):
+            assert name in out
+
+
+class TestRunCommand:
+    """Scenario runs at quick scale (paper-scale runs live in benchmarks/)."""
+
+    @pytest.fixture(autouse=True)
+    def quick_defaults(self, monkeypatch):
+        import repro.scenarios.registry as registry
+        from repro.core.config import quick_config
+
+        monkeypatch.setattr(cli, "default_config", lambda kind, seed=42: quick_config(kind, seed=seed))
+        monkeypatch.setattr(registry, "default_config", lambda kind, seed=42: quick_config(kind, seed=seed))
+
+    def test_run_unknown_scenario_exits_2(self, capsys):
+        assert cli.main(["run", "paper/tabel1"]) == 2
+        err = capsys.readouterr().err
+        assert "did you mean" in err and "paper/table1" in err
+
+    def test_run_paper_table1_matches_legacy_alias(self, capsys):
+        """`run paper/table1` and the legacy `table1` alias print the same bytes."""
+        assert cli.main(["table1", "--model", "simple_nn", "--seed", "1"]) == 0
+        legacy = capsys.readouterr().out
+        assert cli.main(["run", "paper/table1", "--model", "simple_nn", "--seed", "1"]) == 0
+        assert capsys.readouterr().out == legacy
+        assert "Table I" in legacy
+
+    def test_run_adversarial_scenario_quick(self, capsys):
+        assert cli.main(["run", "adversarial/label_flip", "--quick", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Scenario summary" in out
+        assert "C" in out  # the flipped client is reported
+
+    def test_run_hetero_scenario_quick(self, capsys):
+        assert cli.main(["run", "hetero/stragglers", "--quick", "--seed", "1"]) == 0
+        assert "Scenario summary" in capsys.readouterr().out
+
+
+class TestSweepCommand:
+    def test_sweep_cohort_prints_rows(self, capsys):
+        assert cli.main(["sweep", "cohort", "--sizes", "3", "4", "--quick", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Cohort scaling sweep" in out
+        assert "mean_wait_s" in out and "final_accuracy" in out
+        # One row per requested size.
+        assert len([line for line in out.splitlines() if line.startswith(("3 ", "4 "))]) == 2
+
+    def test_sweep_invalid_wait_for_exits_cleanly(self, capsys):
+        assert cli.main(["sweep", "cohort", "--sizes", "3", "--wait-for", "0"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_sweep_unknown_axis_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli.main(["sweep", "policy"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err

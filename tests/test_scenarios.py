@@ -1,0 +1,414 @@
+"""Tests for the declarative scenario API (spec, registry, runner, sweep)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.config import quick_config
+from repro.core.decentralized import DecentralizedConfig
+from repro.core.experiment import run_decentralized_experiment, run_vanilla_experiment
+from repro.errors import ConfigError
+from repro.fl.async_policy import WaitForK
+from repro.fl.poisoning import LabelFlipAttacker, NoiseAttacker, ScaleAttacker
+from repro.scenarios import (
+    AdversarySpec,
+    CohortSpec,
+    HeterogeneitySpec,
+    ScenarioContext,
+    ScenarioSpec,
+    cohort_scenario,
+    cohort_sweep,
+    default_client_ids,
+    get_scenario,
+    grid,
+    list_scenarios,
+    replace_axis,
+    run_grid,
+    run_scenario,
+)
+from repro.utils.rng import RngFactory
+
+
+def tiny_spec(**overrides) -> ScenarioSpec:
+    """A seconds-scale decentralized spec for runner tests."""
+    defaults = dict(
+        kind="decentralized",
+        rounds=1,
+        local_epochs=1,
+        cohort=CohortSpec(size=3, train_samples=60, test_samples=40),
+        aggregator_test_samples=40,
+        seed=11,
+    )
+    defaults.update(overrides)
+    return ScenarioSpec(**defaults)
+
+
+class TestSpecValidation:
+    def test_cohort_size_floor(self):
+        with pytest.raises(ConfigError):
+            CohortSpec(size=1)
+
+    def test_cohort_ids_must_match_size(self):
+        with pytest.raises(ConfigError):
+            CohortSpec(size=3, client_ids=("A", "B"))
+
+    def test_cohort_volumes_must_match_size(self):
+        with pytest.raises(ConfigError):
+            CohortSpec(size=3, volumes=(100, 100))
+
+    def test_attacker_fraction_range(self):
+        with pytest.raises(ConfigError):
+            AdversarySpec(kind="label_flip", fraction=1.5)
+        with pytest.raises(ConfigError):
+            AdversarySpec(kind="label_flip", fraction=-0.1)
+
+    def test_attacker_kind_needs_fraction(self):
+        with pytest.raises(ConfigError):
+            AdversarySpec(kind="noise", fraction=0.0)
+
+    def test_unknown_attacker_kind(self):
+        with pytest.raises(ConfigError):
+            AdversarySpec(kind="gradient_inversion", fraction=0.5)
+
+    def test_attacker_fraction_needs_a_kind(self):
+        with pytest.raises(ConfigError):
+            AdversarySpec(kind="none", fraction=0.3)
+
+    def test_attacker_knobs_validated_at_construction(self):
+        with pytest.raises(ConfigError):
+            AdversarySpec(kind="noise", fraction=0.5, noise_std=0.0)
+        with pytest.raises(ConfigError):
+            AdversarySpec(kind="scale", fraction=0.5, scale=1.0)
+        with pytest.raises(ConfigError):
+            AdversarySpec(kind="label_flip", fraction=0.5, flip_fraction=0.0)
+
+    def test_unknown_heterogeneity_kind(self):
+        with pytest.raises(ConfigError):
+            HeterogeneitySpec(kind="bimodal")
+
+    def test_custom_heterogeneity_needs_times(self):
+        with pytest.raises(ConfigError):
+            HeterogeneitySpec(kind="custom")
+
+    def test_hetero_times_must_match_cohort(self):
+        with pytest.raises(ConfigError):
+            tiny_spec(heterogeneity=HeterogeneitySpec(kind="custom", times=(10.0, 20.0)))
+
+    def test_unknown_selection(self):
+        with pytest.raises(ConfigError):
+            tiny_spec(selection="simulated_annealing")
+
+    def test_unknown_kind_and_mode(self):
+        with pytest.raises(ConfigError):
+            tiny_spec(kind="hierarchical")
+        with pytest.raises(ConfigError):
+            tiny_spec(mode="dictatorship")
+
+    def test_experiment_config_validation(self):
+        with pytest.raises(ConfigError):
+            replace(quick_config("simple_nn"), learning_rate=0.0)
+        with pytest.raises(ConfigError):
+            replace(quick_config("simple_nn"), local_epochs=0)
+        with pytest.raises(ConfigError):
+            replace(quick_config("simple_nn"), client_ids=("A", "A", "B"))
+        with pytest.raises(ConfigError):
+            replace(quick_config("simple_nn"), client_skew=-1.0)
+
+
+class TestSpecAxes:
+    def test_default_client_ids(self):
+        assert default_client_ids(3) == ("A", "B", "C")
+        assert default_client_ids(26)[-1] == "Z"
+        assert default_client_ids(30)[:2] == ("P00", "P01")
+
+    def test_linear_volume_profile(self):
+        cohort = CohortSpec(size=5, train_samples=100, volume_profile="linear")
+        volumes = [cohort.volume_of(i) for i in range(5)]
+        assert volumes[0] == 50 and volumes[-1] == 150
+        assert volumes == sorted(volumes)
+
+    def test_adversary_ids_are_last_clients(self):
+        ids = default_client_ids(3)
+        assert AdversarySpec(kind="label_flip", fraction=1 / 3).adversary_ids(ids) == ("C",)
+        assert AdversarySpec(kind="noise", fraction=1.0).adversary_ids(ids) == ids
+        assert AdversarySpec().adversary_ids(ids) == ()
+
+    def test_build_attacker_types(self):
+        assert isinstance(
+            AdversarySpec(kind="label_flip", fraction=0.5).build_attacker(), LabelFlipAttacker
+        )
+        assert isinstance(
+            AdversarySpec(kind="noise", fraction=0.5).build_attacker(), NoiseAttacker
+        )
+        assert isinstance(
+            AdversarySpec(kind="scale", fraction=0.5).build_attacker(), ScaleAttacker
+        )
+        assert AdversarySpec().build_attacker() is None
+
+    def test_straggler_times_deterministic(self):
+        hetero = HeterogeneitySpec(
+            kind="stragglers", base_time=10.0, straggler_fraction=0.4, straggler_factor=3.0
+        )
+        times = hetero.training_times(default_client_ids(5), RngFactory(0).get("hetero"))
+        assert times["A"] == 10.0 and times["D"] == 30.0 and times["E"] == 30.0
+
+    def test_zero_straggler_fraction_is_homogeneous(self):
+        hetero = HeterogeneitySpec(kind="stragglers", base_time=10.0, straggler_fraction=0.0)
+        times = hetero.training_times(default_client_ids(4), RngFactory(0).get("hetero"))
+        assert set(times.values()) == {10.0}
+
+    def test_uniform_times_draw_from_stream(self):
+        hetero = HeterogeneitySpec(kind="uniform", base_time=30.0, spread=10.0)
+        a = hetero.training_times(("A", "B"), RngFactory(1).get("hetero"))
+        b = hetero.training_times(("A", "B"), RngFactory(1).get("hetero"))
+        assert a == b
+        assert all(20.0 <= t <= 40.0 for t in a.values())
+
+    def test_replace_axis_nested(self):
+        spec = tiny_spec()
+        bigger = replace_axis(spec, "cohort.size", 5)
+        assert bigger.cohort.size == 5
+        assert bigger.client_ids() == ("A", "B", "C", "D", "E")
+        assert replace_axis(spec, "policy", WaitForK(1)).policy == WaitForK(1)
+
+    def test_replace_axis_unknown_path(self):
+        with pytest.raises(ConfigError):
+            replace_axis(tiny_spec(), "cohort.flavour", 1)
+        with pytest.raises(ConfigError):
+            replace_axis(tiny_spec(), "warp_factor", 9)
+
+    def test_experiment_config_round_trip(self):
+        config = quick_config("simple_nn", seed=9)
+        spec = ScenarioSpec.from_experiment_config(config, kind="vanilla")
+        assert spec.to_experiment_config() == config
+
+
+class TestRegistry:
+    def test_expected_names_registered(self):
+        names = {definition.name for definition in list_scenarios()}
+        assert {
+            "paper/table1",
+            "paper/tables234",
+            "paper/tradeoff",
+            "cohort/10",
+            "cohort/25",
+            "cohort/50",
+            "adversarial/label_flip",
+            "hetero/stragglers",
+        } <= names
+
+    def test_unknown_name_did_you_mean(self):
+        with pytest.raises(ConfigError, match="paper/table1"):
+            get_scenario("paper/tabel1")
+
+    def test_dynamic_cohort_names(self):
+        definition = get_scenario("cohort/17")
+        (spec,) = definition.build(seed=1, quick=True)
+        assert spec.cohort.size == 17
+        with pytest.raises(ConfigError):
+            get_scenario("cohort/1")
+
+    def test_dynamic_and_registered_cohorts_described_identically(self):
+        registered = get_scenario("cohort/25")
+        dynamic = get_scenario("cohort/12")
+        assert registered.description.replace("25", "12") == dynamic.description
+
+    def test_every_registered_scenario_builds(self):
+        for definition in list_scenarios():
+            specs = definition.build(seed=1, quick=True)
+            assert specs, definition.name
+            for spec in specs:
+                assert isinstance(spec, ScenarioSpec)
+
+    def test_builds_honor_every_requested_model(self):
+        both = ("simple_nn", "efficientnet_b0_sim")
+        for definition in list_scenarios():
+            specs = definition.build(seed=1, quick=True, models=both)
+            assert {spec.model_kind for spec in specs} == set(both), definition.name
+
+    @pytest.mark.parametrize(
+        "name", [definition.name for definition in list_scenarios()]
+    )
+    def test_every_registered_scenario_runs_quick(self, name):
+        definition = get_scenario(name)
+        specs = [
+            # Big cohorts additionally shrink data/rounds (size is the point).
+            replace(
+                spec,
+                rounds=1,
+                cohort=replace(spec.cohort, train_samples=50, test_samples=40),
+                aggregator_test_samples=40,
+            )
+            if spec.cohort.size > 6
+            else spec
+            for spec in definition.build(seed=1, quick=True, models=("simple_nn",))
+        ]
+        context = ScenarioContext()
+        results = [run_scenario(spec, context=context) for spec in specs]
+        for spec, result in zip(specs, results):
+            assert set(result.client_accuracy) == set(spec.client_ids())
+        blocks = definition.render(specs, results)
+        assert blocks and all(isinstance(block, str) for block in blocks)
+
+
+class TestRunner:
+    def test_same_seed_identical_result(self):
+        spec = tiny_spec(
+            cohort=CohortSpec(size=4, train_samples=60, test_samples=40),
+            adversary=AdversarySpec(kind="noise", fraction=0.25, noise_std=0.3),
+            heterogeneity=HeterogeneitySpec(kind="uniform", base_time=30.0, spread=15.0),
+        )
+        assert run_scenario(spec) == run_scenario(spec)
+
+    def test_seed_changes_result(self):
+        spec = tiny_spec()
+        assert run_scenario(spec) != run_scenario(replace(spec, seed=spec.seed + 1))
+
+    def test_adversaries_recorded_and_effective(self):
+        honest = tiny_spec()
+        attacked = replace(
+            honest, adversary=AdversarySpec(kind="scale", fraction=1 / 3, scale=50.0)
+        )
+        honest_result = run_scenario(honest)
+        attacked_result = run_scenario(attacked)
+        assert honest_result.adversaries == ()
+        assert attacked_result.adversaries == ("C",)
+        # The attacker's committed update really is scaled: any combination
+        # containing C scores differently than in the honest run.
+        assert attacked_result.combination_accuracy != honest_result.combination_accuracy
+
+    def test_label_flip_poisons_training_data(self):
+        spec = tiny_spec(adversary=AdversarySpec(kind="label_flip", fraction=1 / 3))
+        from repro.scenarios.runner import _cohort_datasets
+
+        train_sets, _, _ = _cohort_datasets(spec, RngFactory(spec.seed), ScenarioContext())
+        assert train_sets["C"].name.endswith("label_flipped")
+        assert (train_sets["C"].y == 0).all()
+        assert not (train_sets["A"].y == 0).all()
+
+    def test_custom_heterogeneity_reaches_wait_times(self):
+        spec = tiny_spec(
+            heterogeneity=HeterogeneitySpec(kind="custom", times=(5.0, 5.0, 500.0)),
+            rounds=1,
+        )
+        result = run_scenario(spec)
+        assert result.training_times == {"A": 5.0, "B": 5.0, "C": 500.0}
+        # The two fast peers wait for the straggler under wait-for-all.
+        assert result.wait_times["A"] > 400.0
+        assert result.wait_times["C"] < 100.0
+
+    def test_greedy_selection_engages(self):
+        spec = tiny_spec(selection="greedy")
+        result = run_scenario(spec)
+        for log in result.round_logs:
+            assert len(log.combination_accuracy) == 1
+
+    def test_global_vote_mode(self):
+        spec = tiny_spec(mode="global_vote")
+        result = run_scenario(spec)
+        for log in result.round_logs:
+            assert log.chosen_combination == ("A", "B", "C")
+
+    def test_vanilla_kind(self):
+        spec = tiny_spec(kind="vanilla", consider=False)
+        result = run_scenario(spec)
+        assert set(result.client_accuracy) == {"A", "B", "C"}
+        assert result.combination_accuracy == {}
+        assert result.mean_wait() == 0.0
+
+
+class TestLegacyShims:
+    """The legacy runners are shims over run_scenario and must agree with it."""
+
+    def test_vanilla_shim_equals_scenario(self):
+        config = quick_config("simple_nn", seed=3)
+        shim = run_vanilla_experiment(config, consider=True)
+        direct = run_scenario(
+            ScenarioSpec.from_experiment_config(config, kind="vanilla", consider=True)
+        )
+        assert shim.client_accuracy == direct.client_accuracy
+        assert shim.round_logs == direct.round_logs
+
+    def test_decentralized_shim_equals_scenario(self):
+        config = quick_config("simple_nn", seed=3)
+        shim = run_decentralized_experiment(config)
+        direct = run_scenario(ScenarioSpec.from_experiment_config(config))
+        assert shim.combination_accuracy == direct.combination_accuracy
+        assert shim.wait_times == direct.wait_times
+        assert shim.chain_stats == direct.chain_stats
+
+    def test_policy_override_preserves_chain_config(self):
+        """The seed bug: passing policy= used to silently reset mode and
+        gossip settings back to defaults.  Every field must survive now."""
+        config = quick_config("simple_nn", seed=3)
+        merged = run_decentralized_experiment(
+            config,
+            policy=WaitForK(1),
+            chain_config=DecentralizedConfig(mode="global_vote", gossip_batch_window=0.02),
+        )
+        baked = run_decentralized_experiment(
+            config,
+            chain_config=DecentralizedConfig(
+                policy=WaitForK(1), mode="global_vote", gossip_batch_window=0.02
+            ),
+        )
+        assert merged.combination_accuracy == baked.combination_accuracy
+        assert merged.wait_times == baked.wait_times
+        # global_vote really ran: every adopted combination is the full set.
+        for log in merged.round_logs:
+            assert log.chosen_combination == ("A", "B", "C")
+
+    def test_policy_override_does_not_mutate_caller_config(self):
+        config = quick_config("simple_nn", seed=3)
+        chain_config = DecentralizedConfig()
+        run_decentralized_experiment(config, policy=WaitForK(1), chain_config=chain_config)
+        assert chain_config.policy != WaitForK(1)
+        assert chain_config.rounds == 10
+
+    def test_training_times_shim(self):
+        config = quick_config("simple_nn", seed=3)
+        result = run_decentralized_experiment(
+            config, training_times={"A": 5.0, "B": 5.0, "C": 200.0}
+        )
+        assert result.wait_times["A"] > result.wait_times["C"]
+
+    def test_training_times_missing_entry_rejected(self):
+        config = quick_config("simple_nn", seed=3)
+        with pytest.raises(ConfigError):
+            run_decentralized_experiment(config, training_times={"A": 5.0})
+
+
+class TestSweepDriver:
+    def test_grid_product_labels(self):
+        points = grid(tiny_spec(), {"cohort.size": [3, 4], "selection": ["greedy"]})
+        assert [label for label, _ in points] == [
+            "cohort.size=3,selection=greedy",
+            "cohort.size=4,selection=greedy",
+        ]
+        assert points[1][1].cohort.size == 4
+
+    def test_grid_needs_axes(self):
+        with pytest.raises(ConfigError):
+            grid(tiny_spec(), {})
+
+    def test_cohort_sweep_rows_deterministic(self):
+        base = replace(
+            cohort_scenario(3, seed=2).quick(),
+            rounds=1,
+            cohort=CohortSpec(size=3, train_samples=60, test_samples=40),
+            aggregator_test_samples=40,
+        )
+        rows = cohort_sweep([3, 4], base=base, seed=2)
+        again = cohort_sweep([3, 4], base=base, seed=2)
+        assert [row["cohort"] for row in rows] == [3, 4]
+        for row, row2 in zip(rows, again):
+            assert row["mean_wait_s"] == row2["mean_wait_s"]
+            assert row["final_accuracy"] == row2["final_accuracy"]
+            assert 0.0 < row["final_accuracy"] <= 1.0
+
+    def test_context_shares_datasets_across_points(self):
+        base = tiny_spec()
+        context = ScenarioContext()
+        run_grid(grid(base, {"policy": [WaitForK(1), WaitForK(2)]}), context=context)
+        # Same cohort and data axes: the second point re-uses every split.
+        assert context.stats["dataset_hits"] >= context.stats["dataset_misses"]
