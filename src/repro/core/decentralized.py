@@ -39,7 +39,8 @@ from repro.data.dataset import Dataset
 from repro.errors import ConfigError, NetworkError, RoundError
 from repro.fl.aggregation import ModelUpdate, fedavg
 from repro.fl.async_policy import AsyncPolicy, WaitForAll
-from repro.fl.selection import enumerate_combinations, greedy_combination
+from repro.fl.scoring import CombinationEngine, ScoredSubset, run_peer_searches
+from repro.fl.selection import enumerate_combinations, greedy_combination, pick_best
 from repro.nn.model import Sequential
 from repro.utils.events import Simulator
 from repro.utils.rng import RngFactory
@@ -74,6 +75,18 @@ class DecentralizedConfig:
     ``exhaustive_limit`` visible updates and switches to greedy beyond it,
     so the paper's 3-peer tables are bit-identical while 10-50-peer
     cohorts stay tractable.
+
+    ``scoring`` picks the combination-scoring implementation:
+    ``"engine"`` (the default) runs searches through the memoized
+    incremental :class:`~repro.fl.scoring.CombinationEngine`;
+    ``"serial"`` keeps the seed per-subset loop from
+    :mod:`repro.fl.selection`.  Both produce identical accuracy tables,
+    chosen combinations, and tie-break RNG draws — ``"serial"`` exists
+    as the reference for equivalence tests and benchmarks.
+
+    ``selection_workers`` (engine mode only) fans the peers' independent
+    combination searches out to that many worker processes; ``0`` stays
+    in-process.  Worker count never changes any result.
     """
 
     rounds: int = 10
@@ -83,6 +96,8 @@ class DecentralizedConfig:
     reputation_fitness_margin: float = 0.10
     selection: str = "auto"
     exhaustive_limit: int = 6
+    scoring: str = "engine"
+    selection_workers: int = 0
     target_block_interval: float = 13.0
     latency: LatencyModel = field(default_factory=LatencyModel)
     gossip_batch_window: float = 0.01
@@ -100,6 +115,17 @@ class DecentralizedConfig:
         if self.exhaustive_limit < 1:
             raise ConfigError(
                 f"exhaustive_limit must be >= 1, got {self.exhaustive_limit}"
+            )
+        if self.scoring not in ("engine", "serial"):
+            raise ConfigError(f"unknown scoring implementation {self.scoring!r}")
+        if self.selection_workers < 0:
+            raise ConfigError(
+                f"selection_workers must be >= 0, got {self.selection_workers}"
+            )
+        if self.scoring == "serial" and self.selection_workers > 0:
+            raise ConfigError(
+                "selection_workers requires the scoring engine; "
+                'the "serial" reference path is single-process'
             )
 
 
@@ -195,6 +221,16 @@ class DecentralizedFL:
         self.round_logs: list[PeerRoundLog] = []
         self.reputation_address: Optional[Address] = None
         self._deployed = False
+        #: Per-peer scoring engines (empty in the serial reference mode).
+        #: Tests may attach an ``instrument`` hook to count evaluations.
+        self.engines: dict[str, CombinationEngine] = {}
+        if config.scoring == "engine":
+            self.engines = {
+                peer_id: CombinationEngine(
+                    peer.client.model, peer.client.test_set
+                )
+                for peer_id, peer in self.peers.items()
+            }
 
     # ------------------------------------------------------------------
     # Deployment phase
@@ -356,13 +392,23 @@ class DecentralizedFL:
                 raise RoundError(f"{peer_id}: no updates visible in round {round_id}")
             updates_by_view[peer_id] = updates
 
+        # Scores never carry across rounds (every peer retrains), so the
+        # engine caches are cleared here to bound memory; within a round
+        # the solo scores stay live for the reputation rating pass.
+        for engine in self.engines.values():
+            engine.cache.clear()
+
         if self.config.mode == "global_vote":
             logs = self._global_vote_round(round_id, updates_by_view)
         else:
-            logs = [
-                self._aggregate_for(self.peers[peer_id], round_id, updates_by_view[peer_id])
-                for peer_id in self.peer_ids
-            ]
+            logs = None
+            if self.engines and self.config.selection_workers > 0:
+                logs = self._aggregate_round_parallel(round_id, updates_by_view)
+            if logs is None:
+                logs = [
+                    self._aggregate_for(self.peers[peer_id], round_id, updates_by_view[peer_id])
+                    for peer_id in self.peer_ids
+                ]
         for log in logs:
             log.submitted_at = submitted_at[log.peer_id]
             log.ready_at = ready_at[log.peer_id]
@@ -388,27 +434,89 @@ class DecentralizedFL:
         log records only the adopted combination (the full table would
         have 2^n rows).
         """
-        log = PeerRoundLog(peer_id=peer.peer_id, round_id=round_id)
+        engine = self.engines.get(peer.peer_id)
         if self._use_greedy(len(updates)):
-            chosen = greedy_combination(
-                updates, peer.client.model, peer.client.test_set, aggregator=fedavg
-            )
-            log.combination_accuracy[chosen.label] = chosen.accuracy
+            if engine is not None:
+                chosen = engine.greedy(updates)
+            else:
+                chosen = greedy_combination(
+                    updates, peer.client.model, peer.client.test_set, aggregator=fedavg
+                )
+            scored = [chosen]
+        elif engine is not None:
+            scored = engine.enumerate(updates)
+            top = pick_best(scored, peer.rng)
+            chosen = engine.materialize(top.members, updates, top.accuracy)
         else:
-            results = enumerate_combinations(
+            scored = enumerate_combinations(
                 updates, peer.client.model, peer.client.test_set, aggregator=fedavg
             )
-            for result in results:
-                log.combination_accuracy[result.label] = result.accuracy
-            top_acc = results[0].accuracy
-            tied = [result for result in results if result.accuracy == top_acc]
-            chosen = tied[int(peer.rng.integers(0, len(tied)))] if len(tied) > 1 else tied[0]
+            chosen = pick_best(scored, peer.rng)
+        return self._adopt_choice(peer, round_id, updates, scored, chosen)
+
+    def _adopt_choice(
+        self,
+        peer: FullPeer,
+        round_id: int,
+        updates: list[ModelUpdate],
+        scored: list,
+        chosen,
+    ) -> PeerRoundLog:
+        """Shared tail of every aggregation path: log the accuracy table
+        (``scored``: anything with ``label``/``accuracy``), record the
+        adopted combination, and install its weights — one copy, so the
+        serial and parallel paths cannot drift apart."""
+        log = PeerRoundLog(peer_id=peer.peer_id, round_id=round_id)
+        for result in scored:
+            log.combination_accuracy[result.label] = result.accuracy
         log.chosen_combination = chosen.members
         log.chosen_accuracy = chosen.accuracy
         log.models_used = len(chosen.members)
         log.updates_visible = len(updates)
         peer.adopt(chosen.weights)
         return log
+
+    def _aggregate_round_parallel(
+        self, round_id: int, updates_by_view: dict[str, list[ModelUpdate]]
+    ) -> Optional[list[PeerRoundLog]]:
+        """Fan the peers' independent searches out to a process pool.
+
+        Workers only *score*; tie-breaking (with each peer's own RNG, in
+        peer order), winner materialization, and adoption happen here —
+        so logs, RNG streams, and adopted weights are identical to the
+        serial path.  Returns None when the host cannot fork, and the
+        caller falls back to the in-process loop.
+        """
+        tasks = []
+        for peer_id in self.peer_ids:
+            peer = self.peers[peer_id]
+            updates = updates_by_view[peer_id]
+            tasks.append(
+                (peer.client.model, peer.client.test_set, updates, self._use_greedy(len(updates)))
+            )
+        outcomes = run_peer_searches(tasks, workers=self.config.selection_workers)
+        if outcomes is None:  # pragma: no cover - host-dependent
+            return None
+        logs = []
+        for peer_id, outcome in zip(self.peer_ids, outcomes):
+            peer = self.peers[peer_id]
+            updates = updates_by_view[peer_id]
+            engine = self.engines[peer_id]
+            for key, accuracy in outcome["solos"]:
+                engine.cache.absorb(key, accuracy)
+            if "greedy" in outcome:
+                members, accuracy = outcome["greedy"]
+                chosen = engine.materialize(members, updates, accuracy)
+                scored = [chosen]
+            else:
+                scored = [
+                    ScoredSubset(tuple(members), accuracy)
+                    for members, accuracy in outcome["scored"]
+                ]
+                top = pick_best(scored, peer.rng)
+                chosen = engine.materialize(top.members, updates, top.accuracy)
+            logs.append(self._adopt_choice(peer, round_id, updates, scored, chosen))
+        return logs
 
     def _global_vote_round(
         self, round_id: int, updates_by_view: dict[str, list[ModelUpdate]]
@@ -477,20 +585,32 @@ class DecentralizedFL:
         of the rater's own solo model earns +5; one that falls further
         behind (an abnormal/noisy model) earns -10, building the on-chain
         record used to exclude low-credibility peers.
+
+        Every solo model was already scored during this round's
+        aggregation search, so in engine mode the fitness lookups here
+        are pure cache hits — the rating pass adds zero model
+        evaluations (the seed re-evaluated every solo a second time).
         """
         for rater_id in self.peer_ids:
             rater = self.peers[rater_id]
+            engine = self.engines.get(rater_id)
+
+            def solo_fitness(update: ModelUpdate) -> float:
+                if engine is not None:
+                    return engine.solo_accuracy(update)
+                return rater.evaluate_weights(update.weights)
+
             own = next(
                 (u for u in updates_by_view[rater_id] if u.client_id == rater_id), None
             )
             if own is None:
                 continue
-            own_accuracy = rater.evaluate_weights(own.weights)
+            own_accuracy = solo_fitness(own)
             for update in updates_by_view[rater_id]:
                 if update.client_id == rater_id:
                     continue
                 subject = self.peers[update.client_id]
-                fit = rater.evaluate_weights(update.weights)
+                fit = solo_fitness(update)
                 delta = 5 if fit >= own_accuracy - self.config.reputation_fitness_margin else -10
                 rate_tx = rater.make_transaction(
                     to=self.reputation_address,

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 
 from repro.core.config import default_config
 from repro.core.decentralized import DecentralizedConfig
@@ -153,16 +154,26 @@ def _run_legacy(artifact: str, model: str, seed: int) -> int:
 # ---------------------------------------------------------------------------
 
 
-def _run_named_scenario(name: str, seed: int, quick: bool, model: str | None) -> int:
-    try:
-        definition = get_scenario(name)
-    except ConfigError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 2
+def _run_named_scenario(
+    name: str, seed: int, quick: bool, model: str | None, workers: int = 0
+) -> int:
     models = None
     if model is not None:
         models = PAPER_MODELS if model == "both" else (model,)
-    specs = definition.build(seed=seed, quick=quick, models=models)
+    try:
+        definition = get_scenario(name)
+        specs = definition.build(seed=seed, quick=quick, models=models)
+        if workers:
+            # Pure wall-clock knob: the combination-scoring engine produces
+            # identical results at any worker count (vanilla specs have no
+            # combination search to parallelize and keep their field as-is).
+            specs = tuple(
+                replace(spec, selection_workers=workers) if spec.kind == "decentralized" else spec
+                for spec in specs
+            )
+    except ConfigError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     context = ScenarioContext()
     results = [run_scenario(spec, context=context) for spec in specs]
     for block in definition.render(specs, results):
@@ -171,11 +182,24 @@ def _run_named_scenario(name: str, seed: int, quick: bool, model: str | None) ->
     return 0
 
 
-def _run_sweep(axis: str, sizes: list[int], wait_for: int | None, seed: int, quick: bool) -> int:
+def _run_sweep(
+    axis: str,
+    sizes: list[int],
+    wait_for: int | None,
+    seed: int,
+    quick: bool,
+    workers: int = 0,
+) -> int:
     del axis  # only "cohort" exists today; argparse restricts the choice
     try:
         policy = WaitForK(wait_for) if wait_for is not None else None
-        rows = cohort_sweep(sizes, seed=seed, quick=quick, policy=policy)
+        rows = cohort_sweep(
+            sizes,
+            seed=seed,
+            quick=quick,
+            policy=policy,
+            selection_workers=workers or None,
+        )
     except ConfigError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -224,6 +248,12 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="override the scenario's model families",
     )
+    run_parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="combination-search worker processes (0 = in-process; results identical)",
+    )
 
     sweep_parser = subparsers.add_parser(
         "sweep", help="sweep a scenario axis through the shared-dataset driver"
@@ -237,6 +267,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     sweep_parser.add_argument("--seed", type=int, default=None, help="experiment seed (default 42)")
     sweep_parser.add_argument("--quick", action="store_true", help="shrink to test scale")
+    sweep_parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="combination-search worker processes (0 = in-process; results identical)",
+    )
 
     subparsers.add_parser("list", help="list registered scenarios")
 
@@ -260,9 +296,9 @@ def main(argv: list[str] | None = None) -> int:
     model = getattr(args, "model", None) or args.global_model
 
     if args.command == "run":
-        return _run_named_scenario(args.scenario, seed, args.quick, model)
+        return _run_named_scenario(args.scenario, seed, args.quick, model, args.workers)
     if args.command == "sweep":
-        return _run_sweep(args.axis, args.sizes, args.wait_for, seed, args.quick)
+        return _run_sweep(args.axis, args.sizes, args.wait_for, seed, args.quick, args.workers)
     if args.command == "list":
         return _run_list()
     return _run_legacy(args.command, model or "both", seed)

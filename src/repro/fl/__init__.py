@@ -5,7 +5,8 @@ Implements the training/aggregation machinery both evaluation settings use:
 * local training (:mod:`repro.fl.trainer`, :mod:`repro.fl.client`),
 * FedAvg and robust baselines (:mod:`repro.fl.aggregation`),
 * the "consider" combination search and fitness-threshold filtering
-  (:mod:`repro.fl.selection`),
+  (:mod:`repro.fl.selection`), and its memoized/parallel fast path
+  (:mod:`repro.fl.scoring`),
 * wait-for-all / wait-for-k asynchronous policies (:mod:`repro.fl.async_policy`),
 * the centralized Vanilla FL orchestrator (:mod:`repro.fl.vanilla`), and
 * poisoning/noise attackers for abnormal-model experiments
@@ -26,7 +27,15 @@ from repro.fl.selection import (
     best_combination,
     threshold_filter,
     greedy_combination,
+    pick_best,
     CombinationResult,
+)
+from repro.fl.scoring import (
+    CombinationEngine,
+    EvaluationCache,
+    ScoredSubset,
+    dataset_fingerprint,
+    weights_fingerprint,
 )
 from repro.fl.async_policy import WaitForAll, WaitForK, Deadline, AsyncPolicy
 from repro.fl.vanilla import VanillaFL, VanillaConfig, VanillaRoundLog
@@ -48,7 +57,13 @@ __all__ = [
     "best_combination",
     "threshold_filter",
     "greedy_combination",
+    "pick_best",
     "CombinationResult",
+    "CombinationEngine",
+    "EvaluationCache",
+    "ScoredSubset",
+    "dataset_fingerprint",
+    "weights_fingerprint",
     "WaitForAll",
     "WaitForK",
     "Deadline",

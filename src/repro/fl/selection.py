@@ -45,6 +45,25 @@ class CombinationResult:
 Aggregator = Callable[[Sequence[ModelUpdate]], dict[str, np.ndarray]]
 
 
+def pick_best(results: Sequence, rng: Optional[np.random.Generator] = None):
+    """Select the winner from results sorted by ``(-accuracy, members)``.
+
+    The paper notes that when several combinations tie, "the device
+    selects one of them randomly".  This is the single tie-break used by
+    :func:`best_combination`, the decentralized orchestrator, and the
+    scoring engine, so they all consume the RNG identically: exactly one
+    ``integers(0, len(tied))`` draw when more than one combination ties
+    for the top accuracy, and no draw otherwise (the lexicographically
+    first winner stands).  ``results`` may be any sequence of objects
+    with ``accuracy`` and ``members`` attributes.
+    """
+    top_acc = results[0].accuracy
+    tied = [result for result in results if result.accuracy == top_acc]
+    if rng is not None and len(tied) > 1:
+        return tied[int(rng.integers(0, len(tied)))]
+    return tied[0]
+
+
 def enumerate_combinations(
     updates: Sequence[ModelUpdate],
     model: Sequential,
@@ -94,11 +113,7 @@ def best_combination(
     lexicographically-first tied combination wins.
     """
     results = enumerate_combinations(updates, model, test_set, aggregator=aggregator)
-    top_acc = results[0].accuracy
-    tied = [result for result in results if result.accuracy == top_acc]
-    if rng is not None and len(tied) > 1:
-        return tied[int(rng.integers(0, len(tied)))]
-    return tied[0]
+    return pick_best(results, rng)
 
 
 def threshold_filter(

@@ -283,14 +283,16 @@ def _build_tradeoff(seed: int = 42, quick: bool = False, models=None) -> tuple[S
 # ---------------------------------------------------------------------------
 
 
-def cohort_scenario(size: int, seed: int = 42) -> ScenarioSpec:
+def cohort_scenario(size: int, seed: int = 42, selection_workers: int = 0) -> ScenarioSpec:
     """Bench-scale ``size``-peer decentralized scenario.
 
     Reduced data and rounds keep 10-50-peer runs tractable; heterogeneous
     device speeds (uniform 60 ± 40 s) make the waiting policy matter, and
     ``selection="auto"`` switches to greedy forward selection above the
     exhaustive limit — the configuration behind the ROADMAP's
-    speed/precision-at-scale measurement.
+    speed/precision-at-scale measurement.  ``selection_workers`` fans the
+    per-peer combination searches out to worker processes (results are
+    identical at any worker count).
     """
     return ScenarioSpec(
         name=f"cohort/{size}",
@@ -302,6 +304,7 @@ def cohort_scenario(size: int, seed: int = 42) -> ScenarioSpec:
         heterogeneity=HeterogeneitySpec(kind="uniform", base_time=60.0, spread=40.0),
         seed=seed,
         aggregator_test_samples=150,
+        selection_workers=selection_workers,
     )
 
 

@@ -285,6 +285,7 @@ def _run_decentralized(
         reputation_fitness_margin=spec.reputation_fitness_margin,
         selection=spec.selection,
         exhaustive_limit=spec.exhaustive_limit,
+        selection_workers=spec.selection_workers,
         target_block_interval=spec.chain.target_block_interval,
         latency=LatencyModel(base=spec.chain.latency_base, jitter=spec.chain.latency_jitter),
         gossip_batch_window=spec.chain.gossip_batch_window,

@@ -288,6 +288,7 @@ class ScenarioSpec:
     policy: AsyncPolicy = field(default_factory=WaitForAll)
     selection: str = "auto"                # "exhaustive" | "greedy" | "auto"
     exhaustive_limit: int = 6
+    selection_workers: int = 0             # combination-search worker processes
     enable_reputation: bool = False
     reputation_fitness_margin: float = 0.10
     cohort: CohortSpec = field(default_factory=CohortSpec)
@@ -318,6 +319,10 @@ class ScenarioSpec:
             raise ConfigError(f"unknown selection strategy {self.selection!r}")
         if self.exhaustive_limit < 1:
             raise ConfigError("exhaustive_limit must be >= 1")
+        if self.selection_workers < 0:
+            raise ConfigError(
+                f"selection_workers must be >= 0, got {self.selection_workers}"
+            )
         if self.aggregator_test_samples < 1:
             raise ConfigError("aggregator_test_samples must be >= 1")
         if self.heterogeneity.times is not None and len(self.heterogeneity.times) != self.cohort.size:

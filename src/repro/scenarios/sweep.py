@@ -102,19 +102,24 @@ def cohort_sweep(
     quick: bool = False,
     policy: Optional[AsyncPolicy] = None,
     context: Optional[ScenarioContext] = None,
+    selection_workers: Optional[int] = None,
 ) -> list[dict]:
     """The ROADMAP measurement: speed/precision rows per cohort size.
 
     Each row reports the cohort size, waiting policy, mean per-peer wait
     (simulated seconds), cohort-mean final accuracy, mean adopted-
     combination size, and wall-clock cost.  All sizes share one
-    :class:`ScenarioContext`.
+    :class:`ScenarioContext`.  ``selection_workers`` overrides the
+    template's combination-search parallelism (pure wall-clock knob:
+    rows are identical at any worker count).
     """
     if not sizes:
         raise ConfigError("cohort_sweep needs at least one size")
     template = base if base is not None else cohort_scenario(min(sizes), seed=seed)
     if policy is not None:
         template = replace(template, policy=policy)
+    if selection_workers is not None:
+        template = replace(template, selection_workers=selection_workers)
     if quick:
         template = template.quick()
     points = grid(template, {"cohort.size": list(sizes)})

@@ -1,10 +1,11 @@
 """Tier-1 smoke coverage of the benchmark harness.
 
 Runs the smoke-scale cores of ``bench_chain_throughput``,
-``bench_commitment_pipeline``, ``bench_block_execution``, and
-``bench_cohort_scaling`` in-process (the same code paths
-``pytest benchmarks/... --smoke`` exercises), so the tier-1 suite catches
-benchmark bit-rot and enforces the pipelines' headline numbers in seconds.
+``bench_commitment_pipeline``, ``bench_block_execution``,
+``bench_cohort_scaling``, and ``bench_selection_engine`` in-process (the
+same code paths ``pytest benchmarks/... --smoke`` exercises), so the
+tier-1 suite catches benchmark bit-rot and enforces the pipelines'
+headline numbers in seconds.
 """
 
 import sys
@@ -18,6 +19,7 @@ import bench_block_execution
 import bench_chain_throughput
 import bench_cohort_scaling
 import bench_commitment_pipeline
+import bench_selection_engine
 
 
 class TestChainThroughputSmoke:
@@ -101,3 +103,26 @@ class TestCohortScalingSmoke:
         result = self._sweep()
         total = result["dataset_hits"] + result["dataset_misses"]
         assert result["dataset_hits"] >= total / 2
+
+
+class TestSelectionEngineSmoke:
+    """Smoke-tier scoring engine: speedup, equivalence, cache contract.
+
+    ``compare_engines`` asserts serial/memoized/parallel equality
+    internally; the deterministic cache counters are the hard contract
+    here, the wall-clock ratio gets CI slack (1.3x floor vs the 3x the
+    opt-in full bench enforces at the 25-update profile).
+    """
+
+    def test_speedup_and_cache_contract(self):
+        params = bench_selection_engine.engine_params(smoke=True)
+        n, max_size, n_test = params["profiles"][0]
+        result = bench_selection_engine.compare_engines(n, max_size, n_test)
+        assert result["speedup"] >= params["floor"]
+        assert result["evaluations"] <= result["subsets"]
+        assert result["reuse_evaluations"] == 0
+
+    def test_solo_scores_reused(self):
+        counters = bench_selection_engine.solo_reuse_counters()
+        assert counters["engine_evaluations"] == counters["subsets"]
+        assert counters["engine_extra_after_enumerate"] == 0

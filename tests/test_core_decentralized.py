@@ -26,9 +26,9 @@ def shared_builder(rng):
     )
 
 
-def make_driver(policy=None, rounds=2, peers=("A", "B", "C"), training_times=None):
+def make_driver(policy=None, rounds=2, peers=("A", "B", "C"), training_times=None, **config_kwargs):
     data_rng = np.random.default_rng(0)
-    config = DecentralizedConfig(rounds=rounds)
+    config = DecentralizedConfig(rounds=rounds, **config_kwargs)
     if policy is not None:
         config.policy = policy
     times = training_times if training_times is not None else [10.0] * len(peers)
@@ -144,3 +144,96 @@ class TestRounds:
         series = driver.combination_series("A", "A,B,C")
         assert len(series) == 2
         assert all(0.0 <= value <= 1.0 for value in series)
+
+
+def _run_outcome(driver):
+    """Everything the scoring path can influence, for equality checks."""
+    logs = driver.run()
+    return (
+        [
+            (
+                log.peer_id,
+                log.round_id,
+                log.chosen_combination,
+                log.chosen_accuracy,
+                tuple(sorted(log.combination_accuracy.items())),
+            )
+            for log in logs
+        ],
+        {
+            peer_id: {key: value.copy() for key, value in peer.client.model.get_weights().items()}
+            for peer_id, peer in driver.peers.items()
+        },
+    )
+
+
+class TestScoringEngineIntegration:
+    """The engine fast path vs the seed serial path, end to end."""
+
+    def test_engine_matches_serial_reference(self):
+        logs_serial, finals_serial = _run_outcome(make_driver(rounds=1, scoring="serial"))
+        logs_engine, finals_engine = _run_outcome(make_driver(rounds=1, scoring="engine"))
+        assert logs_serial == logs_engine
+        for peer_id in finals_serial:
+            for key in finals_serial[peer_id]:
+                np.testing.assert_array_equal(
+                    finals_serial[peer_id][key], finals_engine[peer_id][key]
+                )
+
+    def test_parallel_workers_match_serial_reference(self):
+        logs_serial, finals_serial = _run_outcome(make_driver(rounds=1, scoring="serial"))
+        logs_parallel, finals_parallel = _run_outcome(
+            make_driver(rounds=1, selection_workers=2)
+        )
+        assert logs_serial == logs_parallel
+        for peer_id in finals_serial:
+            for key in finals_serial[peer_id]:
+                np.testing.assert_array_equal(
+                    finals_serial[peer_id][key], finals_parallel[peer_id][key]
+                )
+
+    def test_serial_mode_builds_no_engines(self):
+        assert make_driver(scoring="serial").engines == {}
+        assert set(make_driver().engines) == {"A", "B", "C"}
+
+    def test_invalid_scoring_config(self):
+        with pytest.raises(ConfigError):
+            DecentralizedConfig(scoring="mystery")
+        with pytest.raises(ConfigError):
+            DecentralizedConfig(selection_workers=-1)
+        # Workers require the engine; silently-serial would mislead.
+        with pytest.raises(ConfigError):
+            DecentralizedConfig(scoring="serial", selection_workers=2)
+
+
+class TestRateRoundReusesScores:
+    """Reputation rating re-uses the aggregation phase's solo scores.
+
+    The seed re-evaluated every solo model a second time in
+    ``_rate_round``; the engine path must answer those lookups from the
+    cache — the instrumentation hook counts every *real* evaluation, so
+    a round with reputation on performs exactly one evaluation per
+    distinct subset and not one more.
+    """
+
+    def test_rating_adds_zero_evaluations(self):
+        driver = make_driver(rounds=1, enable_reputation=True)
+        evaluations = {peer_id: [] for peer_id in driver.engines}
+        for peer_id, engine in driver.engines.items():
+            engine.instrument = evaluations[peer_id].append
+        driver.run()
+        for peer_id, engine in driver.engines.items():
+            # 3 visible updates -> 7 subsets; the rating pass (own solo +
+            # 2 subjects per rater) added nothing.
+            assert len(evaluations[peer_id]) == 7, (
+                f"{peer_id}: expected 7 evaluations, saw {len(evaluations[peer_id])}"
+            )
+            assert engine.cache.stats["hits"] >= 3  # the rating lookups
+
+    def test_reputation_scores_match_serial_reference(self):
+        scores = {}
+        for scoring in ("serial", "engine"):
+            driver = make_driver(rounds=1, enable_reputation=True, scoring=scoring)
+            driver.run()
+            scores[scoring] = {p: driver.reputation_of(p) for p in ("A", "B", "C")}
+        assert scores["serial"] == scores["engine"]

@@ -120,6 +120,17 @@ class TestRunCommand:
         assert cli.main(["run", "hetero/stragglers", "--quick", "--seed", "1"]) == 0
         assert "Scenario summary" in capsys.readouterr().out
 
+    def test_run_negative_workers_exits_cleanly(self, capsys):
+        assert cli.main(["run", "cohort/3", "--quick", "--workers", "-1"]) == 2
+        assert "selection_workers" in capsys.readouterr().err
+
+    def test_run_workers_flag_changes_nothing(self, capsys):
+        """--workers is a pure wall-clock knob: output bytes identical."""
+        assert cli.main(["run", "cohort/3", "--quick", "--seed", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert cli.main(["run", "cohort/3", "--quick", "--seed", "1", "--workers", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
 
 class TestSweepCommand:
     def test_sweep_cohort_prints_rows(self, capsys):
@@ -133,6 +144,21 @@ class TestSweepCommand:
     def test_sweep_invalid_wait_for_exits_cleanly(self, capsys):
         assert cli.main(["sweep", "cohort", "--sizes", "3", "--wait-for", "0"]) == 2
         assert "error:" in capsys.readouterr().err
+
+    def test_sweep_workers_flag_changes_nothing(self, capsys):
+        """Identical rows modulo the wall-clock column (the one thing
+        --workers is allowed to change)."""
+
+        def sans_wall(out: str) -> list[str]:
+            return [" ".join(line.split()[:-1]) for line in out.splitlines() if line.strip()]
+
+        assert cli.main(["sweep", "cohort", "--sizes", "3", "--quick", "--seed", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert (
+            cli.main(["sweep", "cohort", "--sizes", "3", "--quick", "--seed", "1", "--workers", "2"])
+            == 0
+        )
+        assert sans_wall(capsys.readouterr().out) == sans_wall(serial)
 
     def test_sweep_unknown_axis_rejected(self, capsys):
         with pytest.raises(SystemExit) as excinfo:

@@ -7,9 +7,11 @@ from repro.data.dataset import Dataset
 from repro.errors import SelectionError
 from repro.fl.aggregation import ModelUpdate
 from repro.fl.selection import (
+    CombinationResult,
     best_combination,
     enumerate_combinations,
     greedy_combination,
+    pick_best,
     threshold_filter,
 )
 from repro.nn.layers import Dense
@@ -105,6 +107,50 @@ class TestBestCombination:
             best = best_combination(updates, scratch_model, test_set, rng=np.random.default_rng(seed))
             seen.add(best.members)
         assert len(seen) > 1  # the paper's random tie-break is exercised
+
+
+class TestPickBest:
+    """The shared tie-break used by best_combination, the decentralized
+    orchestrator, and the scoring engine: its RNG consumption is the
+    contract that keeps all three streams aligned."""
+
+    @staticmethod
+    def results(*accuracies):
+        return [
+            CombinationResult(members=(chr(ord("A") + i),), accuracy=acc, weights={})
+            for i, acc in enumerate(accuracies)
+        ]
+
+    def test_no_draw_without_tie(self):
+        rng = np.random.default_rng(5)
+        before = rng.bit_generator.state
+        chosen = pick_best(self.results(0.9, 0.8, 0.7), rng)
+        assert chosen.members == ("A",)
+        assert rng.bit_generator.state == before  # untouched
+
+    def test_no_draw_without_rng(self):
+        chosen = pick_best(self.results(0.9, 0.9, 0.7))
+        assert chosen.members == ("A",)  # lexicographically-first winner
+
+    def test_exactly_one_draw_per_tie(self):
+        rng = np.random.default_rng(5)
+        shadow = np.random.default_rng(5)
+        results = self.results(0.9, 0.9, 0.9, 0.2)
+        chosen = pick_best(results, rng)
+        expected = results[int(shadow.integers(0, 3))]  # one draw over the 3 ties
+        assert chosen is expected
+        assert rng.bit_generator.state == shadow.bit_generator.state
+
+    def test_best_combination_consumes_identically(self, scratch_model, test_set):
+        """best_combination's draws are exactly pick_best's draws."""
+        updates = [upd("A", good_weights()), upd("B", good_weights())]
+        results = enumerate_combinations(updates, scratch_model, test_set)
+        for seed in range(5):
+            rng_a, rng_b = np.random.default_rng(seed), np.random.default_rng(seed)
+            via_function = best_combination(updates, scratch_model, test_set, rng=rng_a)
+            via_helper = pick_best(results, rng_b)
+            assert via_function.members == via_helper.members
+            assert rng_a.bit_generator.state == rng_b.bit_generator.state
 
 
 class TestThresholdFilter:
