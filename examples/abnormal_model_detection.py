@@ -74,10 +74,13 @@ def main() -> None:
         )
 
     # Non-repudiation: A proves C committed exactly those poisoned weights.
+    # Evidence assembly needs raw blocks and Merkle proofs — chain forensics
+    # below the gateway API — so it reaches into the in-process backend's
+    # node deliberately (the only sanctioned way to touch one).
     accuser = driver.peers["A"]
     suspect = driver.peers["C"]
     evidence = collect_evidence(
-        accuser.node, suspect.address, 1, accuser.model_store_address
+        accuser.gateway.node, suspect.address, 1, accuser.model_store_address
     )
     weights = driver.offchain.get_weights(evidence.committed_hash)
     print()
@@ -86,7 +89,7 @@ def main() -> None:
     print(f"  block number   : {evidence.block_number}")
     print(f"  merkle proof   : {len(evidence.proof)} node(s)")
     for peer_id, peer in driver.peers.items():
-        verdict = verify_evidence(peer.node, evidence, weights=weights)
+        verdict = verify_evidence(peer.gateway.node, evidence, weights=weights)
         print(f"  verified by {peer_id}: {verdict}")
 
     # The registry admin (deployer A) bans C on-chain.
@@ -94,21 +97,21 @@ def main() -> None:
     ban_tx = accuser.make_transaction(
         to=registry, method="ban", args={"address": suspect.address, "reason": "poisoned model"}
     )
-    driver.network.broadcast_transaction(accuser.address, ban_tx)
+    accuser.gateway.submit(ban_tx)
     driver.network.start_mining()
     driver._wait_until(
-        lambda: accuser.node.call_contract(registry, "is_banned", address=suspect.address),
+        lambda: accuser.gateway.call(registry, "is_banned", address=suspect.address),
         "ban transaction",
     )
     driver.network.stop_mining()
     print()
     print(
         "C banned on-chain:",
-        accuser.node.call_contract(registry, "is_banned", address=suspect.address),
+        accuser.gateway.call(registry, "is_banned", address=suspect.address),
     )
     print(
         "C still a member? ",
-        accuser.node.call_contract(registry, "is_member", address=suspect.address),
+        accuser.gateway.call(registry, "is_member", address=suspect.address),
     )
 
 

@@ -83,7 +83,7 @@ def main() -> None:
     print()
     print("Finalized aggregate hash per round (from A's chain view):")
     for round_id in range(1, 4):
-        final = viewer.node.call_contract(
+        final = viewer.gateway.call(
             viewer.coordinator_address, "finalized_hash", round_id=round_id
         )
         print(f"  round {round_id}: {final[:18]}...")

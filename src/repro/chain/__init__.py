@@ -13,6 +13,8 @@ package provides the equivalent substrate in-process:
 * :mod:`repro.chain.runtime` — gas-metered Python smart-contract runtime.
 * :mod:`repro.chain.node` — a full node (validate, execute, mine).
 * :mod:`repro.chain.network` — gossip network with latency and partitions.
+* :mod:`repro.chain.gateway` — the transport-agnostic ledger service API
+  the FL layer programs against (in-process and batching backends).
 """
 
 from repro.chain.crypto import KeyPair, Address, sign, verify, recover_check
@@ -27,6 +29,14 @@ from repro.chain.chainstore import ChainStore
 from repro.chain.runtime import ContractRuntime, Contract, CallContext
 from repro.chain.node import Node, NodeConfig
 from repro.chain.network import P2PNetwork, LatencyModel
+from repro.chain.gateway import (
+    BatchingGateway,
+    CallRequest,
+    ChainGateway,
+    GatewayStats,
+    InProcessGateway,
+    transport_stats,
+)
 
 __all__ = [
     "KeyPair",
@@ -62,4 +72,10 @@ __all__ = [
     "NodeConfig",
     "P2PNetwork",
     "LatencyModel",
+    "BatchingGateway",
+    "CallRequest",
+    "ChainGateway",
+    "GatewayStats",
+    "InProcessGateway",
+    "transport_stats",
 ]

@@ -1,0 +1,541 @@
+"""ChainGateway: the transport-agnostic ledger API of the FL layer.
+
+The FL layer never touches a :class:`~repro.chain.node.Node` directly —
+every read, submission, and wait goes through a :class:`ChainGateway`, a
+narrow JSON-RPC-flavored service protocol (``call`` / ``batch_call`` /
+``submit`` / ``height`` / ``head_hash`` / ``has_contract`` / ``get_logs``
+/ ``next_nonce`` / ``wait_for``).  That seam is what lets peers later run
+out-of-process or against a remote chain without touching the FL code,
+and it is where read batching/caching lives.
+
+Two backends ship today:
+
+* :class:`InProcessGateway` — wraps a local ``Node`` (plus the simulated
+  p2p network for submissions and the event engine for waits).  Pure
+  delegation: behavior is bit-identical to the pre-gateway direct calls,
+  which the equivalence tests pin.
+* :class:`BatchingGateway` — wraps any other gateway and coalesces the
+  per-round fan-out of contract reads (registration checks, visible-
+  submission polls, reputation reads, finalization polls) behind a
+  head-keyed cache with a bounded staleness window.  Read-only contract
+  state is a pure function of the canonical head, so serving repeated
+  polls of an unchanged head from cache is *exactly* result-preserving —
+  only the number of transport round trips changes (the property
+  ``bench_chain_gateway.py`` measures).
+
+Transport failures surface as typed :class:`~repro.errors.GatewayError`
+subclasses — unknown contract, unknown method, reverted call, rejected
+transaction, timed-out wait — identically across backends, so FL-layer
+callers never catch raw ``KeyError`` or backend internals.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, fields
+from typing import Any, Callable, Optional, Protocol, Sequence, runtime_checkable
+
+from repro.chain.crypto import Address
+from repro.chain.network import P2PNetwork
+from repro.chain.node import Node
+from repro.chain.transaction import Transaction
+from repro.errors import (
+    CallRevertedError,
+    ContractNotFoundError,
+    ContractRevertError,
+    GatewayError,
+    GatewayTimeoutError,
+    MempoolError,
+    MethodNotFoundError,
+    NetworkError,
+    SerializationError,
+    TransactionRejectedError,
+    UnknownContractError,
+    UnknownMethodError,
+)
+from repro.utils.events import Simulator
+from repro.utils.serialization import canonical_dumps
+
+#: Default wait deadline (simulated seconds) when the caller gives none.
+DEFAULT_WAIT_DEADLINE = 100_000.0
+
+#: The gateway backends shipping today — the single source every layer
+#: (scenario spec, driver config, CLI) validates backend names against.
+GATEWAY_BACKENDS = ("inprocess", "batching")
+
+#: Cache entries a :class:`BatchingGateway` keeps before sweeping stale ones.
+BATCH_CACHE_LIMIT = 4096
+
+
+def _payload_bytes(value: Any) -> int:
+    """Wire-size estimate of one request/response payload."""
+    try:
+        return len(canonical_dumps(value))
+    except SerializationError:
+        return len(repr(value).encode("utf-8", errors="replace"))
+
+
+@dataclass(frozen=True)
+class CallRequest:
+    """One read-only contract call (the unit ``batch_call`` coalesces)."""
+
+    contract: Address
+    method: str
+    args: dict = field(default_factory=dict)
+
+    def key(self) -> tuple:
+        """Canonical identity of this read (cache / dedup key)."""
+        return (self.contract, self.method, canonical_dumps(self.args))
+
+    def wire_bytes(self) -> int:
+        """Wire-size estimate of the encoded request."""
+        return _payload_bytes({"to": self.contract, "method": self.method, "args": self.args})
+
+
+@dataclass
+class GatewayStats:
+    """Per-gateway instrumentation: counts, bytes, round trips, latency.
+
+    ``calls`` counts single-read round trips and ``batch_calls`` counts
+    batched round trips (each batch is one trip carrying ``batched_reads``
+    reads) — ``contract_call_round_trips`` is the number the batching
+    benchmark compares across backends.  ``cache_hits`` / ``head_checks``
+    are populated by the batching backend only.
+    """
+
+    calls: int = 0
+    batch_calls: int = 0
+    batched_reads: int = 0
+    submits: int = 0
+    height_reads: int = 0
+    head_checks: int = 0
+    contract_checks: int = 0
+    log_queries: int = 0
+    nonce_reads: int = 0
+    waits: int = 0
+    cache_hits: int = 0
+    request_bytes: int = 0
+    response_bytes: int = 0
+    read_seconds: float = 0.0
+
+    @property
+    def contract_call_round_trips(self) -> int:
+        """Contract-read round trips this gateway performed."""
+        return self.calls + self.batch_calls
+
+    @property
+    def requested_reads(self) -> int:
+        """Contract reads asked of this gateway (before any coalescing)."""
+        return self.calls + self.batched_reads
+
+    def add(self, other: "GatewayStats") -> None:
+        """Accumulate another gateway's counters (cohort aggregation)."""
+        for spec in fields(self):
+            setattr(self, spec.name, getattr(self, spec.name) + getattr(other, spec.name))
+
+    def as_dict(self) -> dict:
+        """Counters plus the derived round-trip totals.
+
+        ``read_seconds`` (wall-clock latency) is deliberately left out:
+        every other number here is a deterministic function of the run,
+        and result objects compare equal across identical runs.  The
+        latency accumulator stays readable on the object itself (the
+        gateway benchmark reports it).
+        """
+        payload = {
+            spec.name: getattr(self, spec.name)
+            for spec in fields(self)
+            if spec.name != "read_seconds"
+        }
+        payload["contract_call_round_trips"] = self.contract_call_round_trips
+        payload["requested_reads"] = self.requested_reads
+        return payload
+
+
+@runtime_checkable
+class ChainGateway(Protocol):
+    """The ledger service API the FL layer programs against.
+
+    Implementations must expose a :class:`GatewayStats` as ``stats`` and
+    raise :class:`~repro.errors.GatewayError` subclasses for transport
+    failures.  All reads answer from the backend's canonical head view.
+    """
+
+    stats: GatewayStats
+
+    def call(self, contract: Address, method: str, **args: Any) -> Any:
+        """Read-only contract call (``eth_call``)."""
+        ...
+
+    def batch_call(self, requests: Sequence[CallRequest]) -> list[Any]:
+        """Execute independent reads in one round trip, preserving order."""
+        ...
+
+    def submit(self, tx: Transaction) -> str:
+        """Submit a signed transaction; returns its hash."""
+        ...
+
+    def height(self) -> int:
+        """Canonical chain height."""
+        ...
+
+    def head_hash(self) -> str:
+        """Canonical head block hash (the read-cache fingerprint)."""
+        ...
+
+    def has_contract(self, address: Address) -> bool:
+        """True iff a contract is deployed at ``address`` in head state."""
+        ...
+
+    def get_logs(
+        self,
+        address: Optional[Address] = None,
+        topic: Optional[str] = None,
+        from_block: int = 0,
+        to_block: Optional[int] = None,
+    ) -> list:
+        """Query contract events over the canonical range (``eth_getLogs``)."""
+        ...
+
+    def next_nonce(self, address: Address) -> int:
+        """Nonce a wallet should use next (head nonce + pending count)."""
+        ...
+
+    def now(self) -> float:
+        """Transport clock (simulated seconds in-process)."""
+        ...
+
+    def wait_for(
+        self,
+        predicate: Callable[[], bool],
+        what: str,
+        deadline: Optional[float] = None,
+    ) -> float:
+        """Advance the transport until ``predicate`` holds; returns the time."""
+        ...
+
+
+class InProcessGateway:
+    """Gateway backend wrapping a local :class:`~repro.chain.node.Node`.
+
+    ``network`` (when given) gossips submissions exactly as the pre-gateway
+    drivers did; ``simulator`` backs ``wait_for`` and the transport clock.
+    Everything is pure delegation, so results are bit-identical to calling
+    the node directly — the contract the equivalence suite pins.
+
+    The wrapped ``node`` stays reachable as ``.node`` for chain forensics
+    (merkle evidence, receipts) and tests; FL-layer *code* must not use it
+    (a seam test greps for that).
+
+    ``track_bytes`` controls the request/response wire-size telemetry,
+    which re-encodes every read payload (~2x the cost of a small
+    in-process read, a few percent of an end-to-end run).  It stays on by
+    default — the counters are deterministic and feed ``chain_stats()`` —
+    but profiling-sensitive callers can switch it off; counts and latency
+    are tracked either way.
+    """
+
+    def __init__(
+        self,
+        node: Node,
+        network: Optional[P2PNetwork] = None,
+        simulator: Optional[Simulator] = None,
+        default_deadline: float = DEFAULT_WAIT_DEADLINE,
+        track_bytes: bool = True,
+    ) -> None:
+        self.node = node
+        self.network = network
+        self.simulator = simulator
+        self.default_deadline = default_deadline
+        self.track_bytes = track_bytes
+        self.stats = GatewayStats()
+
+    # -- reads -------------------------------------------------------------
+
+    def _execute_read(self, request: CallRequest) -> Any:
+        """One contract read with transport errors mapped to gateway types."""
+        started = time.perf_counter()
+        try:
+            value = self.node.call_contract(request.contract, request.method, **request.args)
+        except ContractNotFoundError as exc:
+            raise UnknownContractError(str(exc)) from exc
+        except MethodNotFoundError as exc:
+            raise UnknownMethodError(str(exc)) from exc
+        except ContractRevertError as exc:
+            raise CallRevertedError(exc.reason or str(exc)) from exc
+        finally:
+            self.stats.read_seconds += time.perf_counter() - started
+        if self.track_bytes:
+            self.stats.request_bytes += request.wire_bytes()
+            self.stats.response_bytes += _payload_bytes(value)
+        return value
+
+    def call(self, contract: Address, method: str, **args: Any) -> Any:
+        """Read-only contract call against the node's head state."""
+        self.stats.calls += 1
+        return self._execute_read(CallRequest(contract, method, args))
+
+    def batch_call(self, requests: Sequence[CallRequest]) -> list[Any]:
+        """Serve independent reads in one (in-process) round trip."""
+        self.stats.batch_calls += 1
+        self.stats.batched_reads += len(requests)
+        return [self._execute_read(request) for request in requests]
+
+    def height(self) -> int:
+        """Canonical chain height."""
+        self.stats.height_reads += 1
+        return self.node.height
+
+    def head_hash(self) -> str:
+        """Canonical head hash — changes exactly when head state can."""
+        self.stats.head_checks += 1
+        return self.node.head.block_hash
+
+    def has_contract(self, address: Address) -> bool:
+        """Contract-deployed check at the head state."""
+        self.stats.contract_checks += 1
+        return self.node.has_contract(address)
+
+    def get_logs(
+        self,
+        address: Optional[Address] = None,
+        topic: Optional[str] = None,
+        from_block: int = 0,
+        to_block: Optional[int] = None,
+    ) -> list:
+        """Event query over the node's canonical receipts."""
+        self.stats.log_queries += 1
+        return self.node.get_logs(
+            address=address, topic=topic, from_block=from_block, to_block=to_block
+        )
+
+    def next_nonce(self, address: Address) -> int:
+        """Wallet nonce: head account nonce plus pending transactions."""
+        self.stats.nonce_reads += 1
+        return self.node.next_nonce_for(address)
+
+    # -- writes ------------------------------------------------------------
+
+    def submit(self, tx: Transaction) -> str:
+        """Admit a signed transaction locally and gossip it (when wired).
+
+        A mempool rejection (forged signature, stale nonce, unaffordable
+        cost, pool full) surfaces as a typed
+        :class:`~repro.errors.TransactionRejectedError`; benign duplicates
+        are accepted silently, as on a real client.
+        """
+        self.stats.submits += 1
+        if self.track_bytes:
+            self.stats.request_bytes += _payload_bytes(
+                {"to": tx.to, "method": tx.method, "args": tx.args, "nonce": tx.nonce}
+            )
+        if self.network is not None:
+            if not self.network.broadcast_transaction(self.node.address, tx):
+                raise TransactionRejectedError(
+                    f"transaction {tx.tx_hash[:10]} rejected by the mempool"
+                )
+            return tx.tx_hash
+        try:
+            self.node.submit_transaction(tx)
+        except MempoolError as exc:
+            raise TransactionRejectedError(str(exc)) from exc
+        return tx.tx_hash
+
+    # -- clock / waits -----------------------------------------------------
+
+    def now(self) -> float:
+        """Simulated transport time (0.0 without a simulator)."""
+        return self.simulator.now if self.simulator is not None else 0.0
+
+    def wait_for(
+        self,
+        predicate: Callable[[], bool],
+        what: str,
+        deadline: Optional[float] = None,
+    ) -> float:
+        """Step the event engine until ``predicate`` holds.
+
+        Raises :class:`~repro.errors.GatewayTimeoutError` (a
+        :class:`~repro.errors.RoundError`) past the deadline and
+        :class:`~repro.errors.NetworkError` if the simulation drains first
+        — the exact semantics of the pre-gateway ``_wait_until``.
+        """
+        if self.simulator is None:
+            raise GatewayError(f"gateway has no simulator to wait for {what}")
+        self.stats.waits += 1
+        sim = self.simulator
+        limit = sim.now + (deadline if deadline is not None else self.default_deadline)
+        while sim.now <= limit:
+            if predicate():
+                return sim.now
+            if not sim.step():
+                raise NetworkError(f"simulation drained while waiting for {what}")
+        raise GatewayTimeoutError(f"timed out waiting for {what} at t={sim.now:.1f}")
+
+
+@dataclass
+class _CacheEntry:
+    head: str
+    at: float
+    value: Any
+
+
+class BatchingGateway:
+    """Read-coalescing gateway decorator with a bounded staleness window.
+
+    Contract reads (``call`` / ``batch_call`` / ``has_contract``) are
+    served from a cache keyed by the canonical head hash: head state is
+    immutable between head changes, so a hit returns exactly what a fresh
+    round trip would — results are provably unchanged, only transport
+    round trips shrink.  Entries additionally expire ``staleness``
+    transport-seconds after they were fetched (defense in depth for a
+    transport whose head signal lags).  ``batch_call`` answers hits
+    locally and forwards only the misses as one inner round trip.
+
+    Every lookup makes one fresh head observation (``head_hash``),
+    counted separately in ``stats.head_checks`` — in-process that is a
+    local field read; a remote backend is expected to serve it from a
+    pushed new-heads subscription (the standard JSON-RPC pattern), not a
+    per-read request, which is what keeps the coalescing a genuine
+    round-trip win off-process.  Cached values are shared — callers must
+    treat them as read-only (the FL layer does; the same rule a memoizing
+    RPC proxy imposes).  Nonce reads and submissions always pass through.
+    """
+
+    def __init__(self, inner: ChainGateway, staleness: float = 5.0) -> None:
+        if staleness <= 0:
+            raise GatewayError(f"staleness window must be positive, got {staleness}")
+        self.inner = inner
+        self.staleness = staleness
+        self.stats = GatewayStats()
+        self._cache: dict[tuple, _CacheEntry] = {}
+
+    # -- cache core --------------------------------------------------------
+
+    def _fresh(self, entry: _CacheEntry, head: str, now: float) -> bool:
+        return entry.head == head and (now - entry.at) <= self.staleness
+
+    def _remember(self, key: tuple, head: str, now: float, value: Any) -> None:
+        if len(self._cache) >= BATCH_CACHE_LIMIT:
+            self._cache = {
+                k: entry for k, entry in self._cache.items() if self._fresh(entry, head, now)
+            }
+        self._cache[key] = _CacheEntry(head=head, at=now, value=value)
+
+    def _observe(self) -> tuple[str, float]:
+        """One head observation shared by every read of a lookup."""
+        self.stats.head_checks += 1
+        return self.inner.head_hash(), self.inner.now()
+
+    # -- reads -------------------------------------------------------------
+
+    def call(self, contract: Address, method: str, **args: Any) -> Any:
+        """Cached read; one inner round trip per (head, request)."""
+        self.stats.calls += 1
+        request = CallRequest(contract, method, args)
+        key = ("call",) + request.key()
+        head, now = self._observe()
+        entry = self._cache.get(key)
+        if entry is not None and self._fresh(entry, head, now):
+            self.stats.cache_hits += 1
+            return entry.value
+        value = self.inner.call(contract, method, **args)
+        self._remember(key, head, now, value)
+        return value
+
+    def batch_call(self, requests: Sequence[CallRequest]) -> list[Any]:
+        """Answer hits from cache; forward misses as one inner round trip."""
+        self.stats.batch_calls += 1
+        self.stats.batched_reads += len(requests)
+        head, now = self._observe()
+        values: list[Any] = [None] * len(requests)
+        misses: list[tuple[int, tuple, CallRequest]] = []
+        for index, request in enumerate(requests):
+            key = ("call",) + request.key()
+            entry = self._cache.get(key)
+            if entry is not None and self._fresh(entry, head, now):
+                self.stats.cache_hits += 1
+                values[index] = entry.value
+            else:
+                misses.append((index, key, request))
+        if misses:
+            fetched = self.inner.batch_call([request for _, _, request in misses])
+            for (index, key, _request), value in zip(misses, fetched):
+                values[index] = value
+                self._remember(key, head, now, value)
+        return values
+
+    def has_contract(self, address: Address) -> bool:
+        """Cached contract-deployed check."""
+        self.stats.contract_checks += 1
+        key = ("has_contract", address)
+        head, now = self._observe()
+        entry = self._cache.get(key)
+        if entry is not None and self._fresh(entry, head, now):
+            self.stats.cache_hits += 1
+            return entry.value
+        value = self.inner.has_contract(address)
+        self._remember(key, head, now, value)
+        return value
+
+    # -- pass-throughs -----------------------------------------------------
+
+    def height(self) -> int:
+        """Canonical height (uncached: it IS the freshness signal)."""
+        self.stats.height_reads += 1
+        return self.inner.height()
+
+    def head_hash(self) -> str:
+        """Canonical head hash from the inner transport."""
+        self.stats.head_checks += 1
+        return self.inner.head_hash()
+
+    def get_logs(
+        self,
+        address: Optional[Address] = None,
+        topic: Optional[str] = None,
+        from_block: int = 0,
+        to_block: Optional[int] = None,
+    ) -> list:
+        """Event queries pass through (range queries are already indexed)."""
+        self.stats.log_queries += 1
+        return self.inner.get_logs(
+            address=address, topic=topic, from_block=from_block, to_block=to_block
+        )
+
+    def next_nonce(self, address: Address) -> int:
+        """Never cached: the pending count moves with every submission."""
+        self.stats.nonce_reads += 1
+        return self.inner.next_nonce(address)
+
+    def submit(self, tx: Transaction) -> str:
+        """Submissions pass through; head-keyed entries stay valid."""
+        self.stats.submits += 1
+        return self.inner.submit(tx)
+
+    def now(self) -> float:
+        """Inner transport clock."""
+        return self.inner.now()
+
+    def wait_for(
+        self,
+        predicate: Callable[[], bool],
+        what: str,
+        deadline: Optional[float] = None,
+    ) -> float:
+        """Delegate the wait; polled reads hit the cache between blocks."""
+        self.stats.waits += 1
+        return self.inner.wait_for(predicate, what, deadline=deadline)
+
+
+def transport_stats(gateway: ChainGateway) -> GatewayStats:
+    """The stats of the gateway actually touching the transport.
+
+    For a decorated gateway (``BatchingGateway``) that is the innermost
+    backend's counters — the real round trips; for a plain backend it is
+    its own counters.
+    """
+    inner = gateway
+    while hasattr(inner, "inner"):
+        inner = inner.inner
+    return inner.stats

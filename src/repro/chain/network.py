@@ -170,18 +170,24 @@ class P2PNetwork:
     # Gossip
     # ------------------------------------------------------------------
 
-    def broadcast_transaction(self, origin: str, tx: Transaction) -> None:
-        """Submit locally then gossip to every peer with link latency."""
+    def broadcast_transaction(self, origin: str, tx: Transaction) -> bool:
+        """Submit locally then gossip to every peer with link latency.
+
+        Returns ``False`` when the origin node's mempool rejected the
+        transaction (nothing is gossiped), ``True`` otherwise — the ledger
+        gateway turns a rejection into a typed error instead of silence.
+        """
         origin_node = self.node(origin)
         try:
             origin_node.submit_transaction(tx)
         except MempoolError:
-            return
+            return False
         self.stats.txs_broadcast += 1
         for address in sorted(self._miners):
             if address == origin:
                 continue
             self._send(origin, address, "tx", tx)
+        return True
 
     def broadcast_block(self, origin: str, block: Block) -> None:
         """Gossip a newly sealed block."""

@@ -25,6 +25,7 @@ from repro.errors import (
     ContractError,
     ContractNotFoundError,
     ContractRevertError,
+    MethodNotFoundError,
     OutOfGasError,
 )
 from repro.utils.hashing import keccak_like
@@ -208,10 +209,10 @@ class ContractRuntime:
 
     def _resolve_method(self, instance: Contract, method: str) -> Callable[..., Any]:
         if method.startswith("_") or method in {"init", "public_methods"}:
-            raise ContractRevertError(f"method {method!r} is not public")
+            raise MethodNotFoundError(f"method {method!r} is not public")
         fn = getattr(instance, method, None)
         if fn is None or not callable(fn):
-            raise ContractRevertError(f"unknown method {method!r}")
+            raise MethodNotFoundError(f"unknown method {method!r}")
         return fn
 
     def execute_call(

@@ -27,6 +27,15 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.chain.crypto import Address, KeyPair
+from repro.chain.gateway import (
+    GATEWAY_BACKENDS,
+    BatchingGateway,
+    CallRequest,
+    ChainGateway,
+    GatewayStats,
+    InProcessGateway,
+    transport_stats,
+)
 from repro.chain.node import GenesisSpec, Node, NodeConfig
 from repro.chain.network import LatencyModel, P2PNetwork
 from repro.chain.pow import ProofOfWork, RetargetRule
@@ -36,7 +45,7 @@ from repro.core.offchain import OffchainStore
 from repro.core.peer import FullPeer, PeerConfig
 from repro.core.rounds import RoundTracker
 from repro.data.dataset import Dataset
-from repro.errors import ConfigError, NetworkError, RoundError
+from repro.errors import ConfigError, RoundError
 from repro.fl.aggregation import ModelUpdate, fedavg
 from repro.fl.async_policy import AsyncPolicy, WaitForAll
 from repro.fl.scoring import CombinationEngine, ScoredSubset, run_peer_searches
@@ -47,6 +56,10 @@ from repro.utils.rng import RngFactory
 
 #: Initial balance funding each peer's gas spend.
 PEER_ALLOCATION = 10**15
+
+#: Score every participant starts with on the reputation ledger; scores
+#: below it mark peers the cohort has rated down (the exclusion signal).
+REPUTATION_INITIAL_SCORE = 100
 
 
 @dataclass
@@ -87,6 +100,15 @@ class DecentralizedConfig:
     ``selection_workers`` (engine mode only) fans the peers' independent
     combination searches out to that many worker processes; ``0`` stays
     in-process.  Worker count never changes any result.
+
+    ``gateway`` selects the ledger backend every peer talks through
+    (:mod:`repro.chain.gateway`): ``"inprocess"`` is the pure-delegation
+    wrapper around each peer's node (bit-identical to the pre-gateway
+    driver), ``"batching"`` coalesces the per-round fan-out of contract
+    reads behind a head-keyed cache whose entries also expire after
+    ``gateway_staleness`` simulated seconds.  Reads are pure functions of
+    the canonical head, so the backend never changes a result — only the
+    number of transport round trips (``chain_stats()["gateway"]``).
     """
 
     rounds: int = 10
@@ -98,6 +120,8 @@ class DecentralizedConfig:
     exhaustive_limit: int = 6
     scoring: str = "engine"
     selection_workers: int = 0
+    gateway: str = "inprocess"
+    gateway_staleness: float = 5.0
     target_block_interval: float = 13.0
     latency: LatencyModel = field(default_factory=LatencyModel)
     gossip_batch_window: float = 0.01
@@ -126,6 +150,15 @@ class DecentralizedConfig:
             raise ConfigError(
                 "selection_workers requires the scoring engine; "
                 'the "serial" reference path is single-process'
+            )
+        if self.gateway not in GATEWAY_BACKENDS:
+            raise ConfigError(
+                f"unknown gateway backend {self.gateway!r}; "
+                f"choose from {GATEWAY_BACKENDS}"
+            )
+        if self.gateway_staleness <= 0:
+            raise ConfigError(
+                f"gateway_staleness must be positive, got {self.gateway_staleness}"
             )
 
 
@@ -197,10 +230,18 @@ class DecentralizedFL:
         for pc in peer_configs:
             node = Node(keypairs[pc.peer_id], genesis, self.runtime, NodeConfig())
             self.network.add_node(node, hashrate=config.hashrate)
+            gateway: ChainGateway = InProcessGateway(
+                node,
+                network=self.network,
+                simulator=self.sim,
+                default_deadline=config.max_round_time,
+            )
+            if config.gateway == "batching":
+                gateway = BatchingGateway(gateway, staleness=config.gateway_staleness)
             self.peers[pc.peer_id] = FullPeer(
                 config=pc,
                 keypair=keypairs[pc.peer_id],
-                node=node,
+                gateway=gateway,
                 offchain=self.offchain,
                 train_set=train_sets[pc.peer_id],
                 test_set=test_sets[pc.peer_id],
@@ -248,13 +289,13 @@ class DecentralizedFL:
             to=None, args={"contract": "participant_registry", "open_enrollment": True}
         )
         registry_address = self.runtime.contract_address(deployer.address, registry_tx.nonce)
-        self.network.broadcast_transaction(deployer.address, registry_tx)
+        deployer.gateway.submit(registry_tx)
 
         store_tx = deployer.make_transaction(
             to=None, args={"contract": "model_store", "registry_address": registry_address}
         )
         store_address = self.runtime.contract_address(deployer.address, store_tx.nonce)
-        self.network.broadcast_transaction(deployer.address, store_tx)
+        deployer.gateway.submit(store_tx)
 
         coord_tx = deployer.make_transaction(
             to=None,
@@ -266,15 +307,16 @@ class DecentralizedFL:
             },
         )
         coordinator_address = self.runtime.contract_address(deployer.address, coord_tx.nonce)
-        self.network.broadcast_transaction(deployer.address, coord_tx)
+        deployer.gateway.submit(coord_tx)
 
         reputation_tx = deployer.make_transaction(
-            to=None, args={"contract": "reputation_ledger", "initial_score": 100}
+            to=None,
+            args={"contract": "reputation_ledger", "initial_score": REPUTATION_INITIAL_SCORE},
         )
         self.reputation_address = self.runtime.contract_address(
             deployer.address, reputation_tx.nonce
         )
-        self.network.broadcast_transaction(deployer.address, reputation_tx)
+        deployer.gateway.submit(reputation_tx)
 
         for peer_id in self.peer_ids:
             peer = self.peers[peer_id]
@@ -287,8 +329,8 @@ class DecentralizedFL:
         self.network.start_mining()
         self._wait_until(
             lambda: all(
-                peer.node.has_contract(coordinator_address)
-                and peer.node.has_contract(self.reputation_address)
+                peer.gateway.has_contract(coordinator_address)
+                and peer.gateway.has_contract(self.reputation_address)
                 for peer in self.peers.values()
             ),
             "contract deployment",
@@ -300,7 +342,7 @@ class DecentralizedFL:
             register_tx = peer.make_transaction(
                 to=registry_address, method="register", args={"display_name": peer_id}
             )
-            self.network.broadcast_transaction(peer.address, register_tx)
+            peer.gateway.submit(register_tx)
         self._wait_until(
             lambda: all(self._is_registered(peer, registry_address) for peer in self.peers.values()),
             "participant registration",
@@ -308,26 +350,31 @@ class DecentralizedFL:
         self._deployed = True
 
     def _is_registered(self, peer: FullPeer, registry_address: Address) -> bool:
-        if not peer.node.has_contract(registry_address):
+        if not peer.gateway.has_contract(registry_address):
             return False
-        return all(
-            peer.node.call_contract(registry_address, "is_member", address=other.address)
-            for other in self.peers.values()
+        # One batched round trip checks the whole cohort's membership.
+        memberships = peer.gateway.batch_call(
+            [
+                CallRequest(registry_address, "is_member", {"address": other.address})
+                for other in self.peers.values()
+            ]
         )
+        return all(memberships)
 
     def _registry_address(self) -> Address:
         deployer = self.peers[self.peer_ids[0]]
         return self.runtime.contract_address(deployer.address, 0)
 
     def _wait_until(self, predicate: Callable[[], bool], what: str, deadline: Optional[float] = None) -> float:
-        """Advance simulation until ``predicate`` holds; returns the time."""
-        limit = self.sim.now + (deadline if deadline is not None else self.config.max_round_time)
-        while self.sim.now <= limit:
-            if predicate():
-                return self.sim.now
-            if not self.sim.step():
-                raise NetworkError(f"simulation drained while waiting for {what}")
-        raise RoundError(f"timed out waiting for {what} at t={self.sim.now:.1f}")
+        """Advance the ledger transport until ``predicate`` holds.
+
+        Delegates to the gateway's ``wait_for`` (all in-process gateways
+        share one event engine, so any peer's gateway can drive it); the
+        deadline defaults to ``max_round_time``, and timeout/drain raise
+        the same error types the pre-gateway driver did.
+        """
+        gateway = self.peers[self.peer_ids[0]].gateway
+        return gateway.wait_for(predicate, what, deadline=deadline)
 
     # ------------------------------------------------------------------
     # Round execution
@@ -343,7 +390,7 @@ class DecentralizedFL:
             method="open_round",
             args={"round_id": round_id},
         )
-        self.network.broadcast_transaction(coordinator.address, open_tx)
+        coordinator.gateway.submit(open_tx)
 
         round_start = self.sim.now
         submitted_at: dict[str, float] = {}
@@ -360,7 +407,7 @@ class DecentralizedFL:
 
             def submit(peer_id=peer_id, peer=peer, tx=tx, duration=duration) -> None:
                 self.trackers[peer_id].mark_trained(round_id, self.sim.now)
-                self.network.broadcast_transaction(peer.address, tx)
+                peer.gateway.submit(tx)
                 self.trackers[peer_id].mark_submitted(round_id, self.sim.now)
                 submitted_at[peer_id] = self.sim.now
 
@@ -541,11 +588,11 @@ class DecentralizedFL:
                 method="vote_global",
                 args={"round_id": round_id, "aggregate_hash": aggregate_hash},
             )
-            self.network.broadcast_transaction(peer.address, vote_tx)
+            peer.gateway.submit(vote_tx)
 
         def finalized_everywhere() -> bool:
             return all(
-                peer.node.call_contract(
+                peer.gateway.call(
                     peer.coordinator_address, "finalized_hash", round_id=round_id
                 )
                 is not None
@@ -557,7 +604,7 @@ class DecentralizedFL:
         logs = []
         for peer_id in self.peer_ids:
             peer = self.peers[peer_id]
-            final_hash = peer.node.call_contract(
+            final_hash = peer.gateway.call(
                 peer.coordinator_address, "finalized_hash", round_id=round_id
             )
             weights = self.offchain.get_weights(final_hash)
@@ -622,16 +669,27 @@ class DecentralizedFL:
                         "reason": f"fitness {fit:.3f} vs own {own_accuracy:.3f}",
                     },
                 )
-                self.network.broadcast_transaction(rater.address, rate_tx)
+                rater.gateway.submit(rate_tx)
 
     def reputation_of(self, peer_id: str, viewer_id: Optional[str] = None) -> int:
         """Current on-chain reputation score of ``peer_id``."""
         viewer = self.peers[viewer_id if viewer_id is not None else self.peer_ids[0]]
         return int(
-            viewer.node.call_contract(
+            viewer.gateway.call(
                 self.reputation_address, "score_of", address=self.peers[peer_id].address
             )
         )
+
+    def reputation_scores(self, viewer_id: Optional[str] = None) -> dict[str, int]:
+        """Every peer's reputation score in one batched gateway round trip."""
+        viewer = self.peers[viewer_id if viewer_id is not None else self.peer_ids[0]]
+        scores = viewer.gateway.batch_call(
+            [
+                CallRequest(self.reputation_address, "score_of", {"address": peer.address})
+                for peer in (self.peers[peer_id] for peer_id in self.peer_ids)
+            ]
+        )
+        return {peer_id: int(score) for peer_id, score in zip(self.peer_ids, scores)}
 
     def run(self) -> list[PeerRoundLog]:
         """Deploy (if needed) and run every configured round."""
@@ -665,11 +723,43 @@ class DecentralizedFL:
             totals.setdefault(log.peer_id, []).append(log.wait_time)
         return {peer_id: float(np.mean(times)) for peer_id, times in sorted(totals.items())}
 
+    def gateway_stats(self) -> dict:
+        """Cohort-aggregated ledger-gateway instrumentation.
+
+        ``requested`` sums what the FL layer asked of the peers' gateways;
+        ``transport`` sums what actually reached the ledger transport —
+        identical for the in-process backend, and the round-trip reduction
+        the batching backend is measured by
+        (``benchmarks/bench_chain_gateway.py``).
+        """
+        requested = GatewayStats()
+        transport = GatewayStats()
+        for peer_id in self.peer_ids:
+            gateway = self.peers[peer_id].gateway
+            requested.add(gateway.stats)
+            # For an undecorated backend this is the same object, so the
+            # two aggregates coincide — no backend-specific branching.
+            transport.add(transport_stats(gateway))
+        return {
+            "backend": self.config.gateway,
+            "requested": requested.as_dict(),
+            "transport": transport.as_dict(),
+        }
+
     def chain_stats(self) -> dict:
-        """Network counters plus per-node chain heights."""
+        """Network counters, per-peer heights, and gateway instrumentation.
+
+        Every number here comes from the service surfaces — the network's
+        own counters, the gateways' height reads and request telemetry,
+        and the off-chain store — never from reaching into peer nodes.
+        """
+        heights = {
+            peer_id: peer.gateway.height() for peer_id, peer in sorted(self.peers.items())
+        }
         stats = self.network.stats.as_dict()
-        stats["heights"] = {peer_id: peer.node.height for peer_id, peer in sorted(self.peers.items())}
+        stats["heights"] = heights
         stats["offchain_blobs"] = len(self.offchain)
         stats["offchain_bytes"] = self.offchain.total_bytes()
         stats["offchain_marshalling"] = self.offchain.marshalling_stats()
+        stats["gateway"] = self.gateway_stats()
         return stats

@@ -21,7 +21,7 @@ of pinning their ndarrays forever).  ``serializations`` /
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Optional
+from typing import Iterable, Optional
 
 import numpy as np
 
@@ -47,6 +47,7 @@ class OffchainStore:
         self._archive_cache_size = archive_cache_size
         self.puts = 0
         self.gets = 0
+        self.batch_fetches = 0      # batched multi-key fetch round trips
         self.serializations = 0     # weight encodes this store triggered
         self.deserializations = 0   # weight decodes this store triggered
         self.decode_hits = 0        # fetches answered from the decoded cache
@@ -144,11 +145,29 @@ class OffchainStore:
             return None
         return self.get_weights(key)
 
+    def fetch_available(self, keys: Iterable[str]) -> dict[str, dict[str, np.ndarray]]:
+        """Batched fetch: every *present* key's weights in one lookup.
+
+        The round-trip-shaped read path of the FL layer: a peer resolves
+        all of a round's committed hashes in a single store visit (one
+        IPFS batch request in a real deployment) instead of one probe per
+        commitment.  Missing keys — blobs that have not propagated yet —
+        are simply absent from the result.  Duplicate keys are fetched
+        once.
+        """
+        self.batch_fetches += 1
+        found: dict[str, dict[str, np.ndarray]] = {}
+        for key in keys:
+            if key not in found and key in self._blobs:
+                found[key] = self.get_weights(key)
+        return found
+
     def marshalling_stats(self) -> dict:
         """Counters for the commitment-pipeline benchmarks."""
         return {
             "puts": self.puts,
             "gets": self.gets,
+            "batch_fetches": self.batch_fetches,
             "serializations": self.serializations,
             "deserializations": self.deserializations,
             "decode_hits": self.decode_hits,

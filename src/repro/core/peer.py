@@ -1,10 +1,13 @@
-"""The fully coupled peer: data holder + trainer + miner + aggregator.
+"""The fully coupled peer: data holder + trainer + ledger client + aggregator.
 
-One :class:`FullPeer` owns a blockchain :class:`~repro.chain.node.Node`
-(so it mines and validates), an :class:`~repro.fl.client.FLClient` (so it
-trains), and the wiring between them: committing local models on chain,
-reading other peers' commitments back, fetching weights off-chain, and
-running the personalized combination aggregation of Section III.
+One :class:`FullPeer` owns a :class:`~repro.chain.gateway.ChainGateway`
+(its only window onto the ledger — in-process today, remotable tomorrow),
+an :class:`~repro.fl.client.FLClient` (so it trains), and the wiring
+between them: committing local models on chain, reading other peers'
+commitments back, fetching weights off-chain, and running the
+personalized combination aggregation of Section III.  The peer never
+touches a raw :class:`~repro.chain.node.Node`; a seam test enforces that
+for the whole FL layer.
 """
 
 from __future__ import annotations
@@ -15,7 +18,7 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.chain.crypto import Address, KeyPair
-from repro.chain.node import Node
+from repro.chain.gateway import ChainGateway
 from repro.chain.transaction import Transaction
 from repro.core.offchain import OffchainStore
 from repro.data.dataset import Dataset
@@ -58,7 +61,7 @@ class FullPeer:
         self,
         config: PeerConfig,
         keypair: KeyPair,
-        node: Node,
+        gateway: ChainGateway,
         offchain: OffchainStore,
         train_set: Dataset,
         test_set: Dataset,
@@ -69,7 +72,7 @@ class FullPeer:
         self.config = config
         self.peer_id = config.peer_id
         self.keypair = keypair
-        self.node = node
+        self.gateway = gateway
         self.offchain = offchain
         self.rng = rng
         self.client = FLClient(
@@ -102,7 +105,7 @@ class FullPeer:
         tx = Transaction(
             sender=self.address,
             to=to,
-            nonce=self.node.next_nonce_for(self.address),
+            nonce=self.gateway.next_nonce(self.address),
             method=method,
             args=args or {},
             data=data,
@@ -151,23 +154,28 @@ class FullPeer:
         return update, tx
 
     def visible_submissions(self, round_id: int) -> list[dict]:
-        """Commitments this peer's node can see on its canonical chain."""
+        """Commitments visible on this peer's canonical chain view."""
         if self.model_store_address is None:
             raise ConfigError(f"{self.peer_id}: model store address not set")
-        return self.node.call_contract(
+        return self.gateway.call(
             self.model_store_address, "round_submissions", round_id=round_id
         )
 
     def fetch_updates(self, round_id: int, id_of: dict[Address, str]) -> list[ModelUpdate]:
         """Materialize :class:`ModelUpdate` objects from on-chain commitments.
 
-        ``id_of`` maps chain addresses to display peer ids.  Submissions
-        whose weights have not propagated to the off-chain store yet are
-        skipped (they will be visible next check).
+        ``id_of`` maps chain addresses to display peer ids.  The round's
+        committed hashes are fetched from the off-chain store in one
+        batched lookup; submissions whose weights have not propagated yet
+        are skipped (they will be visible next check).
         """
+        records = self.visible_submissions(round_id)
+        available = self.offchain.fetch_available(
+            [record["weights_hash"] for record in records]
+        )
         updates = []
-        for record in self.visible_submissions(round_id):
-            weights = self.offchain.maybe_get_weights(record["weights_hash"])
+        for record in records:
+            weights = available.get(record["weights_hash"])
             if weights is None:
                 continue
             updates.append(

@@ -66,6 +66,16 @@ class ContractRevertError(ContractError):
         self.reason = reason
 
 
+class MethodNotFoundError(ContractRevertError):
+    """A call named a method the target contract does not expose.
+
+    Subclass of :class:`ContractRevertError` so transaction execution
+    semantics (gas charged, nonce bumped, state rolled back) are untouched;
+    the distinct type lets the ledger gateway surface it as a typed
+    :class:`UnknownMethodError` instead of a generic revert.
+    """
+
+
 class MempoolError(ChainError):
     """Mempool admission failure (duplicate, underpriced, full)."""
 
@@ -131,3 +141,46 @@ class RoundError(FLError):
 
 class ConfigError(ReproError):
     """An experiment configuration is inconsistent."""
+
+
+# ---------------------------------------------------------------------------
+# Ledger gateway (the FL-layer <-> chain service boundary)
+# ---------------------------------------------------------------------------
+
+
+class GatewayError(ReproError):
+    """Base class for ledger-gateway failures.
+
+    The gateway is the transport-agnostic service API between the FL layer
+    and the chain (:mod:`repro.chain.gateway`); every backend maps its
+    transport-specific failures onto this hierarchy so callers never have
+    to catch raw ``KeyError`` / backend internals.
+    """
+
+
+class UnknownContractError(GatewayError):
+    """A gateway call targeted an address with no deployed contract."""
+
+
+class UnknownMethodError(GatewayError):
+    """A gateway call named a method the contract does not expose."""
+
+
+class CallRevertedError(GatewayError):
+    """A read-only gateway call reverted inside the contract."""
+
+    def __init__(self, reason: str = "") -> None:
+        super().__init__(reason or "call reverted")
+        self.reason = reason
+
+
+class TransactionRejectedError(GatewayError):
+    """A submitted transaction was rejected before entering the ledger."""
+
+
+class GatewayTimeoutError(GatewayError, RoundError):
+    """A gateway wait ran past its deadline.
+
+    Also a :class:`RoundError`: existing round-driver callers that catch
+    the pre-gateway timeout type keep working unchanged.
+    """

@@ -29,6 +29,7 @@ import argparse
 import sys
 from dataclasses import replace
 
+from repro.chain.gateway import GATEWAY_BACKENDS
 from repro.core.config import default_config
 from repro.core.decentralized import DecentralizedConfig
 from repro.core.experiment import run_decentralized_experiment, run_vanilla_experiment
@@ -51,6 +52,7 @@ from repro.scenarios import (
     cohort_sweep,
     get_scenario,
     list_scenarios,
+    replace_axis,
     run_scenario,
 )
 from repro.scenarios.registry import PAPER_MODELS, TRADEOFF_HEADER, tradeoff_row
@@ -155,7 +157,12 @@ def _run_legacy(artifact: str, model: str, seed: int) -> int:
 
 
 def _run_named_scenario(
-    name: str, seed: int, quick: bool, model: str | None, workers: int = 0
+    name: str,
+    seed: int,
+    quick: bool,
+    model: str | None,
+    workers: int = 0,
+    gateway: str | None = None,
 ) -> int:
     models = None
     if model is not None:
@@ -169,6 +176,15 @@ def _run_named_scenario(
             # combination search to parallelize and keep their field as-is).
             specs = tuple(
                 replace(spec, selection_workers=workers) if spec.kind == "decentralized" else spec
+                for spec in specs
+            )
+        if gateway:
+            # Pure transport knob: ledger reads are head-pure, so the
+            # backend changes round trips, never results.
+            specs = tuple(
+                replace_axis(spec, "chain.gateway", gateway)
+                if spec.kind == "decentralized"
+                else spec
                 for spec in specs
             )
     except ConfigError as error:
@@ -189,6 +205,7 @@ def _run_sweep(
     seed: int,
     quick: bool,
     workers: int = 0,
+    gateway: str | None = None,
 ) -> int:
     del axis  # only "cohort" exists today; argparse restricts the choice
     try:
@@ -199,6 +216,7 @@ def _run_sweep(
             quick=quick,
             policy=policy,
             selection_workers=workers or None,
+            gateway=gateway,
         )
     except ConfigError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -254,6 +272,12 @@ def main(argv: list[str] | None = None) -> int:
         default=0,
         help="combination-search worker processes (0 = in-process; results identical)",
     )
+    run_parser.add_argument(
+        "--gateway",
+        choices=list(GATEWAY_BACKENDS),
+        default=None,
+        help="ledger gateway backend (batching coalesces reads; results identical)",
+    )
 
     sweep_parser = subparsers.add_parser(
         "sweep", help="sweep a scenario axis through the shared-dataset driver"
@@ -272,6 +296,12 @@ def main(argv: list[str] | None = None) -> int:
         type=int,
         default=0,
         help="combination-search worker processes (0 = in-process; results identical)",
+    )
+    sweep_parser.add_argument(
+        "--gateway",
+        choices=list(GATEWAY_BACKENDS),
+        default=None,
+        help="ledger gateway backend (batching coalesces reads; results identical)",
     )
 
     subparsers.add_parser("list", help="list registered scenarios")
@@ -296,9 +326,13 @@ def main(argv: list[str] | None = None) -> int:
     model = getattr(args, "model", None) or args.global_model
 
     if args.command == "run":
-        return _run_named_scenario(args.scenario, seed, args.quick, model, args.workers)
+        return _run_named_scenario(
+            args.scenario, seed, args.quick, model, args.workers, args.gateway
+        )
     if args.command == "sweep":
-        return _run_sweep(args.axis, args.sizes, args.wait_for, seed, args.quick, args.workers)
+        return _run_sweep(
+            args.axis, args.sizes, args.wait_for, seed, args.quick, args.workers, args.gateway
+        )
     if args.command == "list":
         return _run_list()
     return _run_legacy(args.command, model or "both", seed)

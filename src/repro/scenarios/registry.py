@@ -4,7 +4,9 @@ A :class:`ScenarioDefinition` bundles the specs a named workload runs and
 how to render their results.  Built-ins cover the paper's artifacts
 (``paper/table1``, ``paper/tables234``, ``paper/tradeoff``), cohort-scaling
 workloads (``cohort/10`` … ``cohort/50`` — any ``cohort/<n>`` resolves
-dynamically), the adversarial ablation (``adversarial/label_flip``), and
+dynamically), the adversarial ablations (``adversarial/label_flip``,
+``adversarial/reputation`` — the latter measures the reputation ledger's
+exclusion quality against ``consider``-only selection), and
 device heterogeneity (``hetero/stragglers``).  Unknown names raise
 :class:`~repro.errors.ConfigError` with a did-you-mean listing.
 
@@ -25,6 +27,7 @@ from typing import Callable, Optional, Sequence
 import numpy as np
 
 from repro.core.config import default_config
+from repro.core.decentralized import REPUTATION_INITIAL_SCORE
 from repro.errors import ConfigError
 from repro.fl.async_policy import WaitForAll, WaitForK
 from repro.metrics.tables import (
@@ -346,6 +349,85 @@ def _build_label_flip(seed: int = 42, quick: bool = False, models=None) -> tuple
                 seed=seed,
                 name="adversarial/label_flip",
                 adversary=AdversarySpec(kind="label_flip", fraction=1 / 3),
+            ),
+            quick,
+        )
+        for model_kind in (models or ("simple_nn",))
+    )
+
+
+def _render_reputation(specs, results) -> list[str]:
+    """Exclusion quality: the reputation ledger vs ``consider``-only search.
+
+    Two signals identify the abnormal client: the combination search
+    excluding its model from adopted aggregates (the paper's ``consider``
+    behaviour, available without the extension), and the on-chain
+    reputation score dropping below the initial grant.  The table shows
+    both per client; the summary lines compare them head to head.
+    """
+    blocks = []
+    for spec, result in zip(specs, results):
+        adversaries = set(result.adversaries)
+        rows = []
+        for client_id in spec.client_ids():
+            score = result.reputation.get(client_id)
+            rows.append(
+                [
+                    client_id,
+                    "yes" if client_id in adversaries else "-",
+                    "-" if score is None else str(score),
+                    f"{result.exclusion_rate(client_id):.2f}",
+                ]
+            )
+        blocks.append(
+            render_table(
+                f"Reputation vs consider-only exclusion ({MODEL_LABELS[spec.model_kind]})",
+                ["client", "adversary", "reputation", "excluded by selection"],
+                rows,
+            )
+        )
+        flagged = sorted(
+            client_id
+            for client_id, score in result.reputation.items()
+            if score < REPUTATION_INITIAL_SCORE
+        )
+        adv_excluded = (
+            float(np.mean([result.exclusion_rate(cid) for cid in sorted(adversaries)]))
+            if adversaries
+            else 0.0
+        )
+        honest = [cid for cid in spec.client_ids() if cid not in adversaries]
+        honest_excluded = (
+            float(np.mean([result.exclusion_rate(cid) for cid in honest])) if honest else 0.0
+        )
+        blocks.append(
+            "\n".join(
+                [
+                    f"reputation flags (score < {REPUTATION_INITIAL_SCORE}): "
+                    f"{', '.join(flagged) or 'none'} "
+                    f"(adversaries: {', '.join(sorted(adversaries)) or 'none'})",
+                    "consider-only exclusion rate: "
+                    f"adversaries {adv_excluded:.2f} vs honest {honest_excluded:.2f}",
+                ]
+            )
+        )
+    return blocks
+
+
+@register_scenario(
+    "adversarial/reputation",
+    "Label-flip cohort with the reputation ledger on; reports exclusion quality vs consider-only",
+    render=_render_reputation,
+)
+def _build_reputation(seed: int = 42, quick: bool = False, models=None) -> tuple[ScenarioSpec, ...]:
+    return tuple(
+        _maybe_quick(
+            paper_spec(
+                model_kind,
+                seed=seed,
+                name="adversarial/reputation",
+                adversary=AdversarySpec(kind="label_flip", fraction=1 / 3),
+                enable_reputation=True,
             ),
             quick,
         )

@@ -97,6 +97,8 @@ class ScenarioResult:
     round_logs: list = field(default_factory=list)
     adversaries: tuple[str, ...] = ()
     training_times: dict[str, float] = field(default_factory=dict)
+    #: Final on-chain reputation per client (reputation-enabled runs only).
+    reputation: dict[str, int] = field(default_factory=dict)
 
     def final_accuracy(self, client_id: str) -> float:
         """Accuracy after the last round for one client."""
@@ -115,6 +117,26 @@ class ScenarioResult:
         if not self.wait_times:
             return 0.0
         return float(np.mean(list(self.wait_times.values())))
+
+    def exclusion_rate(self, client_id: str) -> float:
+        """How often *other* peers' adopted combinations excluded a client.
+
+        The ``consider``-style signal of the decentralized mode: the
+        fraction of (rater peer, round) aggregation decisions that left
+        ``client_id`` out.  A high rate for an adversary (and a low rate
+        for honest clients) means combination search alone already
+        rejects the abnormal model.
+        """
+        views = [
+            log
+            for log in self.round_logs
+            if log.peer_id != client_id and log.chosen_combination
+        ]
+        if not views:
+            return 0.0
+        return float(
+            np.mean([client_id not in log.chosen_combination for log in views])
+        )
 
     def summary(self) -> dict:
         """Speed/precision digest — one sweep-table row."""
@@ -286,6 +308,8 @@ def _run_decentralized(
         selection=spec.selection,
         exhaustive_limit=spec.exhaustive_limit,
         selection_workers=spec.selection_workers,
+        gateway=spec.chain.gateway,
+        gateway_staleness=spec.chain.gateway_staleness,
         target_block_interval=spec.chain.target_block_interval,
         latency=LatencyModel(base=spec.chain.latency_base, jitter=spec.chain.latency_jitter),
         gossip_batch_window=spec.chain.gossip_batch_window,
@@ -322,6 +346,10 @@ def _run_decentralized(
             peer_table.setdefault(combo, []).append(acc)
         client_accuracy[log.peer_id].append(log.chosen_accuracy)
 
+    reputation: dict[str, int] = {}
+    if spec.enable_reputation:
+        reputation = driver.reputation_scores()
+
     return ScenarioResult(
         spec=spec,
         client_accuracy=client_accuracy,
@@ -331,6 +359,7 @@ def _run_decentralized(
         round_logs=logs,
         adversaries=adversary_ids,
         training_times=training_times,
+        reputation=reputation,
     )
 
 

@@ -25,6 +25,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.chain.gateway import GATEWAY_BACKENDS
 from repro.core.config import MODEL_LEARNING_RATES, ExperimentConfig
 from repro.data.synthetic import SyntheticSpec
 from repro.errors import ConfigError
@@ -245,7 +246,16 @@ class HeterogeneitySpec:
 
 @dataclass(frozen=True)
 class ChainSpec:
-    """Blockchain/network parameters of the simulated deployment."""
+    """Blockchain/network parameters of the simulated deployment.
+
+    ``gateway`` selects the ledger backend every peer talks through
+    (:mod:`repro.chain.gateway`): ``"inprocess"`` delegates straight to
+    the peer's node, ``"batching"`` coalesces the per-round read fan-out
+    behind a head-keyed cache whose entries also expire after
+    ``gateway_staleness`` simulated seconds.  The backend never changes a
+    result — only transport round trips (a sweepable axis:
+    ``replace_axis(spec, "chain.gateway", "batching")``).
+    """
 
     target_block_interval: float = 13.0
     gossip_batch_window: float = 0.01
@@ -254,6 +264,8 @@ class ChainSpec:
     poll_interval: float = 1.0
     latency_base: float = 0.05
     latency_jitter: float = 0.02
+    gateway: str = "inprocess"
+    gateway_staleness: float = 5.0
 
     def __post_init__(self) -> None:
         if self.target_block_interval <= 0:
@@ -264,6 +276,15 @@ class ChainSpec:
             raise ConfigError("gossip_batch_window and latencies must be non-negative")
         if self.max_round_time <= 0:
             raise ConfigError("max_round_time must be positive")
+        if self.gateway not in GATEWAY_BACKENDS:
+            raise ConfigError(
+                f"unknown gateway backend {self.gateway!r}; "
+                f"choose from {GATEWAY_BACKENDS}"
+            )
+        if self.gateway_staleness <= 0:
+            raise ConfigError(
+                f"gateway_staleness must be positive, got {self.gateway_staleness}"
+            )
 
 
 @dataclass(frozen=True)

@@ -103,6 +103,7 @@ def cohort_sweep(
     policy: Optional[AsyncPolicy] = None,
     context: Optional[ScenarioContext] = None,
     selection_workers: Optional[int] = None,
+    gateway: Optional[str] = None,
 ) -> list[dict]:
     """The ROADMAP measurement: speed/precision rows per cohort size.
 
@@ -110,8 +111,9 @@ def cohort_sweep(
     (simulated seconds), cohort-mean final accuracy, mean adopted-
     combination size, and wall-clock cost.  All sizes share one
     :class:`ScenarioContext`.  ``selection_workers`` overrides the
-    template's combination-search parallelism (pure wall-clock knob:
-    rows are identical at any worker count).
+    template's combination-search parallelism and ``gateway`` its ledger
+    backend (both pure wall-clock/transport knobs: rows are identical at
+    any worker count or backend).
     """
     if not sizes:
         raise ConfigError("cohort_sweep needs at least one size")
@@ -120,6 +122,8 @@ def cohort_sweep(
         template = replace(template, policy=policy)
     if selection_workers is not None:
         template = replace(template, selection_workers=selection_workers)
+    if gateway is not None:
+        template = replace_axis(template, "chain.gateway", gateway)
     if quick:
         template = template.quick()
     points = grid(template, {"cohort.size": list(sizes)})

@@ -2,10 +2,10 @@
 
 Runs the smoke-scale cores of ``bench_chain_throughput``,
 ``bench_commitment_pipeline``, ``bench_block_execution``,
-``bench_cohort_scaling``, and ``bench_selection_engine`` in-process (the
-same code paths ``pytest benchmarks/... --smoke`` exercises), so the
-tier-1 suite catches benchmark bit-rot and enforces the pipelines'
-headline numbers in seconds.
+``bench_cohort_scaling``, ``bench_selection_engine``, and
+``bench_chain_gateway`` in-process (the same code paths
+``pytest benchmarks/... --smoke`` exercises), so the tier-1 suite catches
+benchmark bit-rot and enforces the pipelines' headline numbers in seconds.
 """
 
 import sys
@@ -16,6 +16,7 @@ if str(_BENCHMARKS) not in sys.path:
     sys.path.insert(0, str(_BENCHMARKS))
 
 import bench_block_execution
+import bench_chain_gateway
 import bench_chain_throughput
 import bench_cohort_scaling
 import bench_commitment_pipeline
@@ -126,3 +127,34 @@ class TestSelectionEngineSmoke:
         counters = bench_selection_engine.solo_reuse_counters()
         assert counters["engine_evaluations"] == counters["subsets"]
         assert counters["engine_extra_after_enumerate"] == 0
+
+
+class TestChainGatewaySmoke:
+    """Smoke-tier ledger-gateway comparison at the 25-peer profile.
+
+    ``compare_gateways`` asserts result equality between the backends
+    internally (accuracy tables, adopted combinations, wait times), so
+    the round-trip floor below is both the acceptance gate and the
+    unchanged-outputs proof.  The counters are deterministic — no
+    wall-clock slack needed.
+    """
+
+    @classmethod
+    def _comparison(cls):
+        return bench_chain_gateway.compare_gateways(
+            **bench_chain_gateway.gateway_params(smoke=True)
+        )
+
+    def test_round_trip_reduction_meets_floor(self):
+        result = self._comparison()
+        assert result["size"] == 25  # the acceptance profile
+        assert result["trip_reduction"] >= bench_chain_gateway.ROUND_TRIP_FLOOR
+        assert result["cache_hits"] > 0
+
+    def test_transport_traffic_shrinks_requests_do_not(self):
+        result = self._comparison()
+        assert result["batched_response_bytes"] < result["raw_response_bytes"]
+        assert (
+            result["raw"]["requested"]["requested_reads"]
+            == result["batched"]["requested"]["requested_reads"]
+        )

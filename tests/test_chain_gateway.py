@@ -1,0 +1,467 @@
+"""The ledger gateway: protocol behavior, error mapping, batching, seam.
+
+Covers the transport-agnostic :mod:`repro.chain.gateway` API the FL layer
+programs against:
+
+* ``InProcessGateway`` delegation and instrumentation;
+* typed error mapping (unknown contract / unknown method / reverted call
+  / rejected transaction) — asserted identical across both backends;
+* ``BatchingGateway`` head-keyed caching with the bounded staleness
+  window, and that the backend never changes an end-to-end result;
+* the architectural seam: no FL-layer module reaches into ``.node``.
+"""
+
+import io
+import tokenize
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.chain.crypto import KeyPair
+from repro.chain.gateway import (
+    BatchingGateway,
+    CallRequest,
+    ChainGateway,
+    GatewayStats,
+    InProcessGateway,
+    transport_stats,
+)
+from repro.chain.node import GenesisSpec, Node, NodeConfig
+from repro.chain.runtime import ContractRuntime
+from repro.chain.transaction import Transaction
+from repro.contracts import register_all
+from repro.core.decentralized import DecentralizedConfig, DecentralizedFL
+from repro.core.peer import FullPeer, PeerConfig
+from repro.data.dataset import Dataset
+from repro.errors import (
+    CallRevertedError,
+    GatewayError,
+    GatewayTimeoutError,
+    NetworkError,
+    RoundError,
+    TransactionRejectedError,
+    UnknownContractError,
+    UnknownMethodError,
+)
+from repro.fl.trainer import TrainConfig
+from repro.nn.layers import Dense
+from repro.nn.model import Sequential
+from repro.nn.serialize import weights_hash
+from repro.utils.events import Simulator
+from repro.utils.rng import RngFactory
+
+
+def make_node(seed: str = "gw-node") -> tuple[Node, KeyPair]:
+    runtime = ContractRuntime()
+    register_all(runtime)
+    kp = KeyPair.from_seed(seed)
+    genesis = GenesisSpec(allocations={kp.address: 10**15})
+    return Node(kp, genesis, runtime, NodeConfig()), kp
+
+
+def mine(node: Node, timestamp: float) -> None:
+    block = node.build_block_candidate(timestamp, difficulty=1)
+    node.seal_and_import(block, nonce=0)
+
+
+def deploy_contract(node: Node, kp: KeyPair, timestamp: float, **args) -> str:
+    tx = Transaction(
+        sender=kp.address,
+        to=None,
+        nonce=node.next_nonce_for(kp.address),
+        args=args,
+    ).sign_with(kp)
+    node.submit_transaction(tx)
+    mine(node, timestamp)
+    return node.receipt_of(tx.tx_hash).contract_address
+
+
+def deploy_registry(node: Node, kp: KeyPair, timestamp: float = 13.0) -> str:
+    return deploy_contract(
+        node, kp, timestamp, contract="participant_registry", open_enrollment=True
+    )
+
+
+@pytest.fixture
+def node_and_registry():
+    node, kp = make_node()
+    registry = deploy_registry(node, kp)
+    return node, kp, registry
+
+
+def backends(node):
+    """Both gateway backends over one node (error-parity parametrization)."""
+    return {
+        "inprocess": InProcessGateway(node),
+        "batching": BatchingGateway(InProcessGateway(node)),
+    }
+
+
+class TestCallRequest:
+    def test_key_is_canonical_in_arg_order(self):
+        a = CallRequest("0xabc", "is_member", {"address": "0x1", "extra": 2})
+        b = CallRequest("0xabc", "is_member", {"extra": 2, "address": "0x1"})
+        assert a.key() == b.key()
+
+    def test_key_distinguishes_args(self):
+        a = CallRequest("0xabc", "is_member", {"address": "0x1"})
+        b = CallRequest("0xabc", "is_member", {"address": "0x2"})
+        assert a.key() != b.key()
+
+
+class TestInProcessGateway:
+    def test_call_matches_direct_node_read(self, node_and_registry):
+        node, kp, registry = node_and_registry
+        gateway = InProcessGateway(node)
+        assert gateway.call(registry, "member_count") == node.call_contract(
+            registry, "member_count"
+        )
+        assert gateway.stats.calls == 1
+
+    def test_reads_and_counters(self, node_and_registry):
+        node, kp, registry = node_and_registry
+        gateway = InProcessGateway(node)
+        assert gateway.height() == node.height
+        assert gateway.head_hash() == node.head.block_hash
+        assert gateway.has_contract(registry)
+        assert not gateway.has_contract("0x" + "ee" * 20)
+        assert gateway.next_nonce(kp.address) == 1
+        assert gateway.get_logs(address=registry) == node.get_logs(address=registry)
+        stats = gateway.stats
+        assert (stats.height_reads, stats.head_checks, stats.contract_checks) == (1, 1, 2)
+        assert (stats.nonce_reads, stats.log_queries) == (1, 1)
+        assert stats.request_bytes == 0  # no contract calls yet
+
+    def test_batch_call_is_one_round_trip_in_order(self, node_and_registry):
+        node, kp, registry = node_and_registry
+        gateway = InProcessGateway(node)
+        values = gateway.batch_call(
+            [
+                CallRequest(registry, "member_count"),
+                CallRequest(registry, "is_member", {"address": kp.address}),
+                CallRequest(registry, "admin"),
+            ]
+        )
+        assert values == [0, False, kp.address]
+        assert gateway.stats.batch_calls == 1
+        assert gateway.stats.batched_reads == 3
+        assert gateway.stats.calls == 0
+        assert gateway.stats.contract_call_round_trips == 1
+        assert gateway.stats.requested_reads == 3
+
+    def test_submit_enters_mempool(self, node_and_registry):
+        node, kp, registry = node_and_registry
+        gateway = InProcessGateway(node)
+        tx = Transaction(
+            sender=kp.address,
+            to=registry,
+            nonce=gateway.next_nonce(kp.address),
+            method="register",
+            args={"display_name": "A"},
+        ).sign_with(kp)
+        assert gateway.submit(tx) == tx.tx_hash
+        assert gateway.stats.submits == 1
+        mine(node, 26.0)
+        assert gateway.call(registry, "is_member", address=kp.address)
+
+    def test_wait_for_without_simulator_raises(self, node_and_registry):
+        node, _, _ = node_and_registry
+        gateway = InProcessGateway(node)
+        with pytest.raises(GatewayError):
+            gateway.wait_for(lambda: True, "anything")
+
+    def test_wait_for_timeout_is_a_round_error(self):
+        node, _ = make_node()
+        sim = Simulator()
+        gateway = InProcessGateway(node, simulator=sim)
+        # Keep the simulation alive past the deadline so the timeout
+        # (not the drained-queue error) fires.
+        def tick():
+            sim.schedule_in(1.0, tick)
+        tick()
+        with pytest.raises(GatewayTimeoutError) as excinfo:
+            gateway.wait_for(lambda: False, "nothing", deadline=5.0)
+        assert isinstance(excinfo.value, RoundError)
+
+    def test_wait_for_drained_simulation_raises_network_error(self):
+        node, _ = make_node()
+        gateway = InProcessGateway(node, simulator=Simulator())
+        with pytest.raises(NetworkError):
+            gateway.wait_for(lambda: False, "nothing", deadline=5.0)
+
+    def test_wait_for_returns_when_predicate_holds(self):
+        node, _ = make_node()
+        sim = Simulator()
+        gateway = InProcessGateway(node, simulator=sim)
+        seen = []
+        sim.schedule_in(2.0, lambda: seen.append(True))
+        assert gateway.wait_for(lambda: bool(seen), "flag", deadline=10.0) == 2.0
+        assert gateway.stats.waits == 1
+
+
+class TestErrorMappingParity:
+    """The typed error surface is identical across backends."""
+
+    @pytest.mark.parametrize("backend", ["inprocess", "batching"])
+    def test_unknown_contract(self, node_and_registry, backend):
+        node, _, _ = node_and_registry
+        gateway = backends(node)[backend]
+        with pytest.raises(UnknownContractError):
+            gateway.call("0x" + "ee" * 20, "member_count")
+
+    @pytest.mark.parametrize("backend", ["inprocess", "batching"])
+    def test_unknown_method(self, node_and_registry, backend):
+        node, _, registry = node_and_registry
+        gateway = backends(node)[backend]
+        with pytest.raises(UnknownMethodError):
+            gateway.call(registry, "no_such_method")
+
+    @pytest.mark.parametrize("backend", ["inprocess", "batching"])
+    def test_non_public_method(self, node_and_registry, backend):
+        node, _, registry = node_and_registry
+        gateway = backends(node)[backend]
+        with pytest.raises(UnknownMethodError):
+            gateway.call(registry, "init")
+
+    @pytest.mark.parametrize("backend", ["inprocess", "batching"])
+    def test_reverted_call(self, node_and_registry, backend):
+        node, kp, _ = node_and_registry
+        ledger = deploy_contract(node, kp, 26.0, contract="reputation_ledger")
+        gateway = backends(node)[backend]
+        # Self-rating reverts inside the contract.
+        with pytest.raises(CallRevertedError):
+            gateway.call(ledger, "rate", round_id=1, subject=kp.address, delta=5)
+
+    @pytest.mark.parametrize("backend", ["inprocess", "batching"])
+    def test_rejected_transaction(self, node_and_registry, backend):
+        node, kp, registry = node_and_registry
+        gateway = backends(node)[backend]
+        stale = Transaction(
+            sender=kp.address, to=registry, nonce=0, method="register", args={}
+        ).sign_with(kp)  # nonce 0 already consumed by the deployment
+        with pytest.raises(TransactionRejectedError):
+            gateway.submit(stale)
+
+    @pytest.mark.parametrize("backend", ["inprocess", "batching"])
+    def test_batch_call_maps_errors_too(self, node_and_registry, backend):
+        node, _, registry = node_and_registry
+        gateway = backends(node)[backend]
+        with pytest.raises(UnknownMethodError):
+            gateway.batch_call(
+                [
+                    CallRequest(registry, "member_count"),
+                    CallRequest(registry, "no_such_method"),
+                ]
+            )
+
+
+class TestBatchingGateway:
+    def test_repeated_read_hits_cache(self, node_and_registry):
+        node, _, registry = node_and_registry
+        inner = InProcessGateway(node)
+        gateway = BatchingGateway(inner)
+        assert gateway.call(registry, "member_count") == 0
+        assert gateway.call(registry, "member_count") == 0
+        assert inner.stats.calls == 1
+        assert gateway.stats.calls == 2
+        assert gateway.stats.cache_hits == 1
+
+    def test_head_change_invalidates(self, node_and_registry):
+        node, kp, registry = node_and_registry
+        inner = InProcessGateway(node)
+        gateway = BatchingGateway(inner)
+        assert gateway.call(registry, "member_count") == 0
+        register = Transaction(
+            sender=kp.address,
+            to=registry,
+            nonce=node.next_nonce_for(kp.address),
+            method="register",
+            args={"display_name": "A"},
+        ).sign_with(kp)
+        node.submit_transaction(register)
+        mine(node, 26.0)
+        assert gateway.call(registry, "member_count") == 1
+        assert inner.stats.calls == 2
+
+    def test_staleness_window_expires_entries(self, node_and_registry):
+        node, _, registry = node_and_registry
+        sim = Simulator()
+        inner = InProcessGateway(node, simulator=sim)
+        gateway = BatchingGateway(inner, staleness=5.0)
+        assert gateway.call(registry, "member_count") == 0
+        sim.schedule_in(10.0, lambda: None)
+        sim.step()  # advance the transport clock past the window
+        assert gateway.call(registry, "member_count") == 0
+        assert inner.stats.calls == 2  # head unchanged but entry expired
+
+    def test_batch_call_forwards_only_misses(self, node_and_registry):
+        node, kp, registry = node_and_registry
+        inner = InProcessGateway(node)
+        gateway = BatchingGateway(inner)
+        gateway.call(registry, "member_count")
+        values = gateway.batch_call(
+            [
+                CallRequest(registry, "member_count"),
+                CallRequest(registry, "is_member", {"address": kp.address}),
+            ]
+        )
+        assert values == [0, False]
+        assert inner.stats.batch_calls == 1
+        assert inner.stats.batched_reads == 1  # only the miss crossed
+        assert gateway.stats.cache_hits == 1
+
+    def test_has_contract_cached_nonce_not(self, node_and_registry):
+        node, kp, registry = node_and_registry
+        inner = InProcessGateway(node)
+        gateway = BatchingGateway(inner)
+        assert gateway.has_contract(registry)
+        assert gateway.has_contract(registry)
+        assert inner.stats.contract_checks == 1
+        gateway.next_nonce(kp.address)
+        gateway.next_nonce(kp.address)
+        assert inner.stats.nonce_reads == 2
+
+    def test_invalid_staleness_rejected(self, node_and_registry):
+        node, _, _ = node_and_registry
+        with pytest.raises(GatewayError):
+            BatchingGateway(InProcessGateway(node), staleness=0.0)
+
+    def test_transport_stats_unwraps_to_innermost(self, node_and_registry):
+        node, _, _ = node_and_registry
+        inner = InProcessGateway(node)
+        gateway = BatchingGateway(inner)
+        assert transport_stats(gateway) is inner.stats
+        assert transport_stats(inner) is inner.stats
+
+    def test_stats_add_and_dict_shape(self):
+        a, b = GatewayStats(calls=2, batch_calls=1, batched_reads=3), GatewayStats(calls=1)
+        a.add(b)
+        payload = a.as_dict()
+        assert payload["calls"] == 3
+        assert payload["contract_call_round_trips"] == 4
+        assert payload["requested_reads"] == 6
+        assert "read_seconds" not in payload  # wall-clock stays off results
+
+
+def easy_dataset(rng, n=60):
+    x = rng.normal(size=(n, 4))
+    y = (x[:, 0] > 0).astype(np.int64)
+    return Dataset(x, y)
+
+
+def run_tiny_driver(gateway_backend: str):
+    peers = ("A", "B", "C")
+    data_rng = np.random.default_rng(0)
+    driver = DecentralizedFL(
+        [
+            PeerConfig(peer_id=p, train_config=TrainConfig(epochs=1), training_time=5.0)
+            for p in peers
+        ],
+        {p: easy_dataset(data_rng, n=60) for p in peers},
+        {p: easy_dataset(data_rng, n=40) for p in peers},
+        lambda rng: Sequential([Dense(2, name="out")]).build(np.random.default_rng(42), (4,)),
+        DecentralizedConfig(rounds=2, enable_reputation=True, gateway=gateway_backend),
+        rng_factory=RngFactory(5),
+    )
+    logs = driver.run()
+    return driver, logs
+
+
+class TestBackendEquivalence:
+    """The batching backend never changes an end-to-end result."""
+
+    def test_batching_run_identical_to_inprocess(self):
+        raw_driver, raw_logs = run_tiny_driver("inprocess")
+        bat_driver, bat_logs = run_tiny_driver("batching")
+        assert [
+            (log.peer_id, log.round_id, log.chosen_combination, log.chosen_accuracy,
+             log.combination_accuracy, log.wait_time)
+            for log in raw_logs
+        ] == [
+            (log.peer_id, log.round_id, log.chosen_combination, log.chosen_accuracy,
+             log.combination_accuracy, log.wait_time)
+            for log in bat_logs
+        ]
+        for peer_id in raw_driver.peers:
+            raw_weights = raw_driver.peers[peer_id].client.model.get_weights()
+            bat_weights = bat_driver.peers[peer_id].client.model.get_weights()
+            assert weights_hash(raw_weights) == weights_hash(bat_weights)
+            assert raw_driver.reputation_of(peer_id) == bat_driver.reputation_of(peer_id)
+
+    def test_batching_reduces_transport_round_trips(self):
+        raw_driver, _ = run_tiny_driver("inprocess")
+        bat_driver, _ = run_tiny_driver("batching")
+        raw = raw_driver.gateway_stats()
+        bat = bat_driver.gateway_stats()
+        assert raw["backend"] == "inprocess" and bat["backend"] == "batching"
+        # Same reads requested by the FL layer; fewer reach the transport.
+        assert (
+            bat["requested"]["requested_reads"] == raw["requested"]["requested_reads"]
+        )
+        assert (
+            bat["transport"]["contract_call_round_trips"]
+            < raw["transport"]["contract_call_round_trips"]
+        )
+
+    def test_chain_stats_carries_gateway_instrumentation(self):
+        driver, _ = run_tiny_driver("inprocess")
+        stats = driver.chain_stats()
+        gateway = stats["gateway"]
+        assert gateway["backend"] == "inprocess"
+        assert gateway["requested"] == gateway["transport"]
+        assert gateway["requested"]["contract_call_round_trips"] > 0
+        assert gateway["requested"]["submits"] > 0
+        assert stats["heights"]  # heights come from gateway.height()
+
+
+SRC_ROOT = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def node_attribute_accesses(path: Path) -> list[str]:
+    """``<expr>.node`` attribute accesses in one source file.
+
+    Token-based (comments and docstrings don't count): reports every
+    ``. node`` token pair, except module paths like ``repro.chain.node``
+    (recognized by the following ``import`` / capitalized-name token).
+    """
+    offenders = []
+    tokens = list(
+        tokenize.generate_tokens(io.StringIO(path.read_text()).readline)
+    )
+    for index in range(len(tokens) - 1):
+        op, name = tokens[index], tokens[index + 1]
+        if not (op.type == tokenize.OP and op.string == "." and name.string == "node"):
+            continue
+        follower = tokens[index + 2] if index + 2 < len(tokens) else None
+        if follower is not None and follower.type == tokenize.NAME and (
+            follower.string == "import" or follower.string[:1].isupper()
+        ):
+            continue  # `from repro.chain.node import ...` / `chain.node.Node`
+        offenders.append(f"{path.relative_to(SRC_ROOT)}:{name.start[0]}: {name.line.strip()}")
+    return offenders
+
+
+class TestGatewaySeam:
+    """Grep-style architecture test: the FL layer never touches a node."""
+
+    def test_no_node_access_outside_chain_package(self):
+        offenders = []
+        for path in sorted(SRC_ROOT.rglob("*.py")):
+            if path.is_relative_to(SRC_ROOT / "chain"):
+                continue  # the in-process backend and chain internals
+            offenders.extend(node_attribute_accesses(path))
+        assert offenders == [], (
+            "FL-layer code must go through the ChainGateway protocol; "
+            "found raw node access:\n" + "\n".join(offenders)
+        )
+
+    def test_full_peer_exposes_gateway_not_node(self):
+        assert "gateway" in FullPeer.__init__.__code__.co_varnames
+        assert "node" not in FullPeer.__init__.__code__.co_varnames
+
+    def test_gateway_protocol_is_satisfied_by_both_backends(self):
+        node, _ = make_node()
+        inner = InProcessGateway(node)
+        assert isinstance(inner, ChainGateway)
+        assert isinstance(BatchingGateway(inner), ChainGateway)

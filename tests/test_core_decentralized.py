@@ -56,8 +56,8 @@ class TestDeployment:
         driver = make_driver()
         driver.deploy_contracts()
         for peer in driver.peers.values():
-            assert peer.node.has_contract(peer.model_store_address)
-            assert peer.node.has_contract(peer.coordinator_address)
+            assert peer.gateway.has_contract(peer.model_store_address)
+            assert peer.gateway.has_contract(peer.coordinator_address)
 
     def test_all_peers_registered(self):
         driver = make_driver()
@@ -65,7 +65,7 @@ class TestDeployment:
         registry = driver._registry_address()
         for peer in driver.peers.values():
             for other in driver.peers.values():
-                assert peer.node.call_contract(registry, "is_member", address=other.address)
+                assert peer.gateway.call(registry, "is_member", address=other.address)
 
     def test_rounds_require_deployment(self):
         driver = make_driver()

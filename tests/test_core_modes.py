@@ -69,7 +69,7 @@ class TestGlobalVoteMode:
         driver = make_driver(rounds=1, mode="global_vote")
         driver.run()
         hashes = {
-            peer.node.call_contract(peer.coordinator_address, "finalized_hash", round_id=1)
+            peer.gateway.call(peer.coordinator_address, "finalized_hash", round_id=1)
             for peer in driver.peers.values()
         }
         assert len(hashes) == 1
@@ -90,7 +90,7 @@ class TestGlobalVoteMode:
         driver = make_driver(rounds=1, mode="global_vote")
         driver.run()
         peer = driver.peers["A"]
-        tally = peer.node.call_contract(peer.coordinator_address, "vote_tally", round_id=1)
+        tally = peer.gateway.call(peer.coordinator_address, "vote_tally", round_id=1)
         assert sum(tally.values()) == 3  # every peer voted
 
     def test_accuracy_comparable_to_personalized(self):

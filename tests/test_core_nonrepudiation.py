@@ -45,7 +45,7 @@ def finished_driver():
 
 class TestCollect:
     def test_evidence_found_for_every_peer(self, finished_driver):
-        verifier = finished_driver.peers["A"].node
+        verifier = finished_driver.peers["A"].gateway.node
         store_address = finished_driver.peers["A"].model_store_address
         for peer in finished_driver.peers.values():
             evidence = collect_evidence(verifier, peer.address, 1, store_address)
@@ -54,13 +54,13 @@ class TestCollect:
             assert evidence.committed_hash.startswith("0x")
 
     def test_missing_submission_raises(self, finished_driver):
-        verifier = finished_driver.peers["A"].node
+        verifier = finished_driver.peers["A"].gateway.node
         store_address = finished_driver.peers["A"].model_store_address
         with pytest.raises(ChainError):
             collect_evidence(verifier, "0x" + "77" * 20, 1, store_address)
 
     def test_wrong_round_raises(self, finished_driver):
-        verifier = finished_driver.peers["A"].node
+        verifier = finished_driver.peers["A"].gateway.node
         store_address = finished_driver.peers["A"].model_store_address
         author = finished_driver.peers["B"].address
         with pytest.raises(ChainError):
@@ -69,14 +69,14 @@ class TestCollect:
 
 class TestVerify:
     def _evidence(self, driver, author_id="B"):
-        verifier = driver.peers["A"].node
+        verifier = driver.peers["A"].gateway.node
         store = driver.peers["A"].model_store_address
         return verifier, collect_evidence(verifier, driver.peers[author_id].address, 1, store)
 
     def test_valid_evidence_verifies_on_other_nodes(self, finished_driver):
         _verifier, evidence = self._evidence(finished_driver)
         for peer in finished_driver.peers.values():
-            assert verify_evidence(peer.node, evidence)
+            assert verify_evidence(peer.gateway.node, evidence)
 
     def test_weights_binding(self, finished_driver):
         verifier, evidence = self._evidence(finished_driver)

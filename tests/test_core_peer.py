@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.chain.crypto import KeyPair
+from repro.chain.gateway import InProcessGateway
 from repro.chain.node import GenesisSpec, Node, NodeConfig
 from repro.chain.runtime import ContractRuntime
 from repro.contracts import register_all
@@ -34,7 +35,7 @@ def peer():
     return FullPeer(
         config=PeerConfig(peer_id="A", train_config=TrainConfig(epochs=1)),
         keypair=kp,
-        node=node,
+        gateway=InProcessGateway(node),
         offchain=OffchainStore(),
         train_set=easy_dataset(data_rng),
         test_set=easy_dataset(data_rng, n=40),
@@ -60,7 +61,7 @@ class TestTransactions:
         tx1 = peer.make_transaction(to=None, args={"contract": "model_store"})
         assert tx1.verify_signature()
         assert tx1.nonce == 0
-        peer.node.submit_transaction(tx1)
+        peer.gateway.node.submit_transaction(tx1)
         tx2 = peer.make_transaction(to=None, args={"contract": "model_store"})
         assert tx2.nonce == 1  # pending tx counted
 
@@ -81,10 +82,10 @@ class TestTransactions:
 class TestCommitFlow:
     def _deploy_store(self, peer):
         deploy = peer.make_transaction(to=None, args={"contract": "model_store"})
-        peer.node.submit_transaction(deploy)
-        block = peer.node.build_block_candidate(13.0, difficulty=1)
-        peer.node.seal_and_import(block, nonce=0)
-        peer.model_store_address = peer.node.receipt_of(deploy.tx_hash).contract_address
+        peer.gateway.node.submit_transaction(deploy)
+        block = peer.gateway.node.build_block_candidate(13.0, difficulty=1)
+        peer.gateway.node.seal_and_import(block, nonce=0)
+        peer.model_store_address = peer.gateway.node.receipt_of(deploy.tx_hash).contract_address
 
     def test_requires_store_address(self, peer):
         with pytest.raises(ConfigError):
@@ -103,9 +104,9 @@ class TestCommitFlow:
     def test_fetch_updates_round_trip(self, peer):
         self._deploy_store(peer)
         update, tx = peer.train_and_commit(1)
-        peer.node.submit_transaction(tx)
-        block = peer.node.build_block_candidate(26.0, difficulty=1)
-        peer.node.seal_and_import(block, nonce=0)
+        peer.gateway.node.submit_transaction(tx)
+        block = peer.gateway.node.build_block_candidate(26.0, difficulty=1)
+        peer.gateway.node.seal_and_import(block, nonce=0)
 
         fetched = peer.fetch_updates(1, {peer.address: "A"})
         assert len(fetched) == 1
@@ -116,9 +117,9 @@ class TestCommitFlow:
     def test_fetch_skips_unpropagated_blobs(self, peer):
         self._deploy_store(peer)
         _update, tx = peer.train_and_commit(1)
-        peer.node.submit_transaction(tx)
-        block = peer.node.build_block_candidate(26.0, difficulty=1)
-        peer.node.seal_and_import(block, nonce=0)
+        peer.gateway.node.submit_transaction(tx)
+        block = peer.gateway.node.build_block_candidate(26.0, difficulty=1)
+        peer.gateway.node.seal_and_import(block, nonce=0)
         # Simulate the off-chain blob not having arrived yet.
         peer.offchain._blobs.clear()
         assert peer.fetch_updates(1, {peer.address: "A"}) == []

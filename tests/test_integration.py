@@ -93,10 +93,10 @@ class TestEvidenceToBanFlow:
         accuser = driver.peers["A"]
         suspect = driver.peers["C"]
         evidence = collect_evidence(
-            accuser.node, suspect.address, 1, accuser.model_store_address
+            accuser.gateway.node, suspect.address, 1, accuser.model_store_address
         )
         weights = driver.offchain.get_weights(evidence.committed_hash)
-        assert verify_evidence(accuser.node, evidence, weights=weights)
+        assert verify_evidence(accuser.gateway.node, evidence, weights=weights)
 
         # The registry admin (the deployer, peer A) bans the suspect.
         registry = driver._registry_address()
@@ -106,11 +106,11 @@ class TestEvidenceToBanFlow:
         driver.network.broadcast_transaction(accuser.address, ban_tx)
         driver.network.start_mining()
         driver._wait_until(
-            lambda: accuser.node.call_contract(registry, "is_banned", address=suspect.address),
+            lambda: accuser.gateway.call(registry, "is_banned", address=suspect.address),
             "ban transaction",
         )
         driver.network.stop_mining()
-        assert not accuser.node.call_contract(registry, "is_member", address=suspect.address)
+        assert not accuser.gateway.call(registry, "is_member", address=suspect.address)
 
         # Banned peer's future submissions revert on-chain.
         submit_tx = suspect.make_transaction(
@@ -122,16 +122,16 @@ class TestEvidenceToBanFlow:
         driver.network.start_mining()
         driver._wait_until(
             lambda: any(
-                peer.node.receipt_of(submit_tx.tx_hash) is not None
+                peer.gateway.node.receipt_of(submit_tx.tx_hash) is not None
                 for peer in driver.peers.values()
             ),
             "banned submission mined",
         )
         driver.network.stop_mining()
         receipts = [
-            peer.node.receipt_of(submit_tx.tx_hash)
+            peer.gateway.node.receipt_of(submit_tx.tx_hash)
             for peer in driver.peers.values()
-            if peer.node.receipt_of(submit_tx.tx_hash) is not None
+            if peer.gateway.node.receipt_of(submit_tx.tx_hash) is not None
         ]
         assert receipts and all(receipt.failed for receipt in receipts)
 

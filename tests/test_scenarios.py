@@ -194,6 +194,7 @@ class TestRegistry:
             "cohort/25",
             "cohort/50",
             "adversarial/label_flip",
+            "adversarial/reputation",
             "hetero/stragglers",
         } <= names
 
@@ -412,3 +413,83 @@ class TestSweepDriver:
         run_grid(grid(base, {"policy": [WaitForK(1), WaitForK(2)]}), context=context)
         # Same cohort and data axes: the second point re-uses every split.
         assert context.stats["dataset_hits"] >= context.stats["dataset_misses"]
+
+
+class TestGatewayAxis:
+    """The ledger-gateway knobs on the chain axis."""
+
+    def test_unknown_gateway_rejected(self):
+        with pytest.raises(ConfigError, match="gateway"):
+            replace_axis(tiny_spec(), "chain.gateway", "carrier-pigeon")
+
+    def test_nonpositive_staleness_rejected(self):
+        with pytest.raises(ConfigError, match="staleness"):
+            replace_axis(tiny_spec(), "chain.gateway_staleness", 0.0)
+
+    def test_batching_backend_matches_inprocess(self):
+        base = tiny_spec(rounds=2, enable_reputation=True)
+        raw = run_scenario(base)
+        batched = run_scenario(replace_axis(base, "chain.gateway", "batching"))
+        assert raw.client_accuracy == batched.client_accuracy
+        assert raw.combination_accuracy == batched.combination_accuracy
+        assert raw.wait_times == batched.wait_times
+        assert raw.reputation == batched.reputation
+        raw_gw = raw.chain_stats["gateway"]
+        batched_gw = batched.chain_stats["gateway"]
+        assert raw_gw["backend"] == "inprocess"
+        assert batched_gw["backend"] == "batching"
+        # Same reads requested; strictly fewer reach the transport.
+        assert (
+            batched_gw["requested"]["requested_reads"]
+            == raw_gw["requested"]["requested_reads"]
+        )
+        assert (
+            batched_gw["transport"]["contract_call_round_trips"]
+            < raw_gw["transport"]["contract_call_round_trips"]
+        )
+
+    def test_cohort_sweep_gateway_override(self):
+        base = replace(
+            cohort_scenario(3, seed=2).quick(),
+            rounds=1,
+            cohort=CohortSpec(size=3, train_samples=60, test_samples=40),
+            aggregator_test_samples=40,
+        )
+        rows = cohort_sweep([3], base=base, seed=2)
+        batched = cohort_sweep([3], base=base, seed=2, gateway="batching")
+        assert rows[0]["final_accuracy"] == batched[0]["final_accuracy"]
+        assert rows[0]["mean_wait_s"] == batched[0]["mean_wait_s"]
+
+
+class TestReputationScenario:
+    """ROADMAP item (a): reputation-weighted exclusion quality."""
+
+    def test_reputation_populated_only_when_enabled(self):
+        plain = run_scenario(tiny_spec())
+        assert plain.reputation == {}
+        scored = run_scenario(tiny_spec(enable_reputation=True))
+        assert set(scored.reputation) == {"A", "B", "C"}
+        assert all(isinstance(score, int) for score in scored.reputation.values())
+
+    def test_registered_scenario_enables_reputation(self):
+        definition = get_scenario("adversarial/reputation")
+        specs = definition.build(seed=1, quick=True)
+        assert all(spec.enable_reputation for spec in specs)
+        assert all(spec.adversary.kind == "label_flip" for spec in specs)
+
+    def test_render_reports_exclusion_quality(self):
+        definition = get_scenario("adversarial/reputation")
+        specs = definition.build(seed=1, quick=True, models=("simple_nn",))
+        results = [run_scenario(spec) for spec in specs]
+        blocks = definition.render(specs, results)
+        text = "\n".join(blocks)
+        assert "reputation" in text.lower()
+        assert "consider-only exclusion rate" in text
+        # The adversary column flags the flipped client (last of the cohort).
+        assert "yes" in text
+
+    def test_exclusion_rate_bounds(self):
+        result = run_scenario(tiny_spec(rounds=2))
+        for client_id in ("A", "B", "C"):
+            assert 0.0 <= result.exclusion_rate(client_id) <= 1.0
+        assert result.exclusion_rate("nobody") == 1.0  # never adoptable
