@@ -76,11 +76,14 @@ def main() -> None:
     # Non-repudiation: A proves C committed exactly those poisoned weights.
     # Evidence assembly needs raw blocks and Merkle proofs — chain forensics
     # below the gateway API — so it reaches into the in-process backend's
-    # node deliberately (the only sanctioned way to touch one).
+    # node deliberately: the pragma is the sanctioned escape hatch.
     accuser = driver.peers["A"]
     suspect = driver.peers["C"]
     evidence = collect_evidence(
-        accuser.gateway.node, suspect.address, 1, accuser.model_store_address
+        accuser.gateway.node,  # repro-lint: disable=seam
+        suspect.address,
+        1,
+        accuser.model_store_address,
     )
     weights = driver.offchain.get_weights(evidence.committed_hash)
     print()
@@ -89,7 +92,9 @@ def main() -> None:
     print(f"  block number   : {evidence.block_number}")
     print(f"  merkle proof   : {len(evidence.proof)} node(s)")
     for peer_id, peer in driver.peers.items():
-        verdict = verify_evidence(peer.gateway.node, evidence, weights=weights)
+        verdict = verify_evidence(
+            peer.gateway.node, evidence, weights=weights  # repro-lint: disable=seam
+        )
         print(f"  verified by {peer_id}: {verdict}")
 
     # The registry admin (deployer A) bans C on-chain.

@@ -27,7 +27,7 @@ from repro.chain.state import WorldState, AccountState, StateError, STATE_STATS
 from repro.chain.mempool import Mempool
 from repro.chain.chainstore import ChainStore
 from repro.chain.runtime import ContractRuntime, Contract, CallContext
-from repro.chain.node import Node, NodeConfig
+from repro.chain.node import GenesisSpec, Node, NodeConfig
 from repro.chain.network import P2PNetwork, LatencyModel
 from repro.chain.gateway import (
     BatchingGateway,
@@ -68,6 +68,7 @@ __all__ = [
     "ContractRuntime",
     "Contract",
     "CallContext",
+    "GenesisSpec",
     "Node",
     "NodeConfig",
     "P2PNetwork",

@@ -270,6 +270,8 @@ class Node:
             receipt.revert_reason = str(exc)
             if isinstance(exc, OutOfGasError):
                 meter.used = meter.limit
+        else:
+            state.commit(mark)
 
         receipt.gas_used = meter.used
         # Refund unused gas; fee goes to the miner.
@@ -425,6 +427,8 @@ class Node:
             else:
                 state.flatten_journal()
             self.mempool.remove(tx.tx_hash for tx in block.transactions)
+        if state.can_rollback_to(ancestor_mark):
+            state.commit(ancestor_mark)  # abort window closed; mark retired
         self.state = state
         self._prune_state_history()
         for tx in rolled_back_txs:

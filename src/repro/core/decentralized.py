@@ -36,7 +36,7 @@ from repro.chain.gateway import (
     InProcessGateway,
     transport_stats,
 )
-from repro.chain.node import GenesisSpec, Node, NodeConfig
+from repro.chain import GenesisSpec, Node, NodeConfig
 from repro.chain.network import LatencyModel, P2PNetwork
 from repro.chain.pow import ProofOfWork, RetargetRule
 from repro.chain.runtime import ContractRuntime

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 
 from repro.chain.block import Block
 from repro.chain.merkle import merkle_proof, verify_proof
-from repro.chain.node import Node
+from repro.chain import Node
 from repro.chain.transaction import Transaction
 from repro.errors import ChainError
 from repro.nn.serialize import as_archive

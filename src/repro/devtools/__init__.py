@@ -1,0 +1,6 @@
+"""Developer tooling that ships with the library but never runs in-band.
+
+Currently one subsystem: :mod:`repro.devtools.lint`, the AST-based
+invariant linter that machine-checks the repo's determinism, seam, and
+journal contracts on every push.
+"""

@@ -1,0 +1,76 @@
+"""Checked-in baseline for grandfathered findings.
+
+A baseline is a JSON list of finding records.  Matching is by
+``(path, rule, message)`` — line numbers are recorded for humans but
+ignored for matching, so a grandfathered finding survives unrelated edits
+above it.  Each entry is spent once per matching occurrence: duplicating
+a violation that was baselined once still fails the build.
+
+Entries that no longer match anything are *stale* — the violation was
+fixed (or the file moved) — and are reported so the baseline shrinks
+toward empty instead of fossilizing.  ``--write-baseline`` regenerates
+the file from the current findings.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.devtools.lint.engine import Finding
+
+
+@dataclass
+class BaselineResult:
+    new: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    stale: list[dict] = field(default_factory=list)
+
+
+class Baseline:
+    def __init__(self, entries: list[dict] | None = None) -> None:
+        self.entries = list(entries or [])
+        for entry in self.entries:
+            missing = {"path", "rule", "message"} - set(entry)
+            if missing:
+                raise ValueError(
+                    f"baseline entry {entry!r} missing keys {sorted(missing)}"
+                )
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Load a baseline file; a missing file is an empty baseline."""
+        if not path.exists():
+            return cls([])
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        if not isinstance(payload, list):
+            raise ValueError(f"baseline {path} must be a JSON list")
+        return cls(payload)
+
+    @staticmethod
+    def write(path: Path, findings: list[Finding]) -> None:
+        payload = [f.as_dict() for f in sorted(findings)]
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    def partition(self, findings: list[Finding]) -> BaselineResult:
+        budget = Counter(
+            (e["path"], e["rule"], e["message"]) for e in self.entries
+        )
+        result = BaselineResult()
+        for finding in findings:
+            key = finding.baseline_key()
+            if budget[key] > 0:
+                budget[key] -= 1
+                result.suppressed.append(finding)
+            else:
+                result.new.append(finding)
+        # Leftover budget means the entry matched nothing: each leftover
+        # unit is exactly one stale entry.
+        for entry in self.entries:
+            key = (entry["path"], entry["rule"], entry["message"])
+            if budget[key] > 0:
+                budget[key] -= 1
+                result.stale.append(entry)
+        return result

@@ -1,0 +1,190 @@
+"""Command line interface: ``python -m repro.devtools.lint [paths]``.
+
+Exit codes
+----------
+* ``0`` — no non-baselined findings (stale baseline entries are reported
+  but do not fail the run; fix them by regenerating the baseline).
+* ``1`` — at least one finding not covered by the baseline.
+* ``2`` — usage error: unknown rule id, missing path, unreadable baseline.
+
+Output formats
+--------------
+* ``text`` (default) — one ``path:line: [rule] message`` line per finding.
+* ``json`` — a single object: ``{"version": 1, "files": N, "findings":
+  [{path, line, rule, message}], "baselined": N, "stale_baseline": [...]}``.
+* ``--annotate`` — additionally emit GitHub Actions ``::error`` workflow
+  commands for every non-baselined finding (composable with any format).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.devtools.lint.baseline import Baseline
+from repro.devtools.lint.engine import Finding, LintEngine
+from repro.devtools.lint.rules import default_rules, rules_by_id
+
+JSON_VERSION = 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.lint",
+        description="AST-based invariant linter for the repro codebase.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="JSON baseline of grandfathered findings",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite --baseline FILE from the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--annotate",
+        action="store_true",
+        help="also emit GitHub Actions ::error annotations",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        metavar="ID[,ID...]",
+        help="run only the named rules",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="repo root used to relativize paths (default: cwd)",
+    )
+    return parser
+
+
+def _select_rules(spec: Optional[str]):
+    if spec is None:
+        return default_rules()
+    catalog = rules_by_id()
+    selected = []
+    for rule_id in [part.strip() for part in spec.split(",") if part.strip()]:
+        if rule_id not in catalog:
+            raise KeyError(rule_id)
+        selected.append(catalog[rule_id]())
+    return selected
+
+
+def _print_catalog(out) -> None:
+    for rule in default_rules():
+        print(f"{rule.rule_id} [{rule.category}]", file=out)
+        print(f"  enforces : {rule.description}", file=out)
+        print(f"  history  : {rule.rationale}", file=out)
+
+
+def _annotate(findings: Sequence[Finding], out) -> None:
+    for f in findings:
+        print(
+            f"::error file={f.path},line={f.line},"
+            f"title=repro-lint {f.rule}::{f.message}",
+            file=out,
+        )
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        _print_catalog(out)
+        return 0
+
+    try:
+        rules = _select_rules(args.rules)
+    except KeyError as exc:
+        known = ", ".join(sorted(rules_by_id()))
+        print(f"error: unknown rule {exc.args[0]!r} (known: {known})", file=out)
+        return 2
+
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        print(f"error: no such path(s): {', '.join(missing)}", file=out)
+        return 2
+
+    if args.write_baseline and args.baseline is None:
+        print("error: --write-baseline requires --baseline FILE", file=out)
+        return 2
+
+    engine = LintEngine(rules=rules, root=args.root)
+    findings = engine.lint_paths(args.paths)
+
+    if args.write_baseline:
+        Baseline.write(args.baseline, findings)
+        print(
+            f"wrote {len(findings)} finding(s) to baseline {args.baseline}",
+            file=out,
+        )
+        return 0
+
+    if args.baseline is not None:
+        try:
+            baseline = Baseline.load(args.baseline)
+        except (ValueError, json.JSONDecodeError) as exc:
+            print(f"error: unreadable baseline {args.baseline}: {exc}", file=out)
+            return 2
+    else:
+        baseline = Baseline()
+    result = baseline.partition(findings)
+
+    if args.format == "json":
+        payload = {
+            "version": JSON_VERSION,
+            "files": engine.stats.files,
+            "findings": [f.as_dict() for f in result.new],
+            "baselined": len(result.suppressed),
+            "stale_baseline": result.stale,
+        }
+        print(json.dumps(payload, indent=2), file=out)
+    else:
+        for finding in result.new:
+            print(finding.render(), file=out)
+        summary = (
+            f"{engine.stats.files} file(s): {len(result.new)} finding(s)"
+        )
+        if result.suppressed:
+            summary += f", {len(result.suppressed)} baselined"
+        if result.stale:
+            summary += (
+                f", {len(result.stale)} stale baseline entr"
+                f"{'y' if len(result.stale) == 1 else 'ies'} "
+                "(fixed or moved — regenerate with --write-baseline)"
+            )
+        print(summary, file=out)
+
+    if args.annotate:
+        _annotate(result.new, out)
+
+    return 1 if result.new else 0

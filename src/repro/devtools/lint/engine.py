@@ -1,0 +1,227 @@
+"""Rule engine: one parse per file, pragma suppression, content-hash cache.
+
+The engine is deliberately small: a :class:`LintRule` walks a pre-parsed
+``ast`` tree and yields :class:`Finding` objects; the engine owns file
+traversal, the single parse, inline ``# repro-lint: disable=<rule>``
+pragmas, and a per-file content-hash cache so repeated runs (and
+overlapping path arguments) never re-parse or re-check an unchanged file.
+
+Rules see repo-root-relative POSIX paths (``src/repro/chain/node.py``),
+which is what their ``applies_to`` scoping predicates are written against.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import io
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, Sequence
+
+PRAGMA = "repro-lint:"
+
+SKIP_DIR_NAMES = {"__pycache__", ".git", ".hypothesis", ".pytest_cache"}
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation, pinned to ``path:line``."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def baseline_key(self) -> tuple[str, str, str]:
+        """Identity used for baseline matching.
+
+        Deliberately excludes the line number so a grandfathered finding
+        survives unrelated edits above it; a baseline entry is spent once
+        per matching (path, rule, message) occurrence.
+        """
+        return (self.path, self.rule, self.message)
+
+    def as_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+class LintContext:
+    """Everything a rule may need for one file."""
+
+    def __init__(self, path: str, source: str, tree: ast.AST) -> None:
+        self.path = path
+        self.source = source
+        self.tree = tree
+
+
+class LintRule:
+    """Base class: subclasses set the id/category/rationale and ``check``.
+
+    ``rationale`` names the historical bug class the rule was distilled
+    from; it surfaces in ``--list-rules`` and the README catalog.
+    """
+
+    rule_id: str = ""
+    category: str = ""
+    description: str = ""
+    rationale: str = ""
+
+    def applies_to(self, path: str) -> bool:
+        """Whether this rule runs on the repo-relative POSIX ``path``."""
+        return True
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: LintContext, node: ast.AST | int, message: str) -> Finding:
+        line = node if isinstance(node, int) else getattr(node, "lineno", 1)
+        return Finding(path=ctx.path, line=line, rule=self.rule_id, message=message)
+
+
+@dataclass
+class EngineStats:
+    """Observability for the cache contract (asserted by tier-1 tests)."""
+
+    files: int = 0
+    parses: int = 0
+    cache_hits: int = 0
+
+
+def _suppressions(source: str) -> dict[int, set[str]]:
+    """Map line -> rule ids disabled by an inline pragma on that line.
+
+    Pragmas must be comments (``# repro-lint: disable=seam`` or
+    ``disable=all``); pragma-looking text inside string literals does not
+    suppress anything.
+    """
+    out: dict[int, set[str]] = {}
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type != tokenize.COMMENT:
+                continue
+            text = tok.string.lstrip("#").strip()
+            if not text.startswith(PRAGMA):
+                continue
+            directive = text[len(PRAGMA):].strip()
+            if directive.startswith("disable="):
+                rules = {
+                    r.strip()
+                    for r in directive[len("disable="):].split(",")
+                    if r.strip()
+                }
+                if rules:
+                    out.setdefault(tok.start[0], set()).update(rules)
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover
+        pass  # unparsable files already yield a parse-error finding
+    return out
+
+
+class LintEngine:
+    """Run a rule set over sources, files, or directory trees."""
+
+    def __init__(
+        self,
+        rules: Optional[Sequence[LintRule]] = None,
+        root: Optional[Path] = None,
+    ) -> None:
+        if rules is None:
+            from repro.devtools.lint.rules import default_rules
+
+            rules = default_rules()
+        self.rules: list[LintRule] = list(rules)
+        self.root = (root or Path.cwd()).resolve()
+        self.stats = EngineStats()
+        # relpath -> (content hash, findings); keyed on content so edits
+        # invalidate and identical re-runs are pure dictionary lookups.
+        self._cache: dict[str, tuple[str, tuple[Finding, ...]]] = {}
+
+    # ------------------------------------------------------------------
+    # Core
+    # ------------------------------------------------------------------
+
+    def lint_source(self, source: str, path: str) -> list[Finding]:
+        """Lint a source string as if it lived at repo-relative ``path``."""
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as exc:
+            return [
+                Finding(
+                    path=path,
+                    line=exc.lineno or 1,
+                    rule="parse-error",
+                    message=f"file does not parse: {exc.msg}",
+                )
+            ]
+        ctx = LintContext(path, source, tree)
+        raw: list[Finding] = []
+        for rule in self.rules:
+            if rule.applies_to(path):
+                raw.extend(rule.check(ctx))
+        if not raw:
+            return []
+        disabled = _suppressions(source)
+        findings = [
+            f
+            for f in raw
+            if not ({f.rule, "all"} & disabled.get(f.line, set()))
+        ]
+        return sorted(findings)
+
+    def lint_file(self, file_path: Path) -> list[Finding]:
+        relpath = self._relpath(file_path)
+        source = file_path.read_text(encoding="utf-8")
+        digest = hashlib.sha256(source.encode("utf-8")).hexdigest()
+        cached = self._cache.get(relpath)
+        if cached is not None and cached[0] == digest:
+            self.stats.cache_hits += 1
+            return list(cached[1])
+        self.stats.parses += 1
+        findings = self.lint_source(source, relpath)
+        self._cache[relpath] = (digest, tuple(findings))
+        return findings
+
+    def lint_paths(self, paths: Iterable[Path | str]) -> list[Finding]:
+        """Lint files and directory trees; duplicates are checked once."""
+        findings: list[Finding] = []
+        seen: set[Path] = set()
+        for file_path in self._collect(paths):
+            resolved = file_path.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            self.stats.files += 1
+            findings.extend(self.lint_file(file_path))
+        return sorted(findings)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _relpath(self, file_path: Path) -> str:
+        resolved = file_path.resolve()
+        try:
+            return resolved.relative_to(self.root).as_posix()
+        except ValueError:
+            return resolved.as_posix()
+
+    def _collect(self, paths: Iterable[Path | str]) -> Iterator[Path]:
+        for path in paths:
+            path = Path(path)
+            if path.is_dir():
+                yield from sorted(
+                    p
+                    for p in path.rglob("*.py")
+                    if not (SKIP_DIR_NAMES & {part for part in p.parts})
+                )
+            elif path.suffix == ".py":
+                yield path

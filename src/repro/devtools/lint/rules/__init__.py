@@ -1,0 +1,49 @@
+"""The shipped rule set, one module per rule.
+
+Adding a rule: subclass :class:`~repro.devtools.lint.engine.LintRule` in a
+new module here, set ``rule_id``/``category``/``description``/``rationale``,
+scope it with ``applies_to``, and append the class to :data:`ALL_RULES`.
+The rule catalog in :mod:`repro.devtools.lint` and the README section are
+generated from these class attributes — keep them accurate.
+"""
+
+from __future__ import annotations
+
+from repro.devtools.lint.engine import LintRule
+from repro.devtools.lint.rules.comparisons import SuspiciousComparisonRule
+from repro.devtools.lint.rules.config_mutation import ConfigMutationRule
+from repro.devtools.lint.rules.journal import JournalDisciplineRule
+from repro.devtools.lint.rules.rng import GlobalRngRule
+from repro.devtools.lint.rules.seam import SeamRule
+from repro.devtools.lint.rules.wallclock import WallClockRule
+
+ALL_RULES: tuple[type[LintRule], ...] = (
+    SeamRule,
+    GlobalRngRule,
+    WallClockRule,
+    JournalDisciplineRule,
+    ConfigMutationRule,
+    SuspiciousComparisonRule,
+)
+
+
+def default_rules() -> list[LintRule]:
+    """Fresh instances of every shipped rule, in catalog order."""
+    return [cls() for cls in ALL_RULES]
+
+
+def rules_by_id() -> dict[str, type[LintRule]]:
+    return {cls.rule_id: cls for cls in ALL_RULES}
+
+
+__all__ = [
+    "ALL_RULES",
+    "default_rules",
+    "rules_by_id",
+    "SeamRule",
+    "GlobalRngRule",
+    "WallClockRule",
+    "JournalDisciplineRule",
+    "ConfigMutationRule",
+    "SuspiciousComparisonRule",
+]

@@ -1,0 +1,97 @@
+"""Shared AST helpers for the rule modules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+
+def dotted_chain(node: ast.AST) -> Optional[list[str]]:
+    """``a.b.c`` -> ``["a", "b", "c"]``; None for non-name-rooted chains.
+
+    Only pure ``Name``/``Attribute`` chains resolve; anything rooted at a
+    call, subscript, or literal returns None.
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    parts.reverse()
+    return parts
+
+
+class ImportMap:
+    """Where each local name comes from, AST-accurately.
+
+    Tracks two binding shapes across the whole file (module and function
+    scope alike — a function-local ``import`` binds the same hazards):
+
+    * ``module_aliases``: local name -> dotted module it denotes
+      (``import numpy.random as nr`` binds ``nr`` -> ``numpy.random``;
+      ``import numpy.random`` binds ``numpy`` -> ``numpy``).
+    * ``from_imports``: local name -> ``module.attr`` it was imported as
+      (``from random import randint as ri`` binds ``ri`` ->
+      ``random.randint``).
+    """
+
+    def __init__(self, tree: ast.AST) -> None:
+        self.module_aliases: dict[str, str] = {}
+        self.from_imports: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        self.module_aliases[alias.asname] = alias.name
+                    else:
+                        top = alias.name.split(".", 1)[0]
+                        self.module_aliases[top] = top
+            elif isinstance(node, ast.ImportFrom) and node.level == 0 and node.module:
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self.from_imports[local] = f"{node.module}.{alias.name}"
+
+    def resolve_call_target(self, func: ast.AST) -> Optional[str]:
+        """Fully-qualified dotted target of a call expression, if knowable.
+
+        ``np.random.rand`` (under ``import numpy as np``) resolves to
+        ``numpy.random.rand``; a bare ``ri`` imported from ``random``
+        resolves to ``random.randint``.  Attribute chains rooted at
+        anything other than an imported module name return None — method
+        calls on objects never alias a module function.
+        """
+        chain = dotted_chain(func)
+        if chain is None:
+            return None
+        base = chain[0]
+        if len(chain) == 1:
+            return self.from_imports.get(base)
+        module = self.module_aliases.get(base)
+        if module is not None:
+            return ".".join([module, *chain[1:]])
+        origin = self.from_imports.get(base)
+        if origin is not None:
+            return ".".join([origin, *chain[1:]])
+        return None
+
+
+def resolve_import_from(node: ast.ImportFrom, path: str) -> Optional[str]:
+    """Absolute module named by a ``from ... import`` statement.
+
+    Relative imports resolve against the file's package path, derived
+    from its repo-relative location under ``src/`` (the only tree where
+    the library's own relative imports can occur).
+    """
+    if node.level == 0:
+        return node.module
+    if not path.startswith("src/"):
+        return node.module
+    package_parts = path[len("src/"):].split("/")[:-1]  # drop filename
+    if len(package_parts) < node.level - 1:
+        return node.module
+    base = package_parts[: len(package_parts) - (node.level - 1)]
+    if node.module:
+        base = base + node.module.split(".")
+    return ".".join(base) if base else None

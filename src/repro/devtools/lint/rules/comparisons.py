@@ -1,0 +1,88 @@
+"""``suspicious-comparison`` — chained comparisons that cannot mean it.
+
+PR 1 fixed the motivating bug: ``"weights" in decoded is None`` in
+``serialize.py``, which Python chains as
+``("weights" in decoded) and (decoded is None)`` — constant-``False``
+whenever the membership test is well-defined, so the guard it implemented
+never fired.  The shape survives review easily because it *reads* like
+``("weights" in decoded) is None``.
+
+The rule flags chained comparisons (two or more operators) that mix
+operator categories in ways with no sensible chained reading:
+
+* membership (``in``/``not in``) chained with anything else — the
+  PR-1 class, e.g. ``x in d is None`` or ``x in d == True``;
+* identity (``is``/``is not``) chained with equality or ordering, e.g.
+  ``x == y is None``.
+
+Uniform chains stay legal: ``lo <= x <= hi`` (ordering),
+``a == b == c`` (equality), ``x is y is None`` (identity) never flag.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.lint.engine import Finding, LintContext, LintRule
+
+_CATEGORY = {
+    ast.In: "membership",
+    ast.NotIn: "membership",
+    ast.Is: "identity",
+    ast.IsNot: "identity",
+    ast.Eq: "equality",
+    ast.NotEq: "equality",
+    ast.Lt: "ordering",
+    ast.LtE: "ordering",
+    ast.Gt: "ordering",
+    ast.GtE: "ordering",
+}
+
+_OP_TEXT = {
+    ast.In: "in",
+    ast.NotIn: "not in",
+    ast.Is: "is",
+    ast.IsNot: "is not",
+    ast.Eq: "==",
+    ast.NotEq: "!=",
+    ast.Lt: "<",
+    ast.LtE: "<=",
+    ast.Gt: ">",
+    ast.GtE: ">=",
+}
+
+
+class SuspiciousComparisonRule(LintRule):
+    rule_id = "suspicious-comparison"
+    category = "correctness"
+    description = (
+        "no chained comparisons mixing membership/identity with other "
+        "operator categories (constant-valued `a in b is None` shapes)"
+    )
+    rationale = (
+        "the PR-1 `\"weights\" in decoded is None` bug: an always-False "
+        "chain that read like a parenthesized guard"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare) or len(node.ops) < 2:
+                continue
+            categories = {_CATEGORY[type(op)] for op in node.ops}
+            mixed = ("membership" in categories and len(categories) > 1) or (
+                "identity" in categories
+                and categories & {"equality", "ordering"}
+            )
+            if mixed:
+                ops = " / ".join(
+                    dict.fromkeys(_OP_TEXT[type(op)] for op in node.ops)
+                )
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"chained comparison mixes `{ops}`: Python evaluates this "
+                    "as pairwise legs joined by `and`, which is almost "
+                    "certainly constant-valued — parenthesize the comparison "
+                    "you meant",
+                )

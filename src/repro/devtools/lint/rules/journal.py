@@ -1,0 +1,198 @@
+"""``journal-discipline`` — every checkpoint mark is discharged on all paths.
+
+PR 2 replaced deep-copy rollback with an undo-log journal
+(:mod:`repro.chain.state`): ``mark = state.checkpoint()`` opens a
+checkpoint that must later be *discharged* — rolled back, committed,
+stored as a per-block mark, or handed to a callee that takes over the
+pairing.  A path that abandons its mark leaves the journal's ownership
+story ambiguous: the next reader cannot tell a deliberate implicit commit
+from a forgotten rollback on an error path (the exact shape of the PR-2
+reorg bugs).
+
+The check is flow-sensitive over the statements that follow the binding:
+a mark is discharged by any statement in which it is passed to a call
+(``rollback(mark)``, ``commit(mark)``, ``can_rollback_to(mark)``,
+``self._abort(..., mark, ...)``), stored into a container or attribute,
+returned, aliased to another name, or captured by a nested function — and
+by ``flatten_journal()`` / ``prune_journal(...)``, which dispose of
+journal history wholesale.  ``if``/``try``/``finally`` branch; loops are
+conservative (a loop body may run zero times, so discharge inside a loop
+does not cover the fall-through path).  Bind the mark *before* a ``try``
+so the handler's ``rollback(mark)`` can never see an unbound name.
+
+Marks consumed at the call site (``self._state_marks[h] = s.checkpoint()``,
+``prune_journal(self.checkpoint())``, comparisons) are position reads or
+immediate stores and are never tracked.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Sequence
+
+from repro.devtools.lint.engine import Finding, LintContext, LintRule
+
+DISPOSAL_METHODS = {"flatten_journal", "prune_journal"}
+
+
+def _mentions(node: ast.AST, name: str) -> bool:
+    return any(
+        isinstance(sub, ast.Name) and sub.id == name for sub in ast.walk(node)
+    )
+
+
+def _expr_discharges(expr: ast.AST, name: str) -> bool:
+    """The mark is handed off (or the journal disposed of) inside ``expr``."""
+    for sub in ast.walk(expr):
+        if not isinstance(sub, ast.Call):
+            continue
+        if (
+            isinstance(sub.func, ast.Attribute)
+            and sub.func.attr in DISPOSAL_METHODS
+        ):
+            return True
+        args = list(sub.args) + [kw.value for kw in sub.keywords]
+        if any(_mentions(arg, name) for arg in args):
+            return True
+    return False
+
+
+def _simple_stmt_discharges(stmt: ast.stmt, name: str) -> bool:
+    if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+        targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+        value = stmt.value
+        if value is not None and _mentions(value, name):
+            # Stored into a container/attribute, or aliased to a new name:
+            # either way the mark's pairing now belongs to that binding.
+            if any(
+                isinstance(t, (ast.Subscript, ast.Attribute, ast.Name, ast.Tuple))
+                for t in targets
+            ):
+                return True
+        if value is not None and _expr_discharges(value, name):
+            return True
+        return False
+    return _expr_discharges(stmt, name)
+
+
+def _paths_discharge(stmts: Sequence[ast.stmt], name: str) -> bool:
+    """True iff every control path through ``stmts`` discharges the mark."""
+    for index, stmt in enumerate(stmts):
+        rest = list(stmts[index + 1:])
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            if _mentions(stmt, name):
+                return True  # captured by a closure: hand-off
+            continue
+        if isinstance(stmt, ast.Return):
+            return stmt.value is not None and _mentions(stmt.value, name)
+        if isinstance(stmt, ast.Raise):
+            return stmt.exc is not None and _mentions(stmt.exc, name)
+        if isinstance(stmt, ast.If):
+            if _expr_discharges(stmt.test, name):
+                return True
+            return _paths_discharge(stmt.body + rest, name) and _paths_discharge(
+                stmt.orelse + rest, name
+            )
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            if _expr_discharges(stmt.iter, name):
+                return True
+            # The body may run zero times; only post-loop code counts.
+            return _paths_discharge(list(stmt.orelse) + rest, name)
+        if isinstance(stmt, ast.While):
+            if _expr_discharges(stmt.test, name):
+                return True
+            return _paths_discharge(list(stmt.orelse) + rest, name)
+        if isinstance(stmt, ast.Try):
+            final = list(stmt.finalbody)
+            if final and _paths_discharge(final + rest, name):
+                return True  # the finally runs on every path
+            body_ok = _paths_discharge(
+                stmt.body + stmt.orelse + final + rest, name
+            )
+            handlers_ok = all(
+                _paths_discharge(handler.body + final + rest, name)
+                for handler in stmt.handlers
+            )
+            return body_ok and handlers_ok
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return _paths_discharge(stmt.body + rest, name)
+        if _simple_stmt_discharges(stmt, name):
+            return True
+    return False
+
+
+def _checkpoint_bindings(
+    body: Sequence[ast.stmt],
+) -> Iterator[tuple[ast.stmt, str, Sequence[ast.stmt]]]:
+    """Yield ``(stmt, mark_name, following_stmts)`` for tracked bindings.
+
+    Walks nested blocks; the continuation for a nested binding is the
+    remainder of its own block followed by the enclosing blocks' tails
+    (finally bodies included when climbing out of a ``try``).
+    """
+
+    def visit(stmts: Sequence[ast.stmt], tail: list[ast.stmt]) -> Iterator:
+        for index, stmt in enumerate(stmts):
+            rest = list(stmts[index + 1:]) + tail
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target, value = stmt.targets[0], stmt.value
+                if (
+                    isinstance(target, ast.Name)
+                    and isinstance(value, ast.Call)
+                    and isinstance(value.func, ast.Attribute)
+                    and value.func.attr == "checkpoint"
+                ):
+                    yield stmt, target.id, rest
+            for block in _child_blocks(stmt):
+                yield from visit(block, _block_tail(stmt, rest))
+
+    yield from visit(body, [])
+
+
+def _child_blocks(stmt: ast.stmt) -> list[Sequence[ast.stmt]]:
+    blocks: list[Sequence[ast.stmt]] = []
+    for attr in ("body", "orelse", "finalbody"):
+        child = getattr(stmt, attr, None)
+        if child and not isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            blocks.append(child)
+    for handler in getattr(stmt, "handlers", []) or []:
+        blocks.append(handler.body)
+    return blocks
+
+
+def _block_tail(stmt: ast.stmt, rest: list[ast.stmt]) -> list[ast.stmt]:
+    if isinstance(stmt, ast.Try) and stmt.finalbody:
+        return list(stmt.finalbody) + rest
+    return rest
+
+
+class JournalDisciplineRule(LintRule):
+    rule_id = "journal-discipline"
+    category = "chain-state"
+    description = (
+        "every `mark = <state>.checkpoint()` in repro/chain/ must reach a "
+        "commit/rollback/mark-store (or journal disposal) on all paths"
+    )
+    rationale = (
+        "PR 2's undo-log journal: an abandoned mark is indistinguishable "
+        "from a forgotten rollback on an error path"
+    )
+
+    def applies_to(self, path: str) -> bool:
+        return path.startswith("src/repro/chain/")
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for stmt, mark, rest in _checkpoint_bindings(node.body):
+                if not _paths_discharge(rest, mark):
+                    yield self.finding(
+                        ctx,
+                        stmt,
+                        f"checkpoint mark `{mark}` is not discharged on every "
+                        "path — pair it with commit()/rollback(), store it, or "
+                        "dispose of the journal on the paths that drop it",
+                    )

@@ -1,0 +1,85 @@
+"""``global-rng`` — stochastic library code draws from named streams.
+
+Bit-identical determinism rests on ``repro/utils/rng.py``: every random
+draw comes from a named stream derived from the experiment seed, so
+adding draws to one stream never perturbs another.  A single call into
+the stdlib ``random`` module or numpy's legacy module-level global RNG
+(``np.random.rand()``, ``np.random.seed()``, …) silently couples
+unrelated components through hidden global state — and an unseeded
+``np.random.default_rng()`` is entropy-seeded, different every run.
+
+Allowed: constructing explicit generators with a seed
+(``np.random.default_rng(seed)``), the generator/bit-generator classes
+themselves, and ``np.random.Generator`` in type annotations (annotations
+are not calls and never flag).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.lint.engine import Finding, LintContext, LintRule
+from repro.devtools.lint.rules.common import ImportMap
+
+# numpy.random attributes that do NOT touch module-level global state.
+ALLOWED_NP_RANDOM = {
+    "default_rng",
+    "Generator",
+    "BitGenerator",
+    "SeedSequence",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "MT19937",
+    "SFC64",
+}
+
+_FIX = "derive a named stream via repro.utils.rng (rng_from / RngFactory)"
+
+
+class GlobalRngRule(LintRule):
+    rule_id = "global-rng"
+    category = "determinism"
+    description = (
+        "no stdlib `random.*` calls, no legacy module-level `np.random.*` "
+        "calls, no unseeded `np.random.default_rng()` in library code"
+    )
+    rationale = (
+        "the determinism contract of repro/utils/rng.py: named streams "
+        "only, so no draw can perturb another component's sequence"
+    )
+
+    def applies_to(self, path: str) -> bool:
+        return path.startswith("src/")
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        imports = ImportMap(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = imports.resolve_call_target(node.func)
+            if target is None:
+                continue
+            if target == "random" or target.startswith("random."):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"call to `{target}` uses the stdlib global RNG — {_FIX}",
+                )
+            elif target.startswith("numpy.random."):
+                attr = target[len("numpy.random."):].split(".", 1)[0]
+                if attr not in ALLOWED_NP_RANDOM:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"call to `{target}` uses numpy's module-level global "
+                        f"RNG — {_FIX}",
+                    )
+                elif attr == "default_rng" and not node.args and not node.keywords:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "`default_rng()` without a seed is entropy-seeded and "
+                        f"non-reproducible — {_FIX}",
+                    )

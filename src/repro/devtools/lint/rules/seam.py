@@ -1,0 +1,98 @@
+"""``seam`` — the FL layer talks to the ledger only through ChainGateway.
+
+PR 5 cut the FL↔chain seam: everything outside ``repro/chain/`` programs
+against the :class:`~repro.chain.gateway.ChainGateway` protocol and must
+never hold a raw :class:`~repro.chain.node.Node`.  The original guard was
+a tokenizer scan in the gateway test; this rule is the AST-accurate
+replacement, and unlike the token scan it also catches aliased module
+imports (``from repro.chain import node as n``) and distinguishes real
+``<expr>.node`` attribute access from the module path ``repro.chain.node``
+appearing in an import or docstring.
+
+Sanctioned escapes: the class re-exports on the ``repro.chain`` package
+root (``Node``/``NodeConfig``/``GenesisSpec``) remain importable for
+bootstrap and typing, and chain forensics below the gateway API may reach
+``gateway.node`` under an explicit ``# repro-lint: disable=seam`` pragma
+(see ``examples/abnormal_model_detection.py``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.lint.engine import Finding, LintContext, LintRule
+from repro.devtools.lint.rules.common import resolve_import_from
+
+NODE_MODULE = "repro.chain.node"
+
+
+def _is_module_path(node: ast.Attribute) -> bool:
+    """True for the dotted module path ``repro.chain.node`` itself."""
+    value = node.value
+    return (
+        isinstance(value, ast.Attribute)
+        and value.attr == "chain"
+        and isinstance(value.value, ast.Name)
+        and value.value.id == "repro"
+    )
+
+
+class SeamRule(LintRule):
+    rule_id = "seam"
+    category = "architecture"
+    description = (
+        "no `.node` attribute access and no `repro.chain.node` imports "
+        "outside repro/chain/; ledger access goes through ChainGateway"
+    )
+    rationale = (
+        "PR 5's gateway seam; previously enforced by a tokenizer scan "
+        "that missed aliased imports"
+    )
+
+    def applies_to(self, path: str) -> bool:
+        if path.startswith("src/repro/"):
+            return not path.startswith("src/repro/chain/")
+        return path.startswith("examples/")
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Attribute) and node.attr == "node":
+                if not _is_module_path(node):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "raw `.node` access outside repro/chain/ — go through "
+                        "the ChainGateway protocol",
+                    )
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    name = alias.name
+                    if name == NODE_MODULE or name.startswith(NODE_MODULE + "."):
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"import of `{name}` outside repro/chain/ — use the "
+                            "repro.chain package re-exports or the gateway",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                module = resolve_import_from(node, ctx.path)
+                if module is None:
+                    continue
+                if module == NODE_MODULE or module.startswith(NODE_MODULE + "."):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"import from `{module}` outside repro/chain/ — use the "
+                        "repro.chain package re-exports or the gateway",
+                    )
+                elif module == "repro.chain" and any(
+                    alias.name == "node" for alias in node.names
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "import of the `node` module (possibly aliased) outside "
+                        "repro/chain/ — use the repro.chain package re-exports "
+                        "or the gateway",
+                    )
