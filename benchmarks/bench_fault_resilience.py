@@ -1,0 +1,178 @@
+"""X7 — fault resilience: completed-round rate vs injected-fault intensity.
+
+The fault harness (:mod:`repro.faults`) injects seeded transient errors
+and timeouts at the gateway seam; the resilient layer absorbs them with
+bounded retry/backoff.  This bench sweeps fault intensity over the same
+5-peer scenario and measures the completed-round rate with resilience on,
+then reruns the mid intensity with resilience *off* to show the faults
+are real (the run aborts on the first surfaced error).
+
+Acceptance: with retries on, the mid-intensity profile completes at least
+:data:`COMPLETION_FLOOR` (90%) of its rounds; with retries off it aborts.
+A final check pins the harness's headline guarantee: a transient-only
+plan behind the resilient gateway is *byte-equivalent* to the fault-free
+run — same accuracy series, wait times, and per-peer chain heights —
+because injected faults fire before the wrapped call takes effect and
+retry backoff is budget accounting, never simulated time.
+
+``--smoke`` shrinks the cohort, data, and rounds so the whole sweep runs
+in seconds for tier-1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from _bench_util import run_once
+from repro.metrics.tables import render_table
+from repro.scenarios import FaultSpec, ScenarioContext, fault_scenario, run_scenario
+
+#: Acceptance floor: completed-round rate at mid intensity, retries on.
+COMPLETION_FLOOR = 0.9
+
+#: Fault intensities swept (label, per-call error probability).  The
+#: probability is split 3:1 between transient errors and timeouts.
+INTENSITIES = (("off", 0.0), ("low", 0.05), ("mid", 0.2), ("high", 0.35))
+
+#: The mid-intensity probability the retries-off and equivalence checks use.
+MID_INTENSITY = 0.2
+
+_CACHE: dict = {}
+
+
+def resilience_params(smoke: bool = False) -> dict:
+    """The sweep profile for one tier."""
+    if smoke:
+        return {"size": 3, "rounds": 2, "train": 60, "test": 40}
+    return {"size": 5, "rounds": 3, "train": 200, "test": 150}
+
+
+def _fault_spec(intensity: float, resilience: bool = True) -> FaultSpec:
+    return FaultSpec(
+        transient_rate=intensity * 0.75,
+        timeout_rate=intensity * 0.25,
+        resilience=resilience,
+    )
+
+
+def _profile_spec(params: dict, faults: FaultSpec, seed: int):
+    base = fault_scenario("bench/faults", faults, seed=seed)
+    return replace(
+        base,
+        rounds=params["rounds"],
+        local_epochs=1,
+        cohort=replace(
+            base.cohort,
+            size=params["size"],
+            train_samples=params["train"],
+            test_samples=params["test"],
+        ),
+        aggregator_test_samples=params["test"],
+    )
+
+
+def resilience_profile(smoke: bool, seed: int = 42) -> dict:
+    """Sweep intensity with retries on; rerun mid intensity with them off.
+
+    Returns per-intensity rows (completion rate, injected faults, retries,
+    give-ups) plus the retries-off mid-intensity outcome and the fault-free
+    baseline result for the equivalence check.
+    """
+    key = (smoke, seed)
+    if key in _CACHE:
+        return _CACHE[key]
+    params = resilience_params(smoke)
+    context = ScenarioContext()  # every run shares datasets/backbones
+    rows = []
+    results = {}
+    for label, intensity in INTENSITIES:
+        result = run_scenario(
+            _profile_spec(params, _fault_spec(intensity), seed), context=context
+        )
+        resilience = result.chain_stats["gateway"]["resilience"]
+        rows.append(
+            {
+                "intensity": label,
+                "rate": intensity,
+                "completed": result.completed_rounds,
+                "rounds": params["rounds"],
+                "completion_rate": result.completed_rounds / params["rounds"],
+                "injected": resilience["faults_injected"],
+                "retries": resilience["retries"],
+                "gave_up": resilience["gave_up"],
+                "abort_reason": result.abort_reason,
+            }
+        )
+        results[label] = result
+    unshielded = run_scenario(
+        _profile_spec(params, _fault_spec(MID_INTENSITY, resilience=False), seed),
+        context=context,
+    )
+    profile = {
+        "params": params,
+        "rows": rows,
+        "results": results,
+        "unshielded_completed": unshielded.completed_rounds,
+        "unshielded_abort": unshielded.abort_reason,
+    }
+    _CACHE[key] = profile
+    return profile
+
+
+def _print_profile(profile: dict) -> None:
+    print()
+    print(
+        render_table(
+            f"X7: completed rounds vs fault intensity "
+            f"({profile['params']['size']} peers, {profile['params']['rounds']} rounds)",
+            ["intensity", "completed", "injected", "retries", "gave up", "abort"],
+            [
+                [
+                    f"{row['intensity']} ({row['rate']:.2f})",
+                    f"{row['completed']}/{row['rounds']}",
+                    str(row["injected"]),
+                    str(row["retries"]),
+                    str(row["gave_up"]),
+                    row["abort_reason"] or "-",
+                ]
+                for row in profile["rows"]
+            ],
+        )
+    )
+    print(
+        f"retries off @ mid: completed "
+        f"{profile['unshielded_completed']}/{profile['params']['rounds']} "
+        f"({profile['unshielded_abort'] or 'no abort'})"
+    )
+
+
+def test_retries_keep_rounds_completing(benchmark, smoke):
+    """>= 90% completed rounds at mid intensity with the retry layer on."""
+    profile = run_once(benchmark, lambda: resilience_profile(smoke))
+    _print_profile(profile)
+    by_label = {row["intensity"]: row for row in profile["rows"]}
+    assert by_label["off"]["abort_reason"] == ""
+    assert by_label["off"]["injected"] == 0
+    mid = by_label["mid"]
+    assert mid["injected"] > 0 and mid["retries"] > 0
+    assert mid["completion_rate"] >= COMPLETION_FLOOR, (
+        f"expected >= {COMPLETION_FLOOR:.0%} completed rounds at mid "
+        f"intensity, got {mid['completion_rate']:.0%} ({mid['abort_reason']})"
+    )
+
+
+def test_without_retries_faults_surface(benchmark, smoke):
+    """The same mid-intensity plan aborts the run when resilience is off."""
+    profile = run_once(benchmark, lambda: resilience_profile(smoke))
+    assert profile["unshielded_completed"] < profile["params"]["rounds"]
+    assert profile["unshielded_abort"] != ""
+
+
+def test_transient_plan_is_byte_equivalent(benchmark, smoke):
+    """Mid-intensity transient faults + retries == the fault-free run."""
+    profile = run_once(benchmark, lambda: resilience_profile(smoke))
+    baseline, shielded = profile["results"]["off"], profile["results"]["mid"]
+    assert shielded.client_accuracy == baseline.client_accuracy
+    assert shielded.wait_times == baseline.wait_times
+    assert shielded.chain_stats["heights"] == baseline.chain_stats["heights"]
+    assert shielded.completed_rounds == baseline.completed_rounds

@@ -117,6 +117,16 @@ class GatewayStats:
     request_bytes: int = 0
     response_bytes: int = 0
     read_seconds: float = 0.0
+    # Resilience telemetry (populated by the fault/retry decorators in
+    # repro.faults.gateway; zero everywhere else).  ``backoff_seconds``
+    # is deterministic simulated budget accounting, not wall clock, so it
+    # stays in ``as_dict`` unlike ``read_seconds``.
+    retries: int = 0
+    faults_injected: int = 0
+    deadline_misses: int = 0
+    gave_up: int = 0
+    deduped_submits: int = 0
+    backoff_seconds: float = 0.0
 
     @property
     def contract_call_round_trips(self) -> int:
@@ -528,6 +538,33 @@ class BatchingGateway:
         return self.inner.wait_for(predicate, what, deadline=deadline)
 
 
+def gateway_layers(gateway: ChainGateway) -> list[ChainGateway]:
+    """Every layer of a decorated gateway stack, outermost first.
+
+    Decorators expose the wrapped gateway as ``.inner`` (the convention
+    ``BatchingGateway`` set and the fault/retry decorators follow), so
+    walking ``inner`` enumerates the whole stack down to the transport.
+    """
+    layers: list[ChainGateway] = [gateway]
+    while hasattr(layers[-1], "inner"):
+        layers.append(layers[-1].inner)
+    return layers
+
+
+def stacked_stats(gateway: ChainGateway) -> GatewayStats:
+    """Sum of every layer's counters in a decorated gateway stack.
+
+    Mid-stack telemetry (``faults_injected`` on the fault layer,
+    ``retries`` on the resilience layer, ``cache_hits`` on the batching
+    layer) lives on different layers; this is the one view that sees all
+    of it at once.
+    """
+    total = GatewayStats()
+    for layer in gateway_layers(gateway):
+        total.add(layer.stats)
+    return total
+
+
 def transport_stats(gateway: ChainGateway) -> GatewayStats:
     """The stats of the gateway actually touching the transport.
 
@@ -535,7 +572,4 @@ def transport_stats(gateway: ChainGateway) -> GatewayStats:
     backend's counters — the real round trips; for a plain backend it is
     its own counters.
     """
-    inner = gateway
-    while hasattr(inner, "inner"):
-        inner = inner.inner
-    return inner.stats
+    return gateway_layers(gateway)[-1].stats

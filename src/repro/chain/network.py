@@ -80,6 +80,8 @@ class NetworkStats:
     blocks_broadcast: int = 0
     messages_delivered: int = 0
     messages_dropped: int = 0
+    messages_duplicated: int = 0
+    messages_delayed: int = 0
     batches_delivered: int = 0
     blocks_mined: int = 0
     reorgs: int = 0
@@ -91,6 +93,8 @@ class NetworkStats:
             "blocks_broadcast": self.blocks_broadcast,
             "messages_delivered": self.messages_delivered,
             "messages_dropped": self.messages_dropped,
+            "messages_duplicated": self.messages_duplicated,
+            "messages_delayed": self.messages_delayed,
             "batches_delivered": self.batches_delivered,
             "blocks_mined": self.blocks_mined,
             "reorgs": self.reorgs,
@@ -109,6 +113,7 @@ class P2PNetwork:
         rng: Optional[np.random.Generator] = None,
         drop_rate: float = 0.0,
         batch_window: float = 0.01,
+        drop_rng: Optional[np.random.Generator] = None,
     ) -> None:
         if batch_window < 0:
             raise NetworkError(f"batch_window must be >= 0, got {batch_window}")
@@ -116,6 +121,10 @@ class P2PNetwork:
         self.pow = pow_engine
         self.latency = latency if latency is not None else LatencyModel()
         self.rng = rng if rng is not None else np.random.default_rng(0)
+        # Drop decisions draw from their own stream: sharing ``rng`` with
+        # the latency model would let a drop_rate change perturb every
+        # latency draw and break A/B determinism across fault intensities.
+        self.drop_rng = drop_rng if drop_rng is not None else np.random.default_rng(0)
         self.drop_rate = float(drop_rate)
         self.batch_window = float(batch_window)
         self._miners: dict[str, _MinerState] = {}
@@ -164,7 +173,7 @@ class P2PNetwork:
         return frozenset((src, dst)) not in self._partitioned
 
     def _should_drop(self) -> bool:
-        return self.drop_rate > 0 and float(self.rng.random()) < self.drop_rate
+        return self.drop_rate > 0 and float(self.drop_rng.random()) < self.drop_rate
 
     # ------------------------------------------------------------------
     # Gossip

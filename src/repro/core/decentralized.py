@@ -34,6 +34,7 @@ from repro.chain.gateway import (
     ChainGateway,
     GatewayStats,
     InProcessGateway,
+    stacked_stats,
     transport_stats,
 )
 from repro.chain import GenesisSpec, Node, NodeConfig
@@ -45,7 +46,13 @@ from repro.core.offchain import OffchainStore
 from repro.core.peer import FullPeer, PeerConfig
 from repro.core.rounds import RoundTracker
 from repro.data.dataset import Dataset
-from repro.errors import ConfigError, RoundError
+from repro.errors import (
+    ConfigError,
+    GatewayError,
+    GatewayUnavailableError,
+    RoundError,
+)
+from repro.faults import FaultInjector, FaultPlan, FaultSpec, FaultyGateway, ResilientGateway
 from repro.fl.aggregation import ModelUpdate, fedavg
 from repro.fl.async_policy import AsyncPolicy, WaitForAll
 from repro.fl.scoring import CombinationEngine, ScoredSubset, run_peer_searches
@@ -109,6 +116,20 @@ class DecentralizedConfig:
     ``gateway_staleness`` simulated seconds.  Reads are pure functions of
     the canonical head, so the backend never changes a result — only the
     number of transport round trips (``chain_stats()["gateway"]``).
+
+    ``faults`` (a :class:`~repro.faults.FaultSpec`) activates the
+    deterministic fault-injection harness: every peer's gateway stack
+    gains a :class:`~repro.faults.FaultyGateway` just above the transport
+    and (with ``faults.resilience``) a
+    :class:`~repro.faults.ResilientGateway` on top, rounds degrade to the
+    live quorum when peers are crashed or dropped, and ``run()`` records
+    ``completed_rounds`` / ``abort_reason`` instead of propagating round
+    failures.  The default (inactive) spec changes nothing — the stack,
+    the rng draws, and every result are identical to pre-fault builds.
+
+    ``drop_rate`` is the p2p message-drop probability, drawn from the
+    dedicated ``network/drop`` stream so fault intensities A/B cleanly
+    against each other without perturbing latency draws.
     """
 
     rounds: int = 10
@@ -128,6 +149,8 @@ class DecentralizedConfig:
     hashrate: float = 1000.0
     max_round_time: float = 100_000.0
     poll_interval: float = 1.0
+    faults: FaultSpec = field(default_factory=FaultSpec)
+    drop_rate: float = 0.0
 
     def __post_init__(self) -> None:
         if self.rounds < 1:
@@ -160,6 +183,8 @@ class DecentralizedConfig:
             raise ConfigError(
                 f"gateway_staleness must be positive, got {self.gateway_staleness}"
             )
+        if not 0.0 <= self.drop_rate < 1.0:
+            raise ConfigError(f"drop_rate must be in [0, 1), got {self.drop_rate}")
 
 
 @dataclass
@@ -224,8 +249,18 @@ class DecentralizedFL:
             self.pow,
             latency=config.latency,
             rng=self.rngs.get("network"),
+            drop_rate=config.drop_rate,
             batch_window=config.gossip_batch_window,
+            drop_rng=self.rngs.get("network", "drop"),
         )
+        self.peer_ids = [pc.peer_id for pc in peer_configs]
+        # Fault harness (inactive spec -> no plan, no injector, and the
+        # gateway stack below stays exactly the pre-fault one).
+        self.fault_plan: Optional[FaultPlan] = None
+        self.fault_injector: Optional[FaultInjector] = None
+        if config.faults.active:
+            self.fault_plan = FaultPlan(config.faults, self.peer_ids)
+            self.fault_injector = FaultInjector(self.fault_plan, self.rngs)
         self.peers: dict[str, FullPeer] = {}
         for pc in peer_configs:
             node = Node(keypairs[pc.peer_id], genesis, self.runtime, NodeConfig())
@@ -236,8 +271,18 @@ class DecentralizedFL:
                 simulator=self.sim,
                 default_deadline=config.max_round_time,
             )
+            if self.fault_injector is not None:
+                gateway = FaultyGateway(
+                    gateway,
+                    pc.peer_id,
+                    self.fault_injector,
+                    simulator=self.sim,
+                    network_stats=self.network.stats,
+                )
             if config.gateway == "batching":
                 gateway = BatchingGateway(gateway, staleness=config.gateway_staleness)
+            if self.fault_injector is not None and config.faults.resilience:
+                gateway = ResilientGateway(gateway, policy=config.faults.retry)
             self.peers[pc.peer_id] = FullPeer(
                 config=pc,
                 keypair=keypairs[pc.peer_id],
@@ -251,7 +296,6 @@ class DecentralizedFL:
                     self.rngs.get("attack", pc.peer_id) if pc.attacker is not None else None
                 ),
             )
-        self.peer_ids = [pc.peer_id for pc in peer_configs]
         self.id_of_address: dict[Address, str] = {
             peer.address: peer_id for peer_id, peer in self.peers.items()
         }
@@ -262,6 +306,14 @@ class DecentralizedFL:
         self.round_logs: list[PeerRoundLog] = []
         self.reputation_address: Optional[Address] = None
         self._deployed = False
+        #: Rounds that ran to completion (== config.rounds on a clean run).
+        self.completed_rounds = 0
+        #: Why ``run()`` stopped early, or "" (faults-active runs only).
+        self.abort_reason = ""
+        #: Crash-window bookkeeping: who is down now, and every rejoin
+        #: catch-up performed ({"peer", "round", "models"} records).
+        self._down_prev: frozenset = frozenset()
+        self.catch_ups: list[dict] = []
         #: Per-peer scoring engines (empty in the serial reference mode).
         #: Tests may attach an ``instrument`` hook to count evaluations.
         self.engines: dict[str, CombinationEngine] = {}
@@ -381,9 +433,28 @@ class DecentralizedFL:
     # ------------------------------------------------------------------
 
     def run_round(self, round_id: int) -> list[PeerRoundLog]:
-        """Execute one communication round for every peer."""
+        """Execute one communication round for every live peer.
+
+        Fault-free runs execute exactly the pre-fault logic (``live`` is
+        the whole cohort and nothing can be dropped).  With the fault
+        harness active, crashed peers sit the round out, a peer whose
+        gateway gives up mid-round (:class:`GatewayUnavailableError`) is
+        dropped from it, and the waiting policy quorums against the
+        survivors — the round completes on whoever is left.
+        """
         if not self._deployed:
             raise RoundError("deploy_contracts() must run before rounds")
+        injector = self.fault_injector
+        if injector is not None:
+            injector.begin_round(round_id)
+            self._apply_crash_transitions(round_id)
+        down = self.fault_plan.down(round_id) if self.fault_plan is not None else frozenset()
+        live = [peer_id for peer_id in self.peer_ids if peer_id not in down]
+        dropped: set[str] = set()
+
+        # The first peer is never in a crash window (windows take the
+        # cohort tail and always leave the head live), so the coordinator
+        # and the wait-driving gateway stay the same peer as fault-free.
         coordinator = self.peers[self.peer_ids[0]]
         open_tx = coordinator.make_transaction(
             to=coordinator.coordinator_address,
@@ -397,7 +468,7 @@ class DecentralizedFL:
         updates_by_peer: dict[str, ModelUpdate] = {}
 
         # Train locally (real computation now, simulated completion later).
-        for peer_id in self.peer_ids:
+        for peer_id in live:
             peer = self.peers[peer_id]
             tracker = self.trackers[peer_id]
             tracker.open_round(round_id, round_start)
@@ -407,7 +478,13 @@ class DecentralizedFL:
 
             def submit(peer_id=peer_id, peer=peer, tx=tx, duration=duration) -> None:
                 self.trackers[peer_id].mark_trained(round_id, self.sim.now)
-                peer.gateway.submit(tx)
+                try:
+                    peer.gateway.submit(tx)
+                except GatewayUnavailableError:
+                    if injector is None:
+                        raise
+                    dropped.add(peer_id)
+                    return
                 self.trackers[peer_id].mark_submitted(round_id, self.sim.now)
                 submitted_at[peer_id] = self.sim.now
 
@@ -415,16 +492,28 @@ class DecentralizedFL:
 
         # Each peer waits (per policy) on its own chain view, then aggregates.
         logs: list[PeerRoundLog] = []
-        pending = set(self.peer_ids)
+        pending = set(live)
         ready_at: dict[str, float] = {}
 
         def poll() -> bool:
             for peer_id in sorted(pending):
                 if peer_id not in submitted_at:
+                    if peer_id in dropped:
+                        pending.discard(peer_id)
                     continue
                 peer = self.peers[peer_id]
-                visible = len(peer.visible_submissions(round_id))
-                if self.trackers[peer_id].check_ready(round_id, visible, self.sim.now):
+                try:
+                    visible = len(peer.visible_submissions(round_id))
+                except GatewayUnavailableError:
+                    if injector is None:
+                        raise
+                    dropped.add(peer_id)
+                    pending.discard(peer_id)
+                    continue
+                expected = len(live) - len(dropped) if injector is not None else None
+                if self.trackers[peer_id].check_ready(
+                    round_id, visible, self.sim.now, expected=expected
+                ):
                     ready_at[peer_id] = self.sim.now
                     pending.discard(peer_id)
             return not pending
@@ -432,12 +521,22 @@ class DecentralizedFL:
         self._wait_until(poll, f"round {round_id} quorum")
 
         updates_by_view: dict[str, list[ModelUpdate]] = {}
-        for peer_id in self.peer_ids:
+        for peer_id in live:
+            if peer_id in dropped:
+                continue
             peer = self.peers[peer_id]
-            updates = peer.fetch_updates(round_id, self.id_of_address)
+            try:
+                updates = peer.fetch_updates(round_id, self.id_of_address)
+            except GatewayUnavailableError:
+                if injector is None:
+                    raise
+                dropped.add(peer_id)
+                continue
             if not updates:
                 raise RoundError(f"{peer_id}: no updates visible in round {round_id}")
             updates_by_view[peer_id] = updates
+        if not updates_by_view:
+            raise RoundError(f"round {round_id}: every peer crashed or was dropped")
 
         # Scores never carry across rounds (every peer retrains), so the
         # engine caches are cleared here to bound memory; within a round
@@ -445,6 +544,9 @@ class DecentralizedFL:
         for engine in self.engines.values():
             engine.cache.clear()
 
+        # Survivors in cohort order: fault-free this IS self.peer_ids, so
+        # every downstream iteration is byte-identical to the seed's.
+        survivors = [peer_id for peer_id in self.peer_ids if peer_id in updates_by_view]
         if self.config.mode == "global_vote":
             logs = self._global_vote_round(round_id, updates_by_view)
         else:
@@ -454,7 +556,7 @@ class DecentralizedFL:
             if logs is None:
                 logs = [
                     self._aggregate_for(self.peers[peer_id], round_id, updates_by_view[peer_id])
-                    for peer_id in self.peer_ids
+                    for peer_id in survivors
                 ]
         for log in logs:
             log.submitted_at = submitted_at[log.peer_id]
@@ -466,6 +568,68 @@ class DecentralizedFL:
         if self.config.enable_reputation:
             self._rate_round(round_id, updates_by_view)
         return logs
+
+    def _apply_crash_transitions(self, round_id: int) -> None:
+        """Enact the fault plan's crash windows at a round boundary.
+
+        A peer *entering* its window is partitioned from every other node
+        and stops mining — its chain view freezes, exactly a powered-off
+        VM.  A peer *leaving* its window is healed and restarted; its node
+        catches up over the existing sync-on-orphan path (the next block
+        the others broadcast triggers a chain pull), and the FL layer
+        catches up by adopting the federated average of the last finished
+        round's on-chain updates — the same weights a vanilla client
+        joining late would pull.
+        """
+        assert self.fault_plan is not None
+        self._transition_crashes(self.fault_plan.down(round_id), round_id)
+
+    def _transition_crashes(self, now_down: frozenset, round_id: int) -> None:
+        entering = now_down - self._down_prev
+        leaving = self._down_prev - now_down
+        self._down_prev = now_down
+        addresses = {peer_id: self.peers[peer_id].address for peer_id in self.peer_ids}
+        for peer_id in sorted(entering):
+            addr = addresses[peer_id]
+            for other_id, other_addr in addresses.items():
+                if other_id != peer_id:
+                    self.network.partition(addr, other_addr)
+            self.network.stop_mining([addr])
+        for peer_id in sorted(leaving):
+            addr = addresses[peer_id]
+            for other_id, other_addr in addresses.items():
+                if other_id != peer_id:
+                    self.network.heal(addr, other_addr)
+            self.network.start_mining([addr])
+            rejoined = self.peers[peer_id]
+            reference = self.peers[self.peer_ids[0]]
+            self._wait_until(
+                lambda: rejoined.gateway.head_hash() == reference.gateway.head_hash(),
+                f"{peer_id} chain catch-up after rejoin",
+            )
+            updates = rejoined.fetch_updates(round_id - 1, self.id_of_address)
+            if updates:
+                rejoined.adopt(fedavg(updates))
+            self.catch_ups.append(
+                {"peer": peer_id, "round": round_id, "models": len(updates)}
+            )
+
+    def _finalize_faults(self) -> None:
+        """Rejoin any peers still crashed when the run ends.
+
+        A crash window reaching the final round would otherwise leave its
+        peers partitioned and "down" forever — post-run reporting (height
+        reads, reputation queries) must see a whole cohort again.  The
+        rejoin uses the same heal/catch-up path as a mid-run window end,
+        anchored on the last completed round, and the injector leaves its
+        round context so no further calls count as crashed.
+        """
+        if self.fault_injector is not None:
+            # Leave round context first: the rejoin wait below reads the
+            # rejoining peer's own gateway, which must no longer refuse.
+            self.fault_injector.end_run()
+        if self.fault_plan is not None:
+            self._transition_crashes(frozenset(), self.completed_rounds + 1)
 
     def _use_greedy(self, n_updates: int) -> bool:
         """Whether this round's combination search should be greedy."""
@@ -534,8 +698,9 @@ class DecentralizedFL:
         serial path.  Returns None when the host cannot fork, and the
         caller falls back to the in-process loop.
         """
+        searchers = [peer_id for peer_id in self.peer_ids if peer_id in updates_by_view]
         tasks = []
-        for peer_id in self.peer_ids:
+        for peer_id in searchers:
             peer = self.peers[peer_id]
             updates = updates_by_view[peer_id]
             tasks.append(
@@ -545,7 +710,7 @@ class DecentralizedFL:
         if outcomes is None:  # pragma: no cover - host-dependent
             return None
         logs = []
-        for peer_id, outcome in zip(self.peer_ids, outcomes):
+        for peer_id, outcome in zip(searchers, outcomes):
             peer = self.peers[peer_id]
             updates = updates_by_view[peer_id]
             engine = self.engines[peer_id]
@@ -576,7 +741,8 @@ class DecentralizedFL:
         model without a fixed single aggregator (the paper's single-point-
         of-failure fix in its FL-flavoured mode).
         """
-        for peer_id in self.peer_ids:
+        voters = [peer_id for peer_id in self.peer_ids if peer_id in updates_by_view]
+        for peer_id in voters:
             peer = self.peers[peer_id]
             aggregate = fedavg(updates_by_view[peer_id])
             # Identical visible sets produce byte-identical aggregates, so
@@ -596,13 +762,13 @@ class DecentralizedFL:
                     peer.coordinator_address, "finalized_hash", round_id=round_id
                 )
                 is not None
-                for peer in self.peers.values()
+                for peer in (self.peers[peer_id] for peer_id in voters)
             )
 
         self._wait_until(finalized_everywhere, f"round {round_id} finalization")
 
         logs = []
-        for peer_id in self.peer_ids:
+        for peer_id in voters:
             peer = self.peers[peer_id]
             final_hash = peer.gateway.call(
                 peer.coordinator_address, "finalized_hash", round_id=round_id
@@ -638,7 +804,8 @@ class DecentralizedFL:
         are pure cache hits — the rating pass adds zero model
         evaluations (the seed re-evaluated every solo a second time).
         """
-        for rater_id in self.peer_ids:
+        raters = [peer_id for peer_id in self.peer_ids if peer_id in updates_by_view]
+        for rater_id in raters:
             rater = self.peers[rater_id]
             engine = self.engines.get(rater_id)
 
@@ -692,11 +859,41 @@ class DecentralizedFL:
         return {peer_id: int(score) for peer_id, score in zip(self.peer_ids, scores)}
 
     def run(self) -> list[PeerRoundLog]:
-        """Deploy (if needed) and run every configured round."""
+        """Deploy (if needed) and run every configured round.
+
+        With the fault harness active, a round that still fails after
+        degradation (quorum unreachable, every peer dropped, coordinator
+        circuit-broken) *aborts the run* instead of raising: the logs so
+        far are returned, ``completed_rounds`` counts the rounds that
+        finished, and ``abort_reason`` says why.  Fault-free runs keep
+        the original raise-on-failure contract.
+        """
+        faults_on = self.fault_injector is not None
+        self.completed_rounds = 0
+        self.abort_reason = ""
         if not self._deployed:
-            self.deploy_contracts()
+            if faults_on:
+                try:
+                    self.deploy_contracts()
+                except (RoundError, GatewayError) as exc:
+                    self.abort_reason = f"deploy: {exc}"
+                    self._finalize_faults()
+                    self.network.stop_mining()
+                    return self.round_logs
+            else:
+                self.deploy_contracts()
         for round_id in range(1, self.config.rounds + 1):
-            self.run_round(round_id)
+            if faults_on:
+                try:
+                    self.run_round(round_id)
+                except (RoundError, GatewayError) as exc:
+                    self.abort_reason = f"round {round_id}: {exc}"
+                    break
+            else:
+                self.run_round(round_id)
+            self.completed_rounds += 1
+        if faults_on:
+            self._finalize_faults()
         if self.config.enable_reputation:
             # Let the final round's rating transactions get mined before
             # the chain quiesces.
@@ -734,17 +931,35 @@ class DecentralizedFL:
         """
         requested = GatewayStats()
         transport = GatewayStats()
+        everything = GatewayStats()
         for peer_id in self.peer_ids:
             gateway = self.peers[peer_id].gateway
             requested.add(gateway.stats)
             # For an undecorated backend this is the same object, so the
             # two aggregates coincide — no backend-specific branching.
             transport.add(transport_stats(gateway))
-        return {
+            everything.add(stacked_stats(gateway))
+        payload = {
             "backend": self.config.gateway,
             "requested": requested.as_dict(),
             "transport": transport.as_dict(),
         }
+        # The resilience counters live mid-stack (injection on the fault
+        # layer, retries on the top layer), so they are summed across
+        # every layer of every peer's stack rather than read off either
+        # end.  All zero when the fault harness is inactive.
+        payload["resilience"] = {
+            name: getattr(everything, name)
+            for name in (
+                "retries",
+                "faults_injected",
+                "deadline_misses",
+                "gave_up",
+                "deduped_submits",
+                "backoff_seconds",
+            )
+        }
+        return payload
 
     def chain_stats(self) -> dict:
         """Network counters, per-peer heights, and gateway instrumentation.
@@ -762,4 +977,12 @@ class DecentralizedFL:
         stats["offchain_bytes"] = self.offchain.total_bytes()
         stats["offchain_marshalling"] = self.offchain.marshalling_stats()
         stats["gateway"] = self.gateway_stats()
+        if self.fault_injector is not None:
+            stats["faults"] = {
+                "injected": len(self.fault_injector.trace),
+                "crashed_peers": list(self.fault_plan.crashed_peers),
+                "catch_ups": len(self.catch_ups),
+                "completed_rounds": self.completed_rounds,
+                "abort_reason": self.abort_reason,
+            }
         return stats

@@ -82,11 +82,25 @@ class RoundTracker:
         self._timeline(round_id).submitted_at = now
         self.state = RoundState.WAITING
 
-    def check_ready(self, round_id: int, submissions_visible: int, now: float) -> bool:
-        """Evaluate the waiting policy; record the first time it fires."""
+    def check_ready(
+        self,
+        round_id: int,
+        submissions_visible: int,
+        now: float,
+        expected: Optional[int] = None,
+    ) -> bool:
+        """Evaluate the waiting policy; record the first time it fires.
+
+        ``expected`` overrides the cohort size the policy quorums
+        against — the round driver passes the number of peers actually
+        live this round when fault plans crash or drop peers, so
+        wait-for-all degrades to wait-for-the-survivors instead of
+        waiting forever for a crashed peer.
+        """
         timeline = self._timeline(round_id)
         elapsed = now - timeline.opened_at
-        ready = self.policy.ready(submissions_visible, self.cohort_size, elapsed)
+        cohort = self.cohort_size if expected is None else expected
+        ready = self.policy.ready(submissions_visible, cohort, elapsed)
         if ready and timeline.quorum_at is None:
             timeline.quorum_at = now
         return ready

@@ -46,6 +46,12 @@ Rule catalog
     categories — the PR-1 ``"weights" in decoded is None`` always-False
     bug class.  Scope: everywhere.
 
+``retry-discipline`` (robustness)
+    No bare ``except:`` and no swallowed ``except Exception: pass``
+    around gateway calls — gateway failures carry typed retry/degrade
+    semantics (:mod:`repro.faults`, PR 7) and must be caught by name.
+    Scope: ``src/repro/``.
+
 Suppressing a finding
 ---------------------
 

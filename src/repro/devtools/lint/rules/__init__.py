@@ -13,6 +13,7 @@ from repro.devtools.lint.engine import LintRule
 from repro.devtools.lint.rules.comparisons import SuspiciousComparisonRule
 from repro.devtools.lint.rules.config_mutation import ConfigMutationRule
 from repro.devtools.lint.rules.journal import JournalDisciplineRule
+from repro.devtools.lint.rules.retry import RetryDisciplineRule
 from repro.devtools.lint.rules.rng import GlobalRngRule
 from repro.devtools.lint.rules.seam import SeamRule
 from repro.devtools.lint.rules.wallclock import WallClockRule
@@ -24,6 +25,7 @@ ALL_RULES: tuple[type[LintRule], ...] = (
     JournalDisciplineRule,
     ConfigMutationRule,
     SuspiciousComparisonRule,
+    RetryDisciplineRule,
 )
 
 
@@ -46,4 +48,5 @@ __all__ = [
     "JournalDisciplineRule",
     "ConfigMutationRule",
     "SuspiciousComparisonRule",
+    "RetryDisciplineRule",
 ]

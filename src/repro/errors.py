@@ -184,3 +184,25 @@ class GatewayTimeoutError(GatewayError, RoundError):
     Also a :class:`RoundError`: existing round-driver callers that catch
     the pre-gateway timeout type keep working unchanged.
     """
+
+
+class TransientGatewayError(GatewayError):
+    """A gateway operation failed in a way that is safe to retry.
+
+    Raised by fault injection (and, later, by out-of-process transports)
+    for momentary transport hiccups: the operation had no effect and an
+    identical re-issue may succeed.  :class:`ResilientGateway` retries
+    exactly this type plus :class:`GatewayTimeoutError`; everything else
+    (rejections, reverts, unknown contract/method) is permanent.
+    """
+
+
+class GatewayUnavailableError(GatewayError):
+    """The gateway gave up on an operation or is circuit-broken.
+
+    Surfaced by :class:`~repro.faults.gateway.ResilientGateway` when the
+    retry budget is exhausted or the circuit breaker is open, and by
+    :class:`~repro.faults.gateway.FaultyGateway` for a crashed peer.  The
+    round driver catches exactly this type to drop a peer from the
+    current round instead of aborting the run.
+    """

@@ -1,0 +1,34 @@
+"""Deterministic fault injection and gateway resilience.
+
+The chaos-engineering layer of the repro: seeded, fully reproducible
+fault plans (:mod:`repro.faults.plan`) injected at the FL <-> chain seam
+by gateway decorators (:mod:`repro.faults.gateway`).  See the README's
+"Fault injection & resilience" section for the stack composition and the
+``faults/*`` scenarios.
+"""
+
+from repro.faults.gateway import RETRYABLE_ERRORS, FaultyGateway, ResilientGateway
+from repro.faults.plan import (
+    ERROR_KINDS,
+    FAULT_KINDS,
+    MIN_LIVE_PEERS,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+)
+
+__all__ = [
+    "ERROR_KINDS",
+    "FAULT_KINDS",
+    "MIN_LIVE_PEERS",
+    "RETRYABLE_ERRORS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultyGateway",
+    "ResilientGateway",
+    "RetryPolicy",
+]

@@ -20,6 +20,7 @@ Quick taste::
     print(result.summary())
 """
 
+from repro.faults import FaultSpec
 from repro.scenarios.spec import (
     AdversarySpec,
     ChainSpec,
@@ -34,6 +35,7 @@ from repro.scenarios.runner import ScenarioContext, ScenarioResult, run_scenario
 from repro.scenarios.registry import (
     ScenarioDefinition,
     cohort_scenario,
+    fault_scenario,
     get_scenario,
     list_scenarios,
     paper_spec,
@@ -45,6 +47,7 @@ __all__ = [
     "AdversarySpec",
     "ChainSpec",
     "CohortSpec",
+    "FaultSpec",
     "HeterogeneitySpec",
     "PAPER_CLIENT_IDS",
     "ScenarioContext",
@@ -55,6 +58,7 @@ __all__ = [
     "cohort_scenario",
     "cohort_sweep",
     "default_client_ids",
+    "fault_scenario",
     "get_scenario",
     "grid",
     "list_scenarios",

@@ -6,8 +6,11 @@ how to render their results.  Built-ins cover the paper's artifacts
 workloads (``cohort/10`` … ``cohort/50`` — any ``cohort/<n>`` resolves
 dynamically), the adversarial ablations (``adversarial/label_flip``,
 ``adversarial/reputation`` — the latter measures the reputation ledger's
-exclusion quality against ``consider``-only selection), and
-device heterogeneity (``hetero/stragglers``).  Unknown names raise
+exclusion quality against ``consider``-only selection),
+device heterogeneity (``hetero/stragglers``), and the fault-injection
+workloads (``faults/transient``, ``faults/crash``, ``faults/lossy`` —
+deterministic chain faults absorbed by the resilient gateway, or ridden
+out via quorum rounds and rejoin catch-up).  Unknown names raise
 :class:`~repro.errors.ConfigError` with a did-you-mean listing.
 
 Register project-specific workloads with :func:`register_scenario`::
@@ -36,9 +39,11 @@ from repro.metrics.tables import (
     format_table1,
     render_table,
 )
+from repro.faults import FaultSpec
 from repro.scenarios.runner import ScenarioResult
 from repro.scenarios.spec import (
     AdversarySpec,
+    ChainSpec,
     CohortSpec,
     HeterogeneitySpec,
     ScenarioSpec,
@@ -428,6 +433,141 @@ def _build_reputation(seed: int = 42, quick: bool = False, models=None) -> tuple
                 name="adversarial/reputation",
                 adversary=AdversarySpec(kind="label_flip", fraction=1 / 3),
                 enable_reputation=True,
+            ),
+            quick,
+        )
+        for model_kind in (models or ("simple_nn",))
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fault injection & resilience
+# ---------------------------------------------------------------------------
+
+
+def fault_scenario(
+    name: str, faults: FaultSpec, seed: int = 42, drop_rate: float = 0.0
+) -> ScenarioSpec:
+    """Bench-scale 5-peer scenario with the fault axis engaged.
+
+    Small data and few rounds keep fault sweeps cheap; the cohort is
+    large enough (5 peers) that crashing the tail still leaves a quorum
+    and the retry layer sees plenty of intercepted calls.
+    """
+    return ScenarioSpec(
+        name=name,
+        kind="decentralized",
+        model_kind="simple_nn",
+        rounds=3,
+        local_epochs=2,
+        cohort=CohortSpec(size=5, train_samples=200, test_samples=150),
+        chain=ChainSpec(drop_rate=drop_rate),
+        faults=faults,
+        seed=seed,
+        aggregator_test_samples=150,
+    )
+
+
+def _render_faults(specs, results) -> list[str]:
+    """Resilience summary: completion, injected faults, retry absorption."""
+    rows = []
+    for spec, result in zip(specs, results):
+        faults = result.chain_stats.get("faults", {})
+        resilience = result.chain_stats.get("gateway", {}).get("resilience", {})
+        rows.append(
+            [
+                spec.name,
+                f"{result.completed_rounds}/{spec.rounds}",
+                str(faults.get("injected", 0)),
+                str(resilience.get("retries", 0)),
+                str(resilience.get("gave_up", 0)),
+                str(faults.get("catch_ups", 0)),
+                f"{result.mean_final_accuracy():.4f}",
+                result.abort_reason or "-",
+            ]
+        )
+    table = render_table(
+        "Fault resilience",
+        [
+            "scenario",
+            "rounds",
+            "injected",
+            "retries",
+            "gave up",
+            "catch-ups",
+            "final acc",
+            "abort",
+        ],
+        rows,
+    )
+    return [table]
+
+
+@register_scenario(
+    "faults/transient",
+    "Transient chain errors + timeouts fully absorbed by retry/backoff "
+    "(byte-equivalent to the fault-free run)",
+    render=_render_faults,
+)
+def _build_faults_transient(seed: int = 42, quick: bool = False, models=None):
+    return tuple(
+        _maybe_quick(
+            replace(
+                fault_scenario(
+                    "faults/transient",
+                    FaultSpec(transient_rate=0.15, timeout_rate=0.05),
+                    seed=seed,
+                ),
+                model_kind=model_kind,
+            ),
+            quick,
+        )
+        for model_kind in (models or ("simple_nn",))
+    )
+
+
+@register_scenario(
+    "faults/crash",
+    "Tail peers crash for a mid-run round; quorum rounds proceed and the "
+    "rejoining peers catch up",
+    render=_render_faults,
+)
+def _build_faults_crash(seed: int = 42, quick: bool = False, models=None):
+    return tuple(
+        _maybe_quick(
+            replace(
+                fault_scenario(
+                    "faults/crash",
+                    FaultSpec(crash_fraction=0.4, crash_round=2, crash_rounds=1),
+                    seed=seed,
+                ),
+                model_kind=model_kind,
+            ),
+            quick,
+        )
+        for model_kind in (models or ("simple_nn",))
+    )
+
+
+@register_scenario(
+    "faults/lossy",
+    "Lossy gossip (10% drops) plus latency spikes and occasional transient "
+    "errors under the resilient gateway",
+    render=_render_faults,
+)
+def _build_faults_lossy(seed: int = 42, quick: bool = False, models=None):
+    return tuple(
+        _maybe_quick(
+            replace(
+                fault_scenario(
+                    "faults/lossy",
+                    FaultSpec(
+                        transient_rate=0.05, latency_rate=0.1, latency_spike=5.0
+                    ),
+                    seed=seed,
+                    drop_rate=0.1,
+                ),
+                model_kind=model_kind,
             ),
             quick,
         )

@@ -99,17 +99,28 @@ class ScenarioResult:
     training_times: dict[str, float] = field(default_factory=dict)
     #: Final on-chain reputation per client (reputation-enabled runs only).
     reputation: dict[str, int] = field(default_factory=dict)
+    #: Rounds that ran to completion (== spec.rounds on a clean run).
+    completed_rounds: int = 0
+    #: Why a faults-active run stopped early, or "" (clean / fault-free).
+    abort_reason: str = ""
 
     def final_accuracy(self, client_id: str) -> float:
         """Accuracy after the last round for one client."""
         return self.client_accuracy[client_id][-1]
 
     def mean_final_accuracy(self, honest_only: bool = False) -> float:
-        """Cohort-mean final accuracy (optionally excluding adversaries)."""
+        """Cohort-mean final accuracy (optionally excluding adversaries).
+
+        Clients with no completed round (crashed before ever aggregating
+        in an aborted faulty run) are skipped; 0.0 if nobody finished.
+        """
         ids = [
             cid for cid in self.client_accuracy
-            if not (honest_only and cid in self.adversaries)
+            if self.client_accuracy[cid]
+            and not (honest_only and cid in self.adversaries)
         ]
+        if not ids:
+            return 0.0
         return float(np.mean([self.client_accuracy[cid][-1] for cid in ids]))
 
     def mean_wait(self) -> float:
@@ -285,6 +296,7 @@ def _run_vanilla(
         client_accuracy={cid: driver.accuracy_series(cid) for cid in client_ids},
         round_logs=logs,
         adversaries=adversary_ids,
+        completed_rounds=spec.rounds,
     )
 
 
@@ -316,6 +328,8 @@ def _run_decentralized(
         hashrate=spec.chain.hashrate,
         max_round_time=spec.chain.max_round_time,
         poll_interval=spec.chain.poll_interval,
+        faults=spec.faults,
+        drop_rate=spec.chain.drop_rate,
     )
     train_config = _train_config(spec)
     peer_configs = [
@@ -360,6 +374,8 @@ def _run_decentralized(
         adversaries=adversary_ids,
         training_times=training_times,
         reputation=reputation,
+        completed_rounds=driver.completed_rounds,
+        abort_reason=driver.abort_reason,
     )
 
 

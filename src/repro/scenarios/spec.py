@@ -8,7 +8,11 @@ A :class:`ScenarioSpec` composes independent axes:
   what fraction of the cohort;
 * **heterogeneity** — the distribution of simulated local-training times
   (the situation that motivates not waiting);
-* **chain** — block interval, hashrate, gossip batching, link latency;
+* **chain** — block interval, hashrate, gossip batching, link latency,
+  message drop rate;
+* **faults** — deterministic fault injection at the FL <-> chain seam
+  (:class:`~repro.faults.FaultSpec`: transient/timeout/latency/duplicate/
+  stale rates, crash windows, retry policy);
 * plus the waiting policy, operating mode, combination-selection strategy,
   and the usual model/rounds/seed knobs.
 
@@ -29,6 +33,7 @@ from repro.chain.gateway import GATEWAY_BACKENDS
 from repro.core.config import MODEL_LEARNING_RATES, ExperimentConfig
 from repro.data.synthetic import SyntheticSpec
 from repro.errors import ConfigError
+from repro.faults import FaultSpec
 from repro.fl.async_policy import AsyncPolicy, WaitForAll
 from repro.fl.poisoning import Attacker, LabelFlipAttacker, NoiseAttacker, ScaleAttacker
 
@@ -255,6 +260,10 @@ class ChainSpec:
     ``gateway_staleness`` simulated seconds.  The backend never changes a
     result — only transport round trips (a sweepable axis:
     ``replace_axis(spec, "chain.gateway", "batching")``).
+
+    ``drop_rate`` makes the p2p links lossy: each gossiped message is
+    dropped with that probability, drawn from the dedicated
+    ``network/drop`` stream so sweeping it never perturbs latency draws.
     """
 
     target_block_interval: float = 13.0
@@ -264,6 +273,7 @@ class ChainSpec:
     poll_interval: float = 1.0
     latency_base: float = 0.05
     latency_jitter: float = 0.02
+    drop_rate: float = 0.0
     gateway: str = "inprocess"
     gateway_staleness: float = 5.0
 
@@ -274,6 +284,8 @@ class ChainSpec:
             raise ConfigError("hashrate must be positive")
         if self.gossip_batch_window < 0 or self.latency_base < 0 or self.latency_jitter < 0:
             raise ConfigError("gossip_batch_window and latencies must be non-negative")
+        if not 0.0 <= self.drop_rate < 1.0:
+            raise ConfigError(f"drop_rate must be in [0, 1), got {self.drop_rate}")
         if self.max_round_time <= 0:
             raise ConfigError("max_round_time must be positive")
         if self.gateway not in GATEWAY_BACKENDS:
@@ -316,6 +328,7 @@ class ScenarioSpec:
     adversary: AdversarySpec = field(default_factory=AdversarySpec)
     heterogeneity: HeterogeneitySpec = field(default_factory=HeterogeneitySpec)
     chain: ChainSpec = field(default_factory=ChainSpec)
+    faults: FaultSpec = field(default_factory=FaultSpec)
     data_spec: SyntheticSpec = field(default_factory=SyntheticSpec)
     aggregator_test_samples: int = 500
     backbone_sigma: float = 0.55
@@ -346,6 +359,11 @@ class ScenarioSpec:
             )
         if self.aggregator_test_samples < 1:
             raise ConfigError("aggregator_test_samples must be >= 1")
+        if self.kind == "vanilla" and self.faults.active:
+            raise ConfigError(
+                "fault injection targets the FL <-> chain seam; "
+                'the "vanilla" centralized deployment has none'
+            )
         if self.heterogeneity.times is not None and len(self.heterogeneity.times) != self.cohort.size:
             raise ConfigError(
                 f"heterogeneity times has {len(self.heterogeneity.times)} entries "

@@ -132,7 +132,12 @@ class Simulator:
             if next_time is None:
                 break
             if until is not None and next_time > until:
-                self.clock.advance_to(until)
+                # Nested run() calls (an event callback running the
+                # simulator further, e.g. an injected latency spike inside
+                # a scheduled submit) can leave the clock past this
+                # frame's target — never rewind it.
+                if until > self.clock.now:
+                    self.clock.advance_to(until)
                 break
             self.step()
             processed += 1

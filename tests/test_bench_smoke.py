@@ -2,8 +2,9 @@
 
 Runs the smoke-scale cores of ``bench_chain_throughput``,
 ``bench_commitment_pipeline``, ``bench_block_execution``,
-``bench_cohort_scaling``, ``bench_selection_engine``, and
-``bench_chain_gateway`` in-process (the same code paths
+``bench_cohort_scaling``, ``bench_selection_engine``,
+``bench_chain_gateway``, and ``bench_fault_resilience`` in-process (the
+same code paths
 ``pytest benchmarks/... --smoke`` exercises), so the tier-1 suite catches
 benchmark bit-rot and enforces the pipelines' headline numbers in seconds.
 """
@@ -20,6 +21,7 @@ import bench_chain_gateway
 import bench_chain_throughput
 import bench_cohort_scaling
 import bench_commitment_pipeline
+import bench_fault_resilience
 import bench_selection_engine
 
 
@@ -158,3 +160,36 @@ class TestChainGatewaySmoke:
             result["raw"]["requested"]["requested_reads"]
             == result["batched"]["requested"]["requested_reads"]
         )
+
+
+class TestFaultResilienceSmoke:
+    """Smoke-tier fault sweep: completion floor, abort contrast, equivalence.
+
+    All three signals are deterministic functions of the seed (fault
+    decisions come from the ``faults/*`` streams), so the floors need no
+    wall-clock slack.
+    """
+
+    @classmethod
+    def _profile(cls):
+        return bench_fault_resilience.resilience_profile(smoke=True)
+
+    def test_retries_meet_completion_floor(self):
+        profile = self._profile()
+        by_label = {row["intensity"]: row for row in profile["rows"]}
+        mid = by_label["mid"]
+        assert mid["injected"] > 0 and mid["retries"] > 0
+        assert mid["completion_rate"] >= bench_fault_resilience.COMPLETION_FLOOR
+
+    def test_without_retries_the_run_aborts(self):
+        profile = self._profile()
+        assert profile["unshielded_completed"] < profile["params"]["rounds"]
+        assert profile["unshielded_abort"] != ""
+
+    def test_transient_plan_byte_equivalent_to_fault_free(self):
+        profile = self._profile()
+        baseline = profile["results"]["off"]
+        shielded = profile["results"]["mid"]
+        assert shielded.client_accuracy == baseline.client_accuracy
+        assert shielded.wait_times == baseline.wait_times
+        assert shielded.chain_stats["heights"] == baseline.chain_stats["heights"]

@@ -320,6 +320,44 @@ class TestBatchingGateway:
         gateway.next_nonce(kp.address)
         assert inner.stats.nonce_reads == 2
 
+    def test_reorg_invalidates_cache_within_staleness_window(self, node_and_registry):
+        """A cached read is never served across a reorg.
+
+        The cache is head-keyed, not height- or time-keyed: when a
+        competing fork wins, the head *hash* changes even though the
+        staleness window is nowhere near expiring, and the next read must
+        reflect the post-reorg state (here: the registration transaction
+        dropped back out of the canonical chain)."""
+        node, kp, registry = node_and_registry
+        fork_node, _ = make_node()
+        fork_node.import_block(node.head)  # sync the registry block
+        assert fork_node.height == node.height
+        inner = InProcessGateway(node)
+        # Huge window: only head changes may invalidate in this test.
+        gateway = BatchingGateway(inner, staleness=1e9)
+        assert gateway.call(registry, "member_count") == 0
+        register = Transaction(
+            sender=kp.address,
+            to=registry,
+            nonce=node.next_nonce_for(kp.address),
+            method="register",
+            args={"display_name": "A"},
+        ).sign_with(kp)
+        node.submit_transaction(register)
+        mine(node, 26.0)
+        assert gateway.call(registry, "member_count") == 1
+        reads_before = inner.stats.calls
+        # A longer empty fork outweighs the single block with the tx.
+        for timestamp in (26.5, 27.0):
+            block = fork_node.build_block_candidate(timestamp, difficulty=1)
+            fork_node.seal_and_import(block, nonce=0)
+            node.import_block(fork_node.head)
+        assert node.head.block_hash == fork_node.head.block_hash
+        # Post-reorg the cached value 1 would be wrong; the gateway must
+        # read through and see the fork's state.
+        assert gateway.call(registry, "member_count") == 0
+        assert inner.stats.calls == reads_before + 1
+
     def test_invalid_staleness_rejected(self, node_and_registry):
         node, _, _ = node_and_registry
         with pytest.raises(GatewayError):

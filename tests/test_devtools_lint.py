@@ -563,6 +563,94 @@ class TestSuspiciousComparisonRule:
         assert findings == []
 
 
+class TestRetryDisciplineRule:
+    def test_bare_except_around_gateway_call_flagged(self):
+        findings = lint(
+            """
+            def push(peer, tx):
+                try:
+                    peer.gateway.submit(tx)
+                except:
+                    return None
+            """
+        )
+        assert rule_ids(findings) == ["retry-discipline"]
+
+    def test_swallowed_broad_except_flagged(self):
+        findings = lint(
+            """
+            def read(gateway, contract):
+                try:
+                    return gateway.call(contract, "height")
+                except Exception:
+                    pass
+            """
+        )
+        assert rule_ids(findings) == ["retry-discipline"]
+
+    def test_broad_tuple_swallow_flagged(self):
+        findings = lint(
+            """
+            def read(gateway, contract):
+                try:
+                    return gateway.call(contract, "height")
+                except (ValueError, Exception):
+                    ...
+            """
+        )
+        assert rule_ids(findings) == ["retry-discipline"]
+
+    def test_typed_pass_handler_is_fine(self):
+        # The benign duplicate re-delivery idiom: a *named* error type
+        # may be deliberately discarded.
+        findings = lint(
+            """
+            def redeliver(gateway, tx):
+                try:
+                    gateway.submit(tx)
+                except TransactionRejectedError:
+                    pass
+            """
+        )
+        assert findings == []
+
+    def test_broad_except_with_real_handling_is_fine(self):
+        findings = lint(
+            """
+            def push(peer, tx, log):
+                try:
+                    peer.gateway.submit(tx)
+                except Exception as exc:
+                    log.append(str(exc))
+                    raise
+            """
+        )
+        assert findings == []
+
+    def test_try_without_gateway_call_out_of_scope(self):
+        findings = lint(
+            """
+            def parse(raw):
+                try:
+                    return int(raw)
+                except:
+                    return 0
+            """
+        )
+        assert findings == []
+
+    def test_only_library_paths_in_scope(self):
+        source = """
+            def push(peer, tx):
+                try:
+                    peer.gateway.submit(tx)
+                except:
+                    return None
+            """
+        assert lint(source, path="tests/test_x.py") == []
+        assert lint(source, path="benchmarks/bench_x.py") == []
+
+
 # ---------------------------------------------------------------------------
 # Historical-bug regression fixtures (acceptance criterion)
 # ---------------------------------------------------------------------------
