@@ -127,6 +127,20 @@ class GatewayStats:
     gave_up: int = 0
     deduped_submits: int = 0
     backoff_seconds: float = 0.0
+    # Wire telemetry (populated by the out-of-process transport in
+    # repro.runtime; all zeros for in-process backends).  The byte and
+    # round-trip counters are deterministic functions of the run and stay
+    # in ``as_dict``; the latency accumulators are wall clock and are
+    # excluded like ``read_seconds``.
+    wire_bytes_sent: int = 0
+    wire_bytes_received: int = 0
+    rpc_round_trips: int = 0
+    wire_seconds: float = 0.0
+    wire_method_seconds: dict = field(default_factory=dict)
+
+    #: Wall-clock accumulators excluded from :meth:`as_dict` so result
+    #: objects stay deterministic across identical runs.
+    _WALL_CLOCK_FIELDS = ("read_seconds", "wire_seconds", "wire_method_seconds")
 
     @property
     def contract_call_round_trips(self) -> int:
@@ -141,21 +155,28 @@ class GatewayStats:
     def add(self, other: "GatewayStats") -> None:
         """Accumulate another gateway's counters (cohort aggregation)."""
         for spec in fields(self):
-            setattr(self, spec.name, getattr(self, spec.name) + getattr(other, spec.name))
+            mine = getattr(self, spec.name)
+            theirs = getattr(other, spec.name)
+            if isinstance(mine, dict):
+                for key, value in theirs.items():
+                    mine[key] = mine.get(key, 0.0) + value
+            else:
+                setattr(self, spec.name, mine + theirs)
 
     def as_dict(self) -> dict:
         """Counters plus the derived round-trip totals.
 
-        ``read_seconds`` (wall-clock latency) is deliberately left out:
-        every other number here is a deterministic function of the run,
-        and result objects compare equal across identical runs.  The
-        latency accumulator stays readable on the object itself (the
-        gateway benchmark reports it).
+        The wall-clock latency accumulators (``read_seconds``,
+        ``wire_seconds``, per-method wire latency) are deliberately left
+        out: every other number here is a deterministic function of the
+        run, and result objects compare equal across identical runs.  The
+        latency accumulators stay readable on the object itself (the
+        gateway benchmarks report them).
         """
         payload = {
             spec.name: getattr(self, spec.name)
             for spec in fields(self)
-            if spec.name != "read_seconds"
+            if spec.name not in self._WALL_CLOCK_FIELDS
         }
         payload["contract_call_round_trips"] = self.contract_call_round_trips
         payload["requested_reads"] = self.requested_reads
@@ -433,8 +454,17 @@ class BatchingGateway:
         self._cache[key] = _CacheEntry(head=head, at=now, value=value)
 
     def _observe(self) -> tuple[str, float]:
-        """One head observation shared by every read of a lookup."""
+        """One head observation shared by every read of a lookup.
+
+        A transport exposing ``observe_head()`` (the out-of-process
+        gateway does) serves head hash and clock in a single round trip;
+        otherwise two inner reads — free in-process, where both are
+        local field reads.
+        """
         self.stats.head_checks += 1
+        observe = getattr(self.inner, "observe_head", None)
+        if observe is not None:
+            return observe()
         return self.inner.head_hash(), self.inner.now()
 
     # -- reads -------------------------------------------------------------

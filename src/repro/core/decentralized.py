@@ -58,7 +58,9 @@ from repro.fl.async_policy import AsyncPolicy, WaitForAll
 from repro.fl.scoring import CombinationEngine, ScoredSubset, run_peer_searches
 from repro.fl.selection import enumerate_combinations, greedy_combination, pick_best
 from repro.nn.model import Sequential
+from repro.nn.serialize import weights_to_bytes
 from repro.utils.events import Simulator
+from repro.utils.hashing import sha256_bytes
 from repro.utils.rng import RngFactory
 
 #: Initial balance funding each peer's gas spend.
@@ -208,6 +210,150 @@ class PeerRoundLog:
         return max(self.ready_at - self.submitted_at, 0.0)
 
 
+# ---------------------------------------------------------------------------
+# Per-peer round logic, shared with the out-of-process runtime
+# ---------------------------------------------------------------------------
+# These module-level functions are the single copy of the byte-sensitive
+# per-peer work: the in-process driver calls them directly and the worker
+# processes (repro.runtime.worker) call the very same code on their side of
+# the wire, so the two runtimes cannot drift apart.
+
+
+def choose_combination(
+    peer: FullPeer,
+    engine: Optional[CombinationEngine],
+    updates: list[ModelUpdate],
+    use_greedy: bool,
+) -> tuple[list, object]:
+    """One peer's combination search; returns ``(scored, chosen)``.
+
+    Tie-breaking draws from ``peer.rng`` (exhaustive paths only), so the
+    caller must hold the peer's canonical named stream.
+    """
+    if use_greedy:
+        if engine is not None:
+            chosen = engine.greedy(updates)
+        else:
+            chosen = greedy_combination(
+                updates, peer.client.model, peer.client.test_set, aggregator=fedavg
+            )
+        return [chosen], chosen
+    if engine is not None:
+        scored = engine.enumerate(updates)
+        top = pick_best(scored, peer.rng)
+        return scored, engine.materialize(top.members, updates, top.accuracy)
+    scored = enumerate_combinations(
+        updates, peer.client.model, peer.client.test_set, aggregator=fedavg
+    )
+    return scored, pick_best(scored, peer.rng)
+
+
+def adopt_choice(
+    peer: FullPeer,
+    round_id: int,
+    updates: list[ModelUpdate],
+    scored: list,
+    chosen,
+) -> PeerRoundLog:
+    """Shared tail of every aggregation path: log the accuracy table
+    (``scored``: anything with ``label``/``accuracy``), record the
+    adopted combination, and install its weights — one copy, so the
+    serial, pooled, and multiprocess paths cannot drift apart."""
+    log = PeerRoundLog(peer_id=peer.peer_id, round_id=round_id)
+    for result in scored:
+        log.combination_accuracy[result.label] = result.accuracy
+    log.chosen_combination = chosen.members
+    log.chosen_accuracy = chosen.accuracy
+    log.models_used = len(chosen.members)
+    log.updates_visible = len(updates)
+    peer.adopt(chosen.weights)
+    return log
+
+
+def rate_visible_updates(
+    rater: FullPeer,
+    engine: Optional[CombinationEngine],
+    updates: list[ModelUpdate],
+    round_id: int,
+    reputation_address: Address,
+    address_of: Callable[[str], Address],
+    fitness_margin: float,
+) -> None:
+    """One rater's reputation pass over its visible updates.
+
+    A peer whose solo model scores within ``fitness_margin`` of the
+    rater's own solo earns +5; one that falls further behind earns -10.
+    Solo scores were already computed during the aggregation search, so
+    in engine mode the fitness lookups are pure cache hits.
+    """
+
+    def solo_fitness(update: ModelUpdate) -> float:
+        if engine is not None:
+            return engine.solo_accuracy(update)
+        return rater.evaluate_weights(update.weights)
+
+    own = next((u for u in updates if u.client_id == rater.peer_id), None)
+    if own is None:
+        return
+    own_accuracy = solo_fitness(own)
+    for update in updates:
+        if update.client_id == rater.peer_id:
+            continue
+        fit = solo_fitness(update)
+        delta = 5 if fit >= own_accuracy - fitness_margin else -10
+        rate_tx = rater.make_transaction(
+            to=reputation_address,
+            method="rate",
+            args={
+                "round_id": round_id,
+                "subject": address_of(update.client_id),
+                "delta": delta,
+                "reason": f"fitness {fit:.3f} vs own {own_accuracy:.3f}",
+            },
+        )
+        rater.gateway.submit(rate_tx)
+
+
+def submit_global_vote(
+    peer: FullPeer, updates: list[ModelUpdate], round_id: int, offchain
+) -> None:
+    """Aggregate the peer's visible set and vote its hash on chain.
+
+    Identical visible sets produce byte-identical aggregates, so the
+    content-addressed put stores the blob once; each peer still pays one
+    serialization to discover its aggregate's hash.
+    """
+    aggregate_hash = offchain.put_weights(fedavg(updates))
+    vote_tx = peer.make_transaction(
+        to=peer.coordinator_address,
+        method="vote_global",
+        args={"round_id": round_id, "aggregate_hash": aggregate_hash},
+    )
+    peer.gateway.submit(vote_tx)
+
+
+def adopt_global_model(
+    peer: FullPeer, updates: list[ModelUpdate], round_id: int, offchain
+) -> PeerRoundLog:
+    """Read the finalized aggregate, evaluate it locally, and adopt it."""
+    final_hash = peer.gateway.call(
+        peer.coordinator_address, "finalized_hash", round_id=round_id
+    )
+    weights = offchain.get_weights(final_hash)
+    accuracy = peer.evaluate_weights(weights)
+    peer.adopt(weights)
+    members = tuple(sorted(update.client_id for update in updates))
+    return PeerRoundLog(
+        peer_id=peer.peer_id,
+        round_id=round_id,
+        combination_accuracy={",".join(members): accuracy},
+        chosen_combination=members,
+        chosen_accuracy=accuracy,
+        models_used=len(members),
+        updates_visible=len(updates),
+    )
+
+
 class DecentralizedFL:
     """Drives the full blockchain-FL deployment."""
 
@@ -283,18 +429,8 @@ class DecentralizedFL:
                 gateway = BatchingGateway(gateway, staleness=config.gateway_staleness)
             if self.fault_injector is not None and config.faults.resilience:
                 gateway = ResilientGateway(gateway, policy=config.faults.retry)
-            self.peers[pc.peer_id] = FullPeer(
-                config=pc,
-                keypair=keypairs[pc.peer_id],
-                gateway=gateway,
-                offchain=self.offchain,
-                train_set=train_sets[pc.peer_id],
-                test_set=test_sets[pc.peer_id],
-                model_builder=model_builder,
-                rng=self.rngs.get("peer", pc.peer_id),
-                attack_rng=(
-                    self.rngs.get("attack", pc.peer_id) if pc.attacker is not None else None
-                ),
+            self.peers[pc.peer_id] = self._build_peer(
+                pc, keypairs[pc.peer_id], gateway, train_sets, test_sets, model_builder
             )
         self.id_of_address: dict[Address, str] = {
             peer.address: peer_id for peer_id, peer in self.peers.items()
@@ -316,14 +452,46 @@ class DecentralizedFL:
         self.catch_ups: list[dict] = []
         #: Per-peer scoring engines (empty in the serial reference mode).
         #: Tests may attach an ``instrument`` hook to count evaluations.
-        self.engines: dict[str, CombinationEngine] = {}
-        if config.scoring == "engine":
-            self.engines = {
-                peer_id: CombinationEngine(
-                    peer.client.model, peer.client.test_set
-                )
-                for peer_id, peer in self.peers.items()
-            }
+        self.engines: dict[str, CombinationEngine] = self._build_engines()
+
+    def _build_peer(
+        self,
+        pc: PeerConfig,
+        keypair: KeyPair,
+        gateway: ChainGateway,
+        train_sets: dict[str, Dataset],
+        test_sets: dict[str, Dataset],
+        model_builder: Optional[Callable[[np.random.Generator], Sequential]],
+    ) -> FullPeer:
+        """Materialize one peer on its gateway stack.
+
+        Overridden by the multiprocess coordinator
+        (:mod:`repro.runtime.coordinator`), whose peers are chain-only
+        handles — datasets, models, and rng draws live in the workers.
+        """
+        return FullPeer(
+            config=pc,
+            keypair=keypair,
+            gateway=gateway,
+            offchain=self.offchain,
+            train_set=train_sets[pc.peer_id],
+            test_set=test_sets[pc.peer_id],
+            model_builder=model_builder,
+            rng=self.rngs.get("peer", pc.peer_id),
+            attack_rng=(
+                self.rngs.get("attack", pc.peer_id) if pc.attacker is not None else None
+            ),
+        )
+
+    def _build_engines(self) -> dict[str, CombinationEngine]:
+        """Per-peer scoring engines (empty for serial scoring and for the
+        multiprocess coordinator, whose engines live worker-side)."""
+        if self.config.scoring != "engine":
+            return {}
+        return {
+            peer_id: CombinationEngine(peer.client.model, peer.client.test_set)
+            for peer_id, peer in self.peers.items()
+        }
 
     # ------------------------------------------------------------------
     # Deployment phase
@@ -465,21 +633,23 @@ class DecentralizedFL:
 
         round_start = self.sim.now
         submitted_at: dict[str, float] = {}
-        updates_by_peer: dict[str, ModelUpdate] = {}
 
         # Train locally (real computation now, simulated completion later).
+        # The simulated clock is frozen throughout `_train_cohort`, nonce
+        # reads are per-address, and off-chain puts are content-addressed
+        # — so the per-peer work is order-independent and the multiprocess
+        # coordinator fans it out to workers; submissions stay serialized
+        # on the event engine below either way.
         for peer_id in live:
-            peer = self.peers[peer_id]
-            tracker = self.trackers[peer_id]
-            tracker.open_round(round_id, round_start)
-            update, tx = peer.train_and_commit(round_id)
-            updates_by_peer[peer_id] = update
-            duration = peer.sample_training_time()
+            self.trackers[peer_id].open_round(round_id, round_start)
+        trained = self._train_cohort(live, round_id)
+        for peer_id in live:
+            tx, duration = trained[peer_id]
 
-            def submit(peer_id=peer_id, peer=peer, tx=tx, duration=duration) -> None:
+            def submit(peer_id=peer_id, tx=tx) -> None:
                 self.trackers[peer_id].mark_trained(round_id, self.sim.now)
                 try:
-                    peer.gateway.submit(tx)
+                    self._submit_trained(peer_id, tx)
                 except GatewayUnavailableError:
                     if injector is None:
                         raise
@@ -524,9 +694,8 @@ class DecentralizedFL:
         for peer_id in live:
             if peer_id in dropped:
                 continue
-            peer = self.peers[peer_id]
             try:
-                updates = peer.fetch_updates(round_id, self.id_of_address)
+                updates = self._fetch_view(peer_id, round_id)
             except GatewayUnavailableError:
                 if injector is None:
                     raise
@@ -550,14 +719,7 @@ class DecentralizedFL:
         if self.config.mode == "global_vote":
             logs = self._global_vote_round(round_id, updates_by_view)
         else:
-            logs = None
-            if self.engines and self.config.selection_workers > 0:
-                logs = self._aggregate_round_parallel(round_id, updates_by_view)
-            if logs is None:
-                logs = [
-                    self._aggregate_for(self.peers[peer_id], round_id, updates_by_view[peer_id])
-                    for peer_id in survivors
-                ]
+            logs = self._personalized_round(round_id, survivors, updates_by_view)
         for log in logs:
             log.submitted_at = submitted_at[log.peer_id]
             log.ready_at = ready_at[log.peer_id]
@@ -637,6 +799,42 @@ class DecentralizedFL:
             return True
         return self.config.selection == "auto" and n_updates > self.config.exhaustive_limit
 
+    # -- runtime seams -----------------------------------------------------
+    # Everything a round needs from a peer's *local* side (its datasets,
+    # model, rng) funnels through these four methods, so the multiprocess
+    # coordinator can ship exactly this work to the owning worker while the
+    # round barrier, event engine, and ledger stay right here.
+
+    def _train_cohort(self, live: list[str], round_id: int) -> dict[str, tuple]:
+        """Train every live peer; returns ``{peer_id: (commit_tx, duration)}``."""
+        return {peer_id: self._train_peer(peer_id, round_id) for peer_id in live}
+
+    def _train_peer(self, peer_id: str, round_id: int) -> tuple:
+        peer = self.peers[peer_id]
+        _update, tx = peer.train_and_commit(round_id)
+        return tx, peer.sample_training_time()
+
+    def _submit_trained(self, peer_id: str, tx) -> None:
+        """Broadcast a peer's commit transaction (event-engine context)."""
+        self.peers[peer_id].gateway.submit(tx)
+
+    def _fetch_view(self, peer_id: str, round_id: int) -> list[ModelUpdate]:
+        """One peer's decoded view of the round's on-chain submissions."""
+        return self.peers[peer_id].fetch_updates(round_id, self.id_of_address)
+
+    def _personalized_round(
+        self, round_id: int, survivors: list[str], updates_by_view: dict[str, list[ModelUpdate]]
+    ) -> list[PeerRoundLog]:
+        """Combination search + adoption for every survivor, in cohort order."""
+        if self.engines and self.config.selection_workers > 0:
+            logs = self._aggregate_round_parallel(round_id, updates_by_view)
+            if logs is not None:
+                return logs
+        return [
+            self._aggregate_for(self.peers[peer_id], round_id, updates_by_view[peer_id])
+            for peer_id in survivors
+        ]
+
     def _aggregate_for(self, peer: FullPeer, round_id: int, updates: list[ModelUpdate]) -> PeerRoundLog:
         """Search combinations on the peer's test set; adopt the best.
 
@@ -646,23 +844,9 @@ class DecentralizedFL:
         have 2^n rows).
         """
         engine = self.engines.get(peer.peer_id)
-        if self._use_greedy(len(updates)):
-            if engine is not None:
-                chosen = engine.greedy(updates)
-            else:
-                chosen = greedy_combination(
-                    updates, peer.client.model, peer.client.test_set, aggregator=fedavg
-                )
-            scored = [chosen]
-        elif engine is not None:
-            scored = engine.enumerate(updates)
-            top = pick_best(scored, peer.rng)
-            chosen = engine.materialize(top.members, updates, top.accuracy)
-        else:
-            scored = enumerate_combinations(
-                updates, peer.client.model, peer.client.test_set, aggregator=fedavg
-            )
-            chosen = pick_best(scored, peer.rng)
+        scored, chosen = choose_combination(
+            peer, engine, updates, self._use_greedy(len(updates))
+        )
         return self._adopt_choice(peer, round_id, updates, scored, chosen)
 
     def _adopt_choice(
@@ -673,19 +857,8 @@ class DecentralizedFL:
         scored: list,
         chosen,
     ) -> PeerRoundLog:
-        """Shared tail of every aggregation path: log the accuracy table
-        (``scored``: anything with ``label``/``accuracy``), record the
-        adopted combination, and install its weights — one copy, so the
-        serial and parallel paths cannot drift apart."""
-        log = PeerRoundLog(peer_id=peer.peer_id, round_id=round_id)
-        for result in scored:
-            log.combination_accuracy[result.label] = result.accuracy
-        log.chosen_combination = chosen.members
-        log.chosen_accuracy = chosen.accuracy
-        log.models_used = len(chosen.members)
-        log.updates_visible = len(updates)
-        peer.adopt(chosen.weights)
-        return log
+        """Shared tail of every aggregation path — see :func:`adopt_choice`."""
+        return adopt_choice(peer, round_id, updates, scored, chosen)
 
     def _aggregate_round_parallel(
         self, round_id: int, updates_by_view: dict[str, list[ModelUpdate]]
@@ -743,18 +916,7 @@ class DecentralizedFL:
         """
         voters = [peer_id for peer_id in self.peer_ids if peer_id in updates_by_view]
         for peer_id in voters:
-            peer = self.peers[peer_id]
-            aggregate = fedavg(updates_by_view[peer_id])
-            # Identical visible sets produce byte-identical aggregates, so
-            # the content-addressed put stores the blob once; each peer
-            # still pays one serialization to discover its aggregate's hash.
-            aggregate_hash = self.offchain.put_weights(aggregate)
-            vote_tx = peer.make_transaction(
-                to=peer.coordinator_address,
-                method="vote_global",
-                args={"round_id": round_id, "aggregate_hash": aggregate_hash},
-            )
-            peer.gateway.submit(vote_tx)
+            submit_global_vote(self.peers[peer_id], updates_by_view[peer_id], round_id, self.offchain)
 
         def finalized_everywhere() -> bool:
             return all(
@@ -767,29 +929,10 @@ class DecentralizedFL:
 
         self._wait_until(finalized_everywhere, f"round {round_id} finalization")
 
-        logs = []
-        for peer_id in voters:
-            peer = self.peers[peer_id]
-            final_hash = peer.gateway.call(
-                peer.coordinator_address, "finalized_hash", round_id=round_id
-            )
-            weights = self.offchain.get_weights(final_hash)
-            accuracy = peer.evaluate_weights(weights)
-            peer.adopt(weights)
-            members = tuple(
-                sorted(update.client_id for update in updates_by_view[peer_id])
-            )
-            log = PeerRoundLog(
-                peer_id=peer_id,
-                round_id=round_id,
-                combination_accuracy={",".join(members): accuracy},
-                chosen_combination=members,
-                chosen_accuracy=accuracy,
-                models_used=len(members),
-                updates_visible=len(updates_by_view[peer_id]),
-            )
-            logs.append(log)
-        return logs
+        return [
+            adopt_global_model(self.peers[peer_id], updates_by_view[peer_id], round_id, self.offchain)
+            for peer_id in voters
+        ]
 
     def _rate_round(self, round_id: int, updates_by_view: dict[str, list[ModelUpdate]]) -> None:
         """Reputation extension: rate peers by local fitness evaluation.
@@ -806,37 +949,15 @@ class DecentralizedFL:
         """
         raters = [peer_id for peer_id in self.peer_ids if peer_id in updates_by_view]
         for rater_id in raters:
-            rater = self.peers[rater_id]
-            engine = self.engines.get(rater_id)
-
-            def solo_fitness(update: ModelUpdate) -> float:
-                if engine is not None:
-                    return engine.solo_accuracy(update)
-                return rater.evaluate_weights(update.weights)
-
-            own = next(
-                (u for u in updates_by_view[rater_id] if u.client_id == rater_id), None
+            rate_visible_updates(
+                self.peers[rater_id],
+                self.engines.get(rater_id),
+                updates_by_view[rater_id],
+                round_id,
+                self.reputation_address,
+                lambda peer_id: self.peers[peer_id].address,
+                self.config.reputation_fitness_margin,
             )
-            if own is None:
-                continue
-            own_accuracy = solo_fitness(own)
-            for update in updates_by_view[rater_id]:
-                if update.client_id == rater_id:
-                    continue
-                subject = self.peers[update.client_id]
-                fit = solo_fitness(update)
-                delta = 5 if fit >= own_accuracy - self.config.reputation_fitness_margin else -10
-                rate_tx = rater.make_transaction(
-                    to=self.reputation_address,
-                    method="rate",
-                    args={
-                        "round_id": round_id,
-                        "subject": subject.address,
-                        "delta": delta,
-                        "reason": f"fitness {fit:.3f} vs own {own_accuracy:.3f}",
-                    },
-                )
-                rater.gateway.submit(rate_tx)
 
     def reputation_of(self, peer_id: str, viewer_id: Optional[str] = None) -> int:
         """Current on-chain reputation score of ``peer_id``."""
@@ -912,6 +1033,22 @@ class DecentralizedFL:
             for log in self.round_logs
             if log.peer_id == peer_id and combination in log.combination_accuracy
         ]
+
+    def export_model_bytes(self, peer_id: str) -> bytes:
+        """One peer's current model weights as canonical codec-v2 bytes.
+
+        This is the byte surface the runtime-equivalence tests compare: a
+        multiprocess run must produce exactly these bytes for every peer.
+        """
+        peer = self.peers[peer_id]
+        return weights_to_bytes(peer.client.model.get_weights())
+
+    def model_digests(self) -> dict[str, str]:
+        """SHA-256 of every peer's exported model bytes, in cohort order."""
+        return {
+            peer_id: sha256_bytes(self.export_model_bytes(peer_id)).hex()
+            for peer_id in self.peer_ids
+        }
 
     def wait_time_summary(self) -> dict[str, float]:
         """Mean wait time per peer (the speed metric)."""

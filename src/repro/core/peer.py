@@ -63,9 +63,9 @@ class FullPeer:
         keypair: KeyPair,
         gateway: ChainGateway,
         offchain: OffchainStore,
-        train_set: Dataset,
-        test_set: Dataset,
-        model_builder: Callable[[np.random.Generator], Sequential],
+        train_set: Optional[Dataset],
+        test_set: Optional[Dataset],
+        model_builder: Optional[Callable[[np.random.Generator], Sequential]],
         rng: np.random.Generator,
         attack_rng: Optional[np.random.Generator] = None,
     ) -> None:
@@ -75,21 +75,35 @@ class FullPeer:
         self.gateway = gateway
         self.offchain = offchain
         self.rng = rng
-        self.client = FLClient(
-            ClientConfig(
-                client_id=config.peer_id,
-                train_config=config.train_config,
-                model_kind=config.model_kind,
-                attacker=config.attacker,
-            ),
-            train_set,
-            test_set,
-            model_builder,
-            rng,
-            attack_rng=attack_rng,
-        )
+        # Chain-only mode (no datasets/model builder): the peer signs,
+        # submits, and reads the ledger but owns no local model.  The
+        # multiprocess coordinator (repro.runtime) holds the cohort this
+        # way — training, evaluation, and adoption live in the workers.
+        self.client: Optional[FLClient] = None
+        if train_set is not None and test_set is not None and model_builder is not None:
+            self.client = FLClient(
+                ClientConfig(
+                    client_id=config.peer_id,
+                    train_config=config.train_config,
+                    model_kind=config.model_kind,
+                    attacker=config.attacker,
+                ),
+                train_set,
+                test_set,
+                model_builder,
+                rng,
+                attack_rng=attack_rng,
+            )
         self.model_store_address: Optional[Address] = None
         self.coordinator_address: Optional[Address] = None
+
+    def _require_client(self) -> FLClient:
+        if self.client is None:
+            raise ConfigError(
+                f"{self.peer_id}: chain-only peer has no local model "
+                "(training and evaluation live in the worker processes)"
+            )
+        return self.client
 
     @property
     def address(self) -> Address:
@@ -135,7 +149,7 @@ class FullPeer:
         """
         if self.model_store_address is None:
             raise ConfigError(f"{self.peer_id}: model store address not set")
-        update = self.client.train_local(round_id)
+        update = self._require_client().train_local(round_id)
         archive = update.archive()
         commitment = self.offchain.put_archive(archive)
         tx = self.make_transaction(
@@ -191,11 +205,11 @@ class FullPeer:
 
     def evaluate_weights(self, weights: dict[str, np.ndarray]) -> float:
         """Fitness of ``weights`` on this peer's private test set."""
-        return self.client.evaluate_weights(weights)
+        return self._require_client().evaluate_weights(weights)
 
     def adopt(self, weights: dict[str, np.ndarray]) -> None:
         """Install the chosen aggregated model for the next round."""
-        self.client.apply_global(weights)
+        self._require_client().apply_global(weights)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"FullPeer(id={self.peer_id!r}, address={self.address[:10]}...)"

@@ -25,7 +25,8 @@ Rule catalog
 ``wall-clock`` (determinism)
     No host-clock reads (``time.time()``, ``time.perf_counter()``,
     ``datetime.now()``, …) outside the sanctioned instrumentation set
-    (``metrics/timing.py``, ``scenarios/sweep.py``, ``chain/gateway.py``).
+    (``metrics/timing.py``, ``scenarios/sweep.py``, ``chain/gateway.py``,
+    ``runtime/gateway.py``).
     Results are a pure function of the seed; the simulator owns time.
     Scope: ``src/``.
 
@@ -51,6 +52,12 @@ Rule catalog
     around gateway calls — gateway failures carry typed retry/degrade
     semantics (:mod:`repro.faults`, PR 7) and must be caught by name.
     Scope: ``src/repro/``.
+
+``wire-discipline`` (seam)
+    ``socket``/``selectors``/``struct``/``subprocess`` imports only under
+    ``repro/runtime/`` — the out-of-process runtime is the library's one
+    OS-transport surface — and ``pickle`` nowhere in ``src/`` (the wire
+    codec is canonical JSON + raw blobs).  Scope: ``src/``.
 
 Suppressing a finding
 ---------------------

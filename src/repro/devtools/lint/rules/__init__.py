@@ -17,6 +17,7 @@ from repro.devtools.lint.rules.retry import RetryDisciplineRule
 from repro.devtools.lint.rules.rng import GlobalRngRule
 from repro.devtools.lint.rules.seam import SeamRule
 from repro.devtools.lint.rules.wallclock import WallClockRule
+from repro.devtools.lint.rules.wire import WireDisciplineRule
 
 ALL_RULES: tuple[type[LintRule], ...] = (
     SeamRule,
@@ -26,6 +27,7 @@ ALL_RULES: tuple[type[LintRule], ...] = (
     ConfigMutationRule,
     SuspiciousComparisonRule,
     RetryDisciplineRule,
+    WireDisciplineRule,
 )
 
 
@@ -49,4 +51,5 @@ __all__ = [
     "ConfigMutationRule",
     "SuspiciousComparisonRule",
     "RetryDisciplineRule",
+    "WireDisciplineRule",
 ]

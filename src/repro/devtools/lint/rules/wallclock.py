@@ -8,9 +8,10 @@ intervals) and breaks bit-identical regeneration.
 
 An explicit allowlist keeps the sanctioned *instrumentation* reads:
 ``scenarios/sweep.py`` (sweep wall-time reporting), ``chain/gateway.py``
-(GatewayStats latency, excluded from result payloads), and
-``metrics/timing.py`` (duration summaries).  Benchmarks and tests are out
-of scope — timing things is their job.
+and ``runtime/gateway.py`` (GatewayStats latency — including per-RPC wire
+timing — excluded from result payloads), and ``metrics/timing.py``
+(duration summaries).  Benchmarks and tests are out of scope — timing
+things is their job.
 """
 
 from __future__ import annotations
@@ -25,6 +26,7 @@ ALLOWED_PATHS = {
     "src/repro/metrics/timing.py",
     "src/repro/scenarios/sweep.py",
     "src/repro/chain/gateway.py",
+    "src/repro/runtime/gateway.py",
 }
 
 # Clock reads on the stdlib time module.

@@ -206,3 +206,21 @@ class GatewayUnavailableError(GatewayError):
     round driver catches exactly this type to drop a peer from the
     current round instead of aborting the run.
     """
+
+
+class WireProtocolError(GatewayError):
+    """A wire frame violated the runtime's framing or codec contract.
+
+    Raised by :mod:`repro.runtime.wire` for malformed frames (bad magic,
+    truncated payload, undeclared blob, unknown message type) — a
+    programming or version-skew error, never something a retry fixes.
+    """
+
+
+class WorkerCrashedError(GatewayUnavailableError):
+    """A worker OS process died or its wire channel closed unexpectedly.
+
+    Subclass of :class:`GatewayUnavailableError` so the PR-7 resilience
+    path (drop the peer from the round, keep the quorum going) absorbs a
+    crashed worker exactly like a circuit-broken gateway.
+    """

@@ -56,6 +56,7 @@ from repro.scenarios import (
     run_scenario,
 )
 from repro.scenarios.registry import PAPER_MODELS, TRADEOFF_HEADER, tradeoff_row
+from repro.scenarios.spec import RUNTIME_KINDS
 
 _PEER_OF_TABLE = {"table2": "A", "table3": "B", "table4": "C"}
 _LEGACY_ARTIFACTS = ("table1", "table2", "table3", "table4", "fig3", "fig4", "tradeoff")
@@ -163,6 +164,8 @@ def _run_named_scenario(
     model: str | None,
     workers: int = 0,
     gateway: str | None = None,
+    runtime: str | None = None,
+    runtime_workers: int = 0,
 ) -> int:
     models = None
     if model is not None:
@@ -187,6 +190,18 @@ def _run_named_scenario(
                 else spec
                 for spec in specs
             )
+        if runtime or runtime_workers:
+            # Process-topology knob: the multiprocess runtime is
+            # byte-identical to in-process at the same seed.
+            overrides = {}
+            if runtime:
+                overrides["runtime"] = runtime
+            if runtime_workers:
+                overrides["runtime_workers"] = runtime_workers
+            specs = tuple(
+                replace(spec, **overrides) if spec.kind == "decentralized" else spec
+                for spec in specs
+            )
     except ConfigError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -206,6 +221,8 @@ def _run_sweep(
     quick: bool,
     workers: int = 0,
     gateway: str | None = None,
+    runtime: str | None = None,
+    runtime_workers: int = 0,
 ) -> int:
     del axis  # only "cohort" exists today; argparse restricts the choice
     try:
@@ -217,6 +234,8 @@ def _run_sweep(
             policy=policy,
             selection_workers=workers or None,
             gateway=gateway,
+            runtime=runtime,
+            runtime_workers=runtime_workers or None,
         )
     except ConfigError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -278,6 +297,18 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="ledger gateway backend (batching coalesces reads; results identical)",
     )
+    run_parser.add_argument(
+        "--runtime",
+        choices=list(RUNTIME_KINDS),
+        default=None,
+        help="cohort process topology (multiprocess is byte-identical to inprocess)",
+    )
+    run_parser.add_argument(
+        "--runtime-workers",
+        type=int,
+        default=0,
+        help="worker processes for --runtime multiprocess (default 2)",
+    )
 
     sweep_parser = subparsers.add_parser(
         "sweep", help="sweep a scenario axis through the shared-dataset driver"
@@ -303,6 +334,18 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="ledger gateway backend (batching coalesces reads; results identical)",
     )
+    sweep_parser.add_argument(
+        "--runtime",
+        choices=list(RUNTIME_KINDS),
+        default=None,
+        help="cohort process topology (multiprocess is byte-identical to inprocess)",
+    )
+    sweep_parser.add_argument(
+        "--runtime-workers",
+        type=int,
+        default=0,
+        help="worker processes for --runtime multiprocess (default 2)",
+    )
 
     subparsers.add_parser("list", help="list registered scenarios")
 
@@ -327,11 +370,26 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "run":
         return _run_named_scenario(
-            args.scenario, seed, args.quick, model, args.workers, args.gateway
+            args.scenario,
+            seed,
+            args.quick,
+            model,
+            args.workers,
+            args.gateway,
+            args.runtime,
+            args.runtime_workers,
         )
     if args.command == "sweep":
         return _run_sweep(
-            args.axis, args.sizes, args.wait_for, seed, args.quick, args.workers, args.gateway
+            args.axis,
+            args.sizes,
+            args.wait_for,
+            seed,
+            args.quick,
+            args.workers,
+            args.gateway,
+            args.runtime,
+            args.runtime_workers,
         )
     if args.command == "list":
         return _run_list()

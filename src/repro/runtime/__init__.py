@@ -1,0 +1,56 @@
+"""Out-of-process cohort runtime: the ledger served over a local wire.
+
+The package splits the decentralized deployment across OS processes
+without changing a single result byte:
+
+* :mod:`~repro.runtime.wire` — length-prefixed JSON+blob frames, the
+  typed-error codec, and :class:`WireCondition` (declarative ``wait_for``
+  predicates that rebuild server-side);
+* :mod:`~repro.runtime.gateway` — :class:`RemoteGateway` /
+  :class:`RemoteOffchain`, the worker-side
+  :class:`~repro.chain.gateway.ChainGateway` implementation (stackable
+  under the batching/resilience decorators like any other backend);
+* :mod:`~repro.runtime.server` — :class:`GatewayServer`, the
+  coordinator-side dispatcher answering one RPC frame at a time;
+* :mod:`~repro.runtime.broker` / :mod:`~repro.runtime.worker` /
+  :mod:`~repro.runtime.coordinator` — the process trio.  These are
+  imported by dotted path (``repro.runtime.coordinator``), not re-
+  exported here: the coordinator pulls in the scenario layer, which
+  lazily imports back into this package, and keeping the package root
+  light breaks that cycle.
+
+Select the runtime per scenario via ``ScenarioSpec.runtime``
+(``"inprocess"`` | ``"multiprocess"``) and ``runtime_workers``.
+"""
+
+from repro.runtime.gateway import RemoteGateway, RemoteOffchain
+from repro.runtime.server import GatewayServer
+from repro.runtime.speccodec import decode_spec, encode_spec
+from repro.runtime.wire import (
+    WIRE_ERROR_TYPES,
+    WireChannel,
+    WireClosedError,
+    WireCondition,
+    connect,
+    decode_error,
+    decode_frame,
+    encode_error,
+    encode_frame,
+)
+
+__all__ = [
+    "WIRE_ERROR_TYPES",
+    "GatewayServer",
+    "RemoteGateway",
+    "RemoteOffchain",
+    "WireChannel",
+    "WireClosedError",
+    "WireCondition",
+    "connect",
+    "decode_error",
+    "decode_frame",
+    "decode_spec",
+    "encode_error",
+    "encode_frame",
+    "encode_spec",
+]

@@ -103,6 +103,9 @@ class ScenarioResult:
     completed_rounds: int = 0
     #: Why a faults-active run stopped early, or "" (clean / fault-free).
     abort_reason: str = ""
+    #: SHA-256 of every peer's final model bytes (decentralized only) —
+    #: the byte surface the runtime-equivalence tests compare.
+    model_digests: dict[str, str] = field(default_factory=dict)
 
     def final_accuracy(self, client_id: str) -> float:
         """Accuracy after the last round for one client."""
@@ -300,15 +303,51 @@ def _run_vanilla(
     )
 
 
-def _run_decentralized(
-    spec: ScenarioSpec, rngs: RngFactory, ctx: ScenarioContext
-) -> ScenarioResult:
-    train_sets, test_sets, _ = _cohort_datasets(spec, rngs, ctx)
-    builder = _builder(spec, ctx)
+@dataclass
+class DecentralizedInputs:
+    """Everything a decentralized driver needs, derived from one spec.
+
+    The in-process runner materializes all of it; the multiprocess
+    coordinator asks for ``materialize=False`` (no datasets, no model
+    builder — those live in the worker processes), and each worker calls
+    :func:`decentralized_inputs` again with the same spec to rebuild the
+    identical datasets, initial weights, and rng draws on its side.
+    """
+
+    config: DecentralizedConfig
+    peer_configs: list[PeerConfig]
+    train_sets: dict[str, Dataset]
+    test_sets: dict[str, Dataset]
+    model_builder: Optional[object]
+    adversary_ids: tuple[str, ...]
+    training_times: dict[str, float]
+
+
+def decentralized_inputs(
+    spec: ScenarioSpec,
+    rngs: RngFactory,
+    ctx: ScenarioContext,
+    materialize: bool = True,
+) -> DecentralizedInputs:
+    """Derive the decentralized driver's construction inputs from ``spec``.
+
+    Every random stream here is named — derived from ``(seed, label
+    path)``, never from draw order — so skipping materialization cannot
+    perturb any other stream: two processes deriving from the same spec
+    agree on every value whether or not they built the datasets.
+    """
     client_ids = spec.client_ids()
     attacker = spec.adversary.build_attacker()
     adversary_ids = spec.adversary.adversary_ids(client_ids)
+    train_sets: dict[str, Dataset] = {}
+    test_sets: dict[str, Dataset] = {}
+    model_builder = None
+    if materialize:
+        train_sets, test_sets, _ = _cohort_datasets(spec, rngs, ctx)
+        builder = _builder(spec, ctx)
     init_rng_seed = rngs.integers("model-init")
+    if materialize:
+        model_builder = lambda rng: builder(np.random.default_rng(init_rng_seed))
     training_times = spec.heterogeneity.training_times(client_ids, rngs.get("hetero"))
 
     dec_config = DecentralizedConfig(
@@ -342,14 +381,47 @@ def _run_decentralized(
         )
         for client_id in client_ids
     ]
-    driver = DecentralizedFL(
-        peer_configs,
-        train_sets,
-        test_sets,
-        model_builder=lambda rng: builder(np.random.default_rng(init_rng_seed)),
+    return DecentralizedInputs(
         config=dec_config,
-        rng_factory=rngs.spawn("chain"),
+        peer_configs=peer_configs,
+        train_sets=train_sets,
+        test_sets=test_sets,
+        model_builder=model_builder,
+        adversary_ids=adversary_ids,
+        training_times=training_times,
     )
+
+
+def _run_decentralized(
+    spec: ScenarioSpec, rngs: RngFactory, ctx: ScenarioContext
+) -> ScenarioResult:
+    if spec.runtime == "multiprocess":
+        # Imported lazily: repro.runtime's worker side imports this module
+        # back to rebuild its inputs, so the dependency stays one-way at
+        # import time.
+        from repro.runtime.coordinator import MultiprocessDecentralizedFL
+
+        inputs = decentralized_inputs(spec, rngs, ctx, materialize=False)
+        driver: DecentralizedFL = MultiprocessDecentralizedFL(
+            spec,
+            inputs.peer_configs,
+            config=inputs.config,
+            rng_factory=rngs.spawn("chain"),
+            workers=spec.runtime_workers,
+        )
+    else:
+        inputs = decentralized_inputs(spec, rngs, ctx)
+        driver = DecentralizedFL(
+            inputs.peer_configs,
+            inputs.train_sets,
+            inputs.test_sets,
+            model_builder=inputs.model_builder,
+            config=inputs.config,
+            rng_factory=rngs.spawn("chain"),
+        )
+    client_ids = spec.client_ids()
+    adversary_ids = inputs.adversary_ids
+    training_times = inputs.training_times
     logs = driver.run()
 
     combination_accuracy: dict[str, dict[str, list[float]]] = {}
@@ -376,6 +448,7 @@ def _run_decentralized(
         reputation=reputation,
         completed_rounds=driver.completed_rounds,
         abort_reason=driver.abort_reason,
+        model_digests=driver.model_digests(),
     )
 
 

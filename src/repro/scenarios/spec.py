@@ -40,6 +40,13 @@ from repro.fl.poisoning import Attacker, LabelFlipAttacker, NoiseAttacker, Scale
 #: The paper's three clients; cohorts of three reproduce the tables exactly.
 PAPER_CLIENT_IDS = ("A", "B", "C")
 
+#: Execution runtimes for the decentralized deployment.  ``"inprocess"``
+#: runs the whole cohort in the calling process; ``"multiprocess"`` fans
+#: the peers out to worker OS processes that reach the ledger only over a
+#: wire-served gateway (:mod:`repro.runtime`).  The runtime never changes
+#: a result — equivalence tests pin the two byte-identical at every seed.
+RUNTIME_KINDS = ("inprocess", "multiprocess")
+
 _ALPHABET = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
 
 
@@ -306,6 +313,16 @@ class ScenarioSpec:
     ``kind`` selects the deployment: ``"vanilla"`` (centralized aggregator,
     Table I) or ``"decentralized"`` (blockchain peers, Tables II-IV).
     ``learning_rate=None`` resolves to the calibrated per-model rate.
+
+    ``runtime`` selects how a decentralized cohort executes:
+    ``"inprocess"`` (default) runs everything in the calling process;
+    ``"multiprocess"`` spawns ``runtime_workers`` worker processes that
+    hold the peers' datasets, models, and rng streams and reach the
+    ledger only through the wire-served gateway (:mod:`repro.runtime`).
+    Results are byte-identical across runtimes and worker counts.  The
+    ``"vanilla"`` kind has no chain and ignores the knob.  Fault
+    injection and ``selection_workers`` are in-process features and are
+    rejected in combination with the multiprocess runtime.
     """
 
     name: str = ""
@@ -333,6 +350,8 @@ class ScenarioSpec:
     aggregator_test_samples: int = 500
     backbone_sigma: float = 0.55
     backbone_mismatch: float = 0.075
+    runtime: str = "inprocess"             # "inprocess" | "multiprocess"
+    runtime_workers: int = 2               # worker processes (multiprocess)
 
     def __post_init__(self) -> None:
         if self.kind not in ("vanilla", "decentralized"):
@@ -359,6 +378,26 @@ class ScenarioSpec:
             )
         if self.aggregator_test_samples < 1:
             raise ConfigError("aggregator_test_samples must be >= 1")
+        if self.runtime not in RUNTIME_KINDS:
+            raise ConfigError(
+                f"unknown runtime {self.runtime!r}; choose from {RUNTIME_KINDS}"
+            )
+        if self.runtime_workers < 1:
+            raise ConfigError(
+                f"runtime_workers must be >= 1, got {self.runtime_workers}"
+            )
+        if self.runtime == "multiprocess":
+            if self.faults.active:
+                raise ConfigError(
+                    "fault injection is an in-process feature; "
+                    "the multiprocess runtime does not support it"
+                )
+            if self.selection_workers > 0:
+                raise ConfigError(
+                    "selection_workers forks from the driver process; "
+                    "the multiprocess runtime already owns the process "
+                    "fan-out, so combine one or the other"
+                )
         if self.kind == "vanilla" and self.faults.active:
             raise ConfigError(
                 "fault injection targets the FL <-> chain seam; "

@@ -104,6 +104,8 @@ def cohort_sweep(
     context: Optional[ScenarioContext] = None,
     selection_workers: Optional[int] = None,
     gateway: Optional[str] = None,
+    runtime: Optional[str] = None,
+    runtime_workers: Optional[int] = None,
 ) -> list[dict]:
     """The ROADMAP measurement: speed/precision rows per cohort size.
 
@@ -111,9 +113,10 @@ def cohort_sweep(
     (simulated seconds), cohort-mean final accuracy, mean adopted-
     combination size, and wall-clock cost.  All sizes share one
     :class:`ScenarioContext`.  ``selection_workers`` overrides the
-    template's combination-search parallelism and ``gateway`` its ledger
-    backend (both pure wall-clock/transport knobs: rows are identical at
-    any worker count or backend).
+    template's combination-search parallelism, ``gateway`` its ledger
+    backend, and ``runtime``/``runtime_workers`` the process topology
+    (all pure wall-clock/transport knobs: rows are identical at any
+    worker count, backend, or runtime).
     """
     if not sizes:
         raise ConfigError("cohort_sweep needs at least one size")
@@ -124,6 +127,10 @@ def cohort_sweep(
         template = replace(template, selection_workers=selection_workers)
     if gateway is not None:
         template = replace_axis(template, "chain.gateway", gateway)
+    if runtime is not None:
+        template = replace(template, runtime=runtime)
+    if runtime_workers is not None:
+        template = replace(template, runtime_workers=runtime_workers)
     if quick:
         template = template.quick()
     points = grid(template, {"cohort.size": list(sizes)})

@@ -3,8 +3,8 @@
 Runs the smoke-scale cores of ``bench_chain_throughput``,
 ``bench_commitment_pipeline``, ``bench_block_execution``,
 ``bench_cohort_scaling``, ``bench_selection_engine``,
-``bench_chain_gateway``, and ``bench_fault_resilience`` in-process (the
-same code paths
+``bench_chain_gateway``, ``bench_fault_resilience``, and
+``bench_multiprocess_runtime`` in-process (the same code paths
 ``pytest benchmarks/... --smoke`` exercises), so the tier-1 suite catches
 benchmark bit-rot and enforces the pipelines' headline numbers in seconds.
 """
@@ -22,6 +22,7 @@ import bench_chain_throughput
 import bench_cohort_scaling
 import bench_commitment_pipeline
 import bench_fault_resilience
+import bench_multiprocess_runtime
 import bench_selection_engine
 
 
@@ -160,6 +161,50 @@ class TestChainGatewaySmoke:
             result["raw"]["requested"]["requested_reads"]
             == result["batched"]["requested"]["requested_reads"]
         )
+
+
+class TestMultiprocessRuntimeSmoke:
+    """Smoke-tier out-of-process runtime: equivalence and wire telemetry.
+
+    Byte-identity between the in-process and multiprocess arms is
+    asserted inside ``compare_runtimes``; wall-clock gets no floor here
+    (the smoke profile can't amortize worker start-up and timing floors
+    flake tier-1) — the full bench enforces the 2x speedup on >= 4
+    cores.
+    """
+
+    @classmethod
+    def _comparison(cls):
+        params = bench_multiprocess_runtime.runtime_params(smoke=True)
+        return bench_multiprocess_runtime.compare_runtimes(
+            params["sizes"][0],
+            params["workers"],
+            params["rounds"],
+            params["train"],
+            params["test"],
+        )
+
+    def test_multiprocess_arm_is_byte_identical(self):
+        result = self._comparison()
+        arms = [row["arm"] for row in result["rows"]]
+        assert arms[0] == "inprocess" and len(arms) >= 2
+
+    def test_wire_telemetry_is_populated(self):
+        result = self._comparison()
+        for row in result["rows"]:
+            if row["workers"]:
+                assert row["rpc_trips"] > 0 and row["wire_mb"] > 0
+            else:
+                assert row["rpc_trips"] == 0
+
+    def test_remote_transport_arms_stay_neutral(self):
+        # The gateway bench's wire arms: byte-identity is asserted
+        # inside compare_transports; batching must never add trips.
+        result = bench_chain_gateway.compare_transports(
+            **bench_chain_gateway.gateway_params(smoke=True)
+        )
+        assert result["remote_trips"] > 0
+        assert result["batched_trips"] <= result["remote_trips"]
 
 
 class TestFaultResilienceSmoke:

@@ -44,6 +44,7 @@ from repro.devtools.lint.rules import (
     SeamRule,
     SuspiciousComparisonRule,
     WallClockRule,
+    WireDisciplineRule,
     rules_by_id,
 )
 
@@ -646,6 +647,98 @@ class TestRetryDisciplineRule:
                     peer.gateway.submit(tx)
                 except:
                     return None
+            """
+        assert lint(source, path="tests/test_x.py") == []
+        assert lint(source, path="benchmarks/bench_x.py") == []
+
+
+class TestWireDisciplineRule:
+    def test_socket_import_outside_runtime_flagged(self):
+        findings = lint(
+            """
+            import socket
+
+            def dial(host, port):
+                return socket.create_connection((host, port))
+            """
+        )
+        assert rule_ids(findings) == ["wire-discipline"]
+
+    def test_subprocess_from_import_outside_runtime_flagged(self):
+        findings = lint(
+            """
+            from subprocess import Popen
+
+            def spawn(cmd):
+                return Popen(cmd)
+            """,
+            path=CHAIN_PATH,
+        )
+        assert rule_ids(findings) == ["wire-discipline"]
+
+    def test_function_local_selectors_import_flagged(self):
+        # A lazy import inside a helper is the same seam breach.
+        findings = lint(
+            """
+            def poll(sock):
+                import selectors
+                sel = selectors.DefaultSelector()
+                return sel
+            """
+        )
+        assert rule_ids(findings) == ["wire-discipline"]
+
+    def test_transport_imports_allowed_in_runtime(self):
+        findings = lint(
+            """
+            import selectors
+            import socket
+            import struct
+            import subprocess
+            """,
+            path="src/repro/runtime/broker.py",
+        )
+        assert findings == []
+
+    def test_pickle_flagged_even_in_runtime(self):
+        findings = lint(
+            """
+            import pickle
+
+            def encode(obj):
+                return pickle.dumps(obj)
+            """,
+            path="src/repro/runtime/wire.py",
+        )
+        assert rule_ids(findings) == ["wire-discipline"]
+
+    def test_pickle_from_import_flagged(self):
+        findings = lint(
+            """
+            from pickle import dumps
+            """
+        )
+        assert rule_ids(findings) == ["wire-discipline"]
+
+    def test_near_miss_names_are_fine(self):
+        # Modules that merely *contain* the banned names: a local module
+        # called `socketutil`, an attribute named `struct`, and the
+        # stdlib `dataclasses` (which is not `pickle` however you squint).
+        findings = lint(
+            """
+            import dataclasses
+            from repro.runtime import wire
+
+            def pack(frame):
+                return wire.encode_frame(frame.struct, ())
+            """
+        )
+        assert findings == []
+
+    def test_tests_and_benchmarks_out_of_scope(self):
+        source = """
+            import socket
+            import pickle
             """
         assert lint(source, path="tests/test_x.py") == []
         assert lint(source, path="benchmarks/bench_x.py") == []

@@ -1,0 +1,228 @@
+"""The multiprocess runtime is byte-identical to the in-process driver.
+
+The acceptance surface of the out-of-process runtime: at the same seed, a
+run with ``runtime="multiprocess"`` must reproduce the in-process run's
+final model weights (SHA-256 of the canonical codec-v2 export), per-round
+accuracy tables and chosen combinations, reputation scores, and chain
+shape (heights, off-chain blob counts/bytes) — for every operating mode.
+Worker count must be invisible (workers=1 vs workers=3 identical), worker
+crashes must surface as typed :class:`~repro.errors.WorkerCrashedError`
+(a :class:`~repro.errors.GatewayUnavailableError`, so the resilience
+layer's vocabulary covers it), and the spec gates must reject the
+configurations the runtime does not support.
+
+Each scenario runs once per (spec, runtime, workers) triple and is
+memoized module-wide — the suite spawns real worker OS processes, so
+repeated runs would dominate tier-1 wall clock.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigError, GatewayUnavailableError, WorkerCrashedError
+from repro.scenarios.runner import ScenarioContext, decentralized_inputs, run_scenario
+from repro.scenarios.spec import RUNTIME_KINDS, FaultSpec, ScenarioSpec
+from repro.utils.rng import RngFactory
+
+_CACHE: dict = {}
+
+
+def base_spec(**overrides) -> ScenarioSpec:
+    spec = ScenarioSpec(name="mp-equiv", kind="decentralized", seed=23).quick()
+    return dataclasses.replace(spec, **overrides) if overrides else spec
+
+
+def run_cached(spec: ScenarioSpec):
+    key = (spec.fingerprint() if hasattr(spec, "fingerprint") else repr(spec))
+    if key not in _CACHE:
+        _CACHE[key] = run_scenario(spec)
+    return _CACHE[key]
+
+
+def comparable(result) -> dict:
+    """Everything a runtime may not change, in one comparable payload."""
+    return {
+        "digests": result.model_digests,
+        "logs": [
+            (
+                log.peer_id,
+                log.round_id,
+                tuple(log.combination_accuracy.items()),
+                log.chosen_combination,
+                log.chosen_accuracy,
+                log.models_used,
+                log.updates_visible,
+                log.submitted_at,
+                log.ready_at,
+                log.aggregated_at,
+            )
+            for log in result.round_logs
+        ],
+        "heights": result.chain_stats["heights"],
+        "offchain_blobs": result.chain_stats["offchain_blobs"],
+        "offchain_bytes": result.chain_stats["offchain_bytes"],
+        "reputation": getattr(result, "reputation", None),
+    }
+
+
+def pair(spec: ScenarioSpec, workers: int = 2):
+    inproc = run_cached(spec)
+    multi = run_cached(
+        dataclasses.replace(spec, runtime="multiprocess", runtime_workers=workers)
+    )
+    return inproc, multi
+
+
+class TestByteIdenticalEquivalence:
+    def test_personalized_mode(self):
+        inproc, multi = pair(base_spec())
+        assert comparable(inproc) == comparable(multi)
+        assert inproc.model_digests  # non-vacuous: every peer has a digest
+
+    def test_reputation_mode(self):
+        inproc, multi = pair(base_spec(enable_reputation=True))
+        assert comparable(inproc) == comparable(multi)
+        assert inproc.reputation is not None
+
+    def test_global_vote_mode(self):
+        inproc, multi = pair(base_spec(mode="global_vote"))
+        assert comparable(inproc) == comparable(multi)
+        # Global vote converges on one common model.
+        assert len(set(multi.model_digests.values())) == 1
+
+    def test_paper_scenario_with_adversary(self):
+        # The registry's paper-faithful decentralized spec, including a
+        # label-flipping adversary — the worker must re-derive the
+        # attack rng stream exactly as the in-process driver does.
+        from repro.scenarios.registry import get_scenario
+
+        (spec,) = get_scenario("adversarial/label_flip").build(seed=23, quick=True)
+        inproc, multi = pair(spec)
+        assert comparable(inproc) == comparable(multi)
+        assert inproc.adversaries  # non-vacuous: the adversary is present
+
+    def test_five_peer_cohort(self):
+        spec = base_spec()
+        spec = dataclasses.replace(
+            spec, cohort=dataclasses.replace(spec.cohort, size=5, client_ids=None)
+        )
+        inproc, multi = pair(spec, workers=2)
+        assert comparable(inproc) == comparable(multi)
+        assert len(multi.model_digests) == 5
+
+
+class TestWorkerInterleavingInvariance:
+    def test_one_vs_three_workers_identical(self):
+        # Different worker counts mean different task interleavings and
+        # different per-process rng object lifetimes; the named-stream
+        # scheme must make that invisible.
+        base = base_spec()
+        one = run_cached(
+            dataclasses.replace(base, runtime="multiprocess", runtime_workers=1)
+        )
+        three = run_cached(
+            dataclasses.replace(base, runtime="multiprocess", runtime_workers=3)
+        )
+        assert comparable(one) == comparable(three)
+
+
+class TestRuntimeStatsSurface:
+    def test_multiprocess_surfaces_wire_telemetry(self):
+        _, multi = pair(base_spec())
+        gateway = multi.chain_stats["gateway"]
+        assert gateway["runtime"] == "multiprocess"
+        wire = gateway["wire"]
+        assert wire["workers"] == 2
+        assert wire["bytes_sent"] > 0 and wire["bytes_received"] > 0
+        assert wire["rpc_round_trips"] > 0
+        assert gateway["transport"]["rpc_round_trips"] == wire["rpc_round_trips"]
+        assert gateway["transport"]["wire_bytes_sent"] > 0
+        assert len(gateway["worker_stats"]) == 2
+
+    def test_inprocess_wire_counters_stay_zero(self):
+        inproc, _ = pair(base_spec())
+        gateway = inproc.chain_stats["gateway"]
+        assert "runtime" not in gateway
+        for side in ("requested", "transport"):
+            assert gateway[side]["wire_bytes_sent"] == 0
+            assert gateway[side]["wire_bytes_received"] == 0
+            assert gateway[side]["rpc_round_trips"] == 0
+
+
+class TestWorkerCrash:
+    def test_crash_surfaces_typed_error_and_cleans_up(self):
+        from repro.runtime.coordinator import MultiprocessDecentralizedFL
+
+        spec = dataclasses.replace(
+            base_spec(), runtime="multiprocess", runtime_workers=2
+        )
+        rngs = RngFactory(spec.seed)
+        inputs = decentralized_inputs(spec, rngs, ScenarioContext(), materialize=False)
+        driver = MultiprocessDecentralizedFL(
+            spec,
+            inputs.peer_configs,
+            config=inputs.config,
+            rng_factory=rngs.spawn("chain"),
+            workers=2,
+        )
+        try:
+            with pytest.raises(WorkerCrashedError) as excinfo:
+                driver.crash_worker(0)
+            # The typed error enters the PR-7 resilience vocabulary.
+            assert isinstance(excinfo.value, GatewayUnavailableError)
+            assert "worker 0" in str(excinfo.value)
+        finally:
+            driver.broker.terminate()
+        for handle in driver.broker.handles:
+            assert handle.process.poll() is not None  # no zombies
+
+    def test_clean_run_reaps_every_worker(self):
+        from repro.runtime.coordinator import MultiprocessDecentralizedFL
+
+        spec = dataclasses.replace(
+            base_spec(), runtime="multiprocess", runtime_workers=2
+        )
+        rngs = RngFactory(spec.seed)
+        inputs = decentralized_inputs(spec, rngs, ScenarioContext(), materialize=False)
+        driver = MultiprocessDecentralizedFL(
+            spec,
+            inputs.peer_configs,
+            config=inputs.config,
+            rng_factory=rngs.spawn("chain"),
+            workers=2,
+        )
+        logs = driver.run()
+        assert logs
+        assert driver.handles == []  # shutdown handshake completed
+        for handle in driver.broker.handles:
+            assert handle.process.poll() == 0  # exited cleanly, reaped
+        # Exports were collected before shutdown.
+        assert sorted(driver.model_digests()) == sorted(spec.client_ids())
+
+
+class TestSpecGates:
+    def test_runtime_kinds_constant(self):
+        assert RUNTIME_KINDS == ("inprocess", "multiprocess")
+
+    def test_unknown_runtime_rejected(self):
+        with pytest.raises(ConfigError):
+            base_spec(runtime="distributed")
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ConfigError):
+            base_spec(runtime="multiprocess", runtime_workers=0)
+
+    def test_faults_incompatible_with_multiprocess(self):
+        with pytest.raises(ConfigError):
+            base_spec(runtime="multiprocess", faults=FaultSpec(transient_rate=0.1))
+
+    def test_selection_workers_incompatible_with_multiprocess(self):
+        with pytest.raises(ConfigError):
+            base_spec(runtime="multiprocess", selection_workers=2)
+
+    def test_vanilla_ignores_runtime_knob(self):
+        spec = ScenarioSpec(name="v", kind="vanilla", seed=1, runtime="multiprocess")
+        assert spec.runtime == "multiprocess"  # validated, tolerated, unused

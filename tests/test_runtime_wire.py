@@ -1,0 +1,552 @@
+"""Wire codec, typed errors, spec codec, and the served gateway.
+
+Structure:
+
+* frame codec round trips + every truncation/corruption path;
+* golden-file fixtures (``tests/fixtures/wire_frames.json``) pinning the
+  byte-exact wire format of a ``CallRequest`` rpc, a ``wait_for`` rpc,
+  off-chain blob frames, and **every** registered error subtype — adding
+  a :class:`~repro.errors.GatewayError` subclass to the registry without
+  regenerating the fixtures fails loudly;
+* the typed-error registry: type and message preserved across
+  encode/decode for all 14 classes, graceful degradation for unknowns;
+* :class:`~repro.runtime.wire.WireCondition` semantics;
+* :mod:`repro.runtime.speccodec` round trips on real scenario specs;
+* :class:`~repro.runtime.server.GatewayServer` +
+  :class:`~repro.runtime.gateway.RemoteGateway` over a real socketpair —
+  reads, submits, typed error parity, ``wait_for`` timeout crossing the
+  boundary as the same class with the same message, and the
+  :class:`~repro.runtime.gateway.RemoteOffchain` mirror.
+
+Regenerate fixtures (deliberate format changes only)::
+
+    PYTHONPATH=src python tests/test_runtime_wire.py --regenerate
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import socket
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.chain import GenesisSpec, Node, NodeConfig
+from repro.chain.crypto import KeyPair
+from repro.chain.gateway import CallRequest, InProcessGateway
+from repro.chain.runtime import ContractRuntime
+from repro.chain.transaction import Transaction
+from repro.contracts import register_all
+from repro.core.offchain import OffchainStore
+from repro.errors import (
+    GatewayError,
+    GatewayTimeoutError,
+    RoundError,
+    SerializationError,
+    UnknownContractError,
+    WireProtocolError,
+)
+from repro.nn.serialize import weights_to_bytes
+from repro.runtime.gateway import RemoteGateway, RemoteOffchain
+from repro.runtime.server import GatewayServer
+from repro.runtime.speccodec import decode_spec, encode_spec
+from repro.runtime.wire import (
+    WIRE_ERROR_TYPES,
+    WireChannel,
+    WireClosedError,
+    WireCondition,
+    decode_error,
+    decode_frame,
+    encode_error,
+    encode_frame,
+)
+from repro.scenarios.spec import ScenarioSpec
+from repro.utils.events import Simulator
+
+FIXTURE_PATH = Path(__file__).parent / "fixtures" / "wire_frames.json"
+
+
+def golden_frames() -> dict:
+    return json.loads(FIXTURE_PATH.read_text())["frames"]
+
+
+def build_golden_frames() -> dict:
+    """The checked-in frame set; the single source for --regenerate."""
+    frames = {}
+
+    def add(name, header, blobs=()):
+        frames[name] = {
+            "header": header,
+            "blobs": [b.hex() for b in blobs],
+            "hex": encode_frame(header, tuple(blobs)).hex(),
+        }
+
+    add(
+        "rpc_call",
+        {
+            "kind": "rpc",
+            "method": "call",
+            "peer": "A",
+            "params": {
+                "contract": "0xmodelstore",
+                "method": "round_submissions",
+                "args": {"round_id": 3},
+            },
+        },
+    )
+    add(
+        "rpc_batch_call",
+        {
+            "kind": "rpc",
+            "method": "batch_call",
+            "peer": "B",
+            "params": {
+                "requests": [
+                    {"contract": "0xreputation", "method": "score_of", "args": {"address": "0xaa"}},
+                    {"contract": "0xreputation", "method": "score_of", "args": {"address": "0xbb"}},
+                ]
+            },
+        },
+    )
+    add(
+        "rpc_wait_for",
+        {
+            "kind": "rpc",
+            "method": "wait_for",
+            "peer": "A",
+            "params": {
+                "condition": {"kind": "height_at_least", "value": 7},
+                "what": "registration",
+                "deadline": 50.0,
+            },
+        },
+    )
+    add(
+        "rpc_offchain_put",
+        {"kind": "rpc", "method": "offchain_put", "params": {}},
+        [b"codec-v2 weight payload stand-in"],
+    )
+    add("rpc_result_with_blob", {"kind": "rpc-result", "value": None}, [b"fetched blob"])
+    for name in sorted(WIRE_ERROR_TYPES):
+        add(
+            f"error_{name}",
+            {"kind": "rpc-error", "error": {"type": name, "message": f"boom from {name}"}},
+        )
+    return frames
+
+
+# ---------------------------------------------------------------------------
+# Frame codec
+# ---------------------------------------------------------------------------
+
+
+class TestFrameCodec:
+    def test_round_trip_with_blobs(self):
+        header = {"kind": "task", "op": "train", "params": {"round": 2}}
+        blobs = (b"alpha", b"", b"\x00" * 17)
+        data = encode_frame(header, blobs)
+        assert decode_frame(data) == (header, blobs)
+
+    def test_round_trip_header_only(self):
+        assert decode_frame(encode_frame({"kind": "hello", "worker": 0})) == (
+            {"kind": "hello", "worker": 0},
+            (),
+        )
+
+    def test_blobs_key_is_reserved(self):
+        with pytest.raises(WireProtocolError):
+            encode_frame({"kind": "rpc", "blobs": [1]})
+
+    def test_missing_length_prefix(self):
+        with pytest.raises(WireProtocolError):
+            decode_frame(b"\x00")
+
+    def test_truncated_header(self):
+        data = encode_frame({"kind": "rpc", "method": "now", "params": {}})
+        with pytest.raises(WireProtocolError):
+            decode_frame(data[:10])
+
+    def test_truncated_blob(self):
+        data = encode_frame({"kind": "rpc-result", "value": None}, (b"payload",))
+        with pytest.raises(WireProtocolError):
+            decode_frame(data[:-3])
+
+    def test_trailing_garbage(self):
+        data = encode_frame({"kind": "rpc-result", "value": 1})
+        with pytest.raises(WireProtocolError):
+            decode_frame(data + b"x")
+
+    def test_header_must_carry_kind(self):
+        with pytest.raises(WireProtocolError):
+            decode_frame(encode_frame({"kind": "x"}).replace(b'"kind":"x"', b'"king":"x"'))
+
+    def test_unparseable_header(self):
+        bad = b"\x00\x00\x00\x04}}}}"
+        with pytest.raises(WireProtocolError):
+            decode_frame(bad)
+
+
+class TestWireChannel:
+    def test_send_recv_and_byte_accounting(self):
+        left_sock, right_sock = socket.socketpair()
+        left, right = WireChannel(left_sock), WireChannel(right_sock)
+        try:
+            sent = left.send({"kind": "rpc", "method": "now", "params": {}}, (b"blob",))
+            header, blobs, received = right.recv()
+            assert header == {"kind": "rpc", "method": "now", "params": {}}
+            assert blobs == (b"blob",)
+            assert sent == received == left.bytes_sent == right.bytes_received
+        finally:
+            left.close()
+            right.close()
+
+    def test_eof_mid_frame_raises_closed(self):
+        left_sock, right_sock = socket.socketpair()
+        right = WireChannel(right_sock)
+        try:
+            left_sock.sendall(b"\x00\x00\x00\xff")  # promises a 255-byte header
+            left_sock.close()
+            with pytest.raises(WireClosedError):
+                right.recv()
+        finally:
+            right.close()
+
+
+# ---------------------------------------------------------------------------
+# Golden fixtures
+# ---------------------------------------------------------------------------
+
+
+class TestGoldenFrames:
+    def test_fixture_file_matches_builder(self):
+        # The checked-in file IS the builder's output: any wire-format
+        # drift (codec, key order, error registry) shows up as a diff.
+        assert golden_frames() == build_golden_frames()
+
+    @pytest.mark.parametrize("name", sorted(build_golden_frames()))
+    def test_encode_reproduces_pinned_bytes(self, name):
+        entry = golden_frames()[name]
+        blobs = tuple(bytes.fromhex(b) for b in entry["blobs"])
+        assert encode_frame(entry["header"], blobs).hex() == entry["hex"]
+
+    @pytest.mark.parametrize("name", sorted(build_golden_frames()))
+    def test_decode_recovers_header_and_blobs(self, name):
+        entry = golden_frames()[name]
+        header, blobs = decode_frame(bytes.fromhex(entry["hex"]))
+        assert header == entry["header"]
+        assert [b.hex() for b in blobs] == entry["blobs"]
+
+    def test_every_registered_error_has_a_fixture(self):
+        frames = golden_frames()
+        for name in WIRE_ERROR_TYPES:
+            assert f"error_{name}" in frames, (
+                f"{name} is wire-registered but has no golden frame — "
+                "regenerate tests/fixtures/wire_frames.json"
+            )
+
+    @pytest.mark.parametrize("name", sorted(WIRE_ERROR_TYPES))
+    def test_error_fixture_decodes_to_typed_exception(self, name):
+        entry = golden_frames()[f"error_{name}"]
+        header, _ = decode_frame(bytes.fromhex(entry["hex"]))
+        exc = decode_error(header["error"])
+        assert type(exc) is WIRE_ERROR_TYPES[name]
+        assert str(exc) == f"boom from {name}"
+
+
+# ---------------------------------------------------------------------------
+# Typed-error registry
+# ---------------------------------------------------------------------------
+
+
+class TestErrorCodec:
+    @pytest.mark.parametrize("name", sorted(WIRE_ERROR_TYPES))
+    def test_type_and_message_preserved(self, name):
+        original = WIRE_ERROR_TYPES[name](f"failure detail for {name}")
+        rebuilt = decode_error(encode_error(original))
+        assert type(rebuilt) is type(original)
+        assert str(rebuilt) == str(original)
+
+    def test_unregistered_exception_degrades_to_gateway_error(self):
+        payload = encode_error(ValueError("odd"))
+        assert payload["type"] == "GatewayError"
+        assert isinstance(decode_error(payload), GatewayError)
+
+    def test_unknown_remote_type_keeps_name_in_message(self):
+        exc = decode_error({"type": "FutureError", "message": "from v99"})
+        assert type(exc) is GatewayError
+        assert "FutureError" in str(exc) and "from v99" in str(exc)
+
+
+class TestWireCondition:
+    def test_round_trip(self):
+        cond = WireCondition("height_at_least", 12)
+        assert WireCondition.from_dict(cond.to_dict()) == cond
+
+    def test_height_at_least_predicate(self):
+        class FakeGateway:
+            def height(self):
+                return 5
+
+        assert WireCondition("height_at_least", 5).build(FakeGateway())()
+        assert not WireCondition("height_at_least", 6).build(FakeGateway())()
+
+    def test_contract_deployed_predicate(self):
+        class FakeGateway:
+            def has_contract(self, address):
+                return address == "0xdeployed"
+
+        assert WireCondition("contract_deployed", "0xdeployed").build(FakeGateway())()
+        assert not WireCondition("contract_deployed", "0xother").build(FakeGateway())()
+
+    def test_never_predicate(self):
+        assert not WireCondition("never").build(object())()
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(WireProtocolError):
+            WireCondition("until_tuesday").build(object())
+
+
+# ---------------------------------------------------------------------------
+# Spec codec
+# ---------------------------------------------------------------------------
+
+
+class TestSpecCodec:
+    def test_quick_spec_round_trips_equal(self):
+        spec = ScenarioSpec(name="wire", kind="decentralized", seed=3).quick()
+        rebuilt = decode_spec(encode_spec(spec))
+        assert rebuilt == spec
+
+    def test_multiprocess_fields_survive(self):
+        spec = dataclasses.replace(
+            ScenarioSpec(name="wire", kind="decentralized", seed=3).quick(),
+            runtime="multiprocess",
+            runtime_workers=4,
+        )
+        rebuilt = decode_spec(encode_spec(spec))
+        assert rebuilt.runtime == "multiprocess"
+        assert rebuilt.runtime_workers == 4
+        assert rebuilt == spec
+
+    def test_payload_survives_json_round_trip(self):
+        # The encoded form is exactly what rides the init task frame.
+        spec = ScenarioSpec(name="wire", kind="decentralized", seed=9).quick()
+        payload = json.loads(json.dumps(encode_spec(spec)))
+        assert decode_spec(payload) == spec
+
+
+# ---------------------------------------------------------------------------
+# Served gateway over a real socketpair
+# ---------------------------------------------------------------------------
+
+
+def make_node(seed: str = "wire-node"):
+    runtime = ContractRuntime()
+    register_all(runtime)
+    kp = KeyPair.from_seed(seed)
+    genesis = GenesisSpec(allocations={kp.address: 10**15})
+    return Node(kp, genesis, runtime, NodeConfig()), kp
+
+
+def deploy_registry(node, kp, timestamp: float = 13.0) -> str:
+    tx = Transaction(
+        sender=kp.address,
+        to=None,
+        nonce=node.next_nonce_for(kp.address),
+        args={"contract": "participant_registry", "open_enrollment": True},
+    ).sign_with(kp)
+    node.submit_transaction(tx)
+    block = node.build_block_candidate(timestamp, difficulty=1)
+    node.seal_and_import(block, nonce=0)
+    return node.receipt_of(tx.tx_hash).contract_address
+
+
+class ServedGateway:
+    """A GatewayServer pumping one socketpair end on a daemon thread."""
+
+    def __init__(self, gateway, offchain=None):
+        self.offchain = offchain if offchain is not None else OffchainStore()
+        self.server = GatewayServer({"A": gateway}, self.offchain)
+        server_sock, client_sock = socket.socketpair()
+        self.server_channel = WireChannel(server_sock)
+        self.client_channel = WireChannel(client_sock)
+        self.thread = threading.Thread(
+            target=self.server.serve_channel, args=(self.server_channel,), daemon=True
+        )
+        self.thread.start()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.client_channel.close()
+        self.server_channel.close()
+        self.thread.join(timeout=10)
+
+
+class TestServedGateway:
+    def test_reads_match_direct_gateway(self):
+        node, kp = make_node()
+        registry = deploy_registry(node, kp)
+        gateway = InProcessGateway(node)
+        with ServedGateway(gateway) as served:
+            remote = RemoteGateway(served.client_channel, "A")
+            assert remote.height() == gateway.height()
+            assert remote.head_hash() == gateway.head_hash()
+            assert remote.has_contract(registry)
+            assert remote.next_nonce(kp.address) == gateway.next_nonce(kp.address)
+            assert remote.call(registry, "member_count") == gateway.call(
+                registry, "member_count"
+            )
+            assert remote.batch_call(
+                [CallRequest(registry, "member_count", {})] * 2
+            ) == [0, 0]
+            head, now = remote.observe_head()
+            assert head == gateway.head_hash()
+            assert remote.stats.rpc_round_trips >= 7
+            assert remote.stats.wire_bytes_sent > 0
+            assert remote.stats.wire_bytes_received > 0
+
+    def test_submit_reaches_mempool(self):
+        node, kp = make_node()
+        registry = deploy_registry(node, kp)
+        with ServedGateway(InProcessGateway(node)) as served:
+            remote = RemoteGateway(served.client_channel, "A")
+            tx = Transaction(
+                sender=kp.address,
+                to=registry,
+                nonce=remote.next_nonce(kp.address),
+                method="register",
+                args={"display_name": "A"},
+            ).sign_with(kp)
+            assert remote.submit(tx) == tx.tx_hash
+
+    def test_typed_errors_cross_the_wire(self):
+        node, _ = make_node()
+        with ServedGateway(InProcessGateway(node)) as served:
+            remote = RemoteGateway(served.client_channel, "A")
+            with pytest.raises(UnknownContractError):
+                remote.call("0xnope", "anything")
+
+    def test_unknown_peer_is_a_protocol_error(self):
+        node, _ = make_node()
+        with ServedGateway(InProcessGateway(node)) as served:
+            remote = RemoteGateway(served.client_channel, "Z")
+            with pytest.raises(WireProtocolError):
+                remote.height()
+
+    def test_wait_for_requires_wire_condition(self):
+        node, _ = make_node()
+        with ServedGateway(InProcessGateway(node)) as served:
+            remote = RemoteGateway(served.client_channel, "A")
+            with pytest.raises(WireProtocolError):
+                remote.wait_for(lambda: True, "callable")
+
+    @staticmethod
+    def _timed_out_wait(remote: bool) -> GatewayTimeoutError:
+        """One fresh deployment whose 5s wait times out, locally or served."""
+        node, _ = make_node()
+        sim = Simulator()
+        gateway = InProcessGateway(node, simulator=sim)
+
+        def tick():
+            sim.schedule_in(1.0, tick)
+
+        tick()
+        with pytest.raises(GatewayTimeoutError) as excinfo:
+            if remote:
+                with ServedGateway(gateway) as served:
+                    RemoteGateway(served.client_channel, "A").wait_for(
+                        WireCondition("never"), "nothing", deadline=5.0
+                    )
+            else:
+                gateway.wait_for(lambda: False, "nothing", deadline=5.0)
+        return excinfo.value
+
+    def test_wait_for_timeout_type_and_message_preserved(self):
+        # Two identical deployments: one waits through the wire, one
+        # directly — the remote timeout must be the same class carrying
+        # the same message.
+        remote_exc = self._timed_out_wait(remote=True)
+        local_exc = self._timed_out_wait(remote=False)
+        assert type(remote_exc) is type(local_exc) is GatewayTimeoutError
+        assert str(remote_exc) == str(local_exc)
+        assert isinstance(remote_exc, RoundError)
+
+    def test_wait_for_returns_elapsed(self):
+        node, _ = make_node()
+        sim = Simulator()
+        gateway = InProcessGateway(node, simulator=sim)
+        # The genesis block is already on chain, so the condition holds
+        # on the first check and zero simulated time elapses.
+        with ServedGateway(gateway) as served:
+            remote = RemoteGateway(served.client_channel, "A")
+            elapsed = remote.wait_for(
+                WireCondition("height_at_least", gateway.height()),
+                "already true",
+                deadline=10.0,
+            )
+        assert elapsed == 0.0
+        assert remote.stats.waits == 1
+
+
+class TestRemoteOffchain:
+    def test_put_get_contains_round_trip(self):
+        node, _ = make_node()
+        store = OffchainStore()
+        with ServedGateway(InProcessGateway(node), offchain=store) as served:
+            remote = RemoteOffchain(served.client_channel)
+            key = remote.put(b"payload bytes")
+            assert key in store  # pushed upstream
+            assert key in remote  # mirrored locally
+            assert remote.get(key) == b"payload bytes"
+
+    def test_missing_blob_is_serialization_error(self):
+        node, _ = make_node()
+        with ServedGateway(InProcessGateway(node)) as served:
+            remote = RemoteOffchain(served.client_channel)
+            with pytest.raises(SerializationError):
+                remote.get("0" * 64)
+
+    def test_fetch_available_matches_local_store_semantics(self):
+        import numpy as np
+
+        node, _ = make_node()
+        store = OffchainStore()
+        weights_a = {"w": np.arange(4, dtype=np.float32)}
+        weights_b = {"w": np.ones(4, dtype=np.float32)}
+        key_a = store.put(weights_to_bytes(weights_a))
+        key_b = store.put(weights_to_bytes(weights_b))
+        with ServedGateway(InProcessGateway(node), offchain=store) as served:
+            remote = RemoteOffchain(served.client_channel)
+            trips_before = remote.stats.rpc_round_trips
+            got = remote.fetch_available([key_a, "f" * 64, key_b, key_a])
+            assert list(got) == [key_a, key_b]  # present-only, first-seen order
+            np.testing.assert_array_equal(got[key_a]["w"], weights_a["w"])
+            np.testing.assert_array_equal(got[key_b]["w"], weights_b["w"])
+            assert remote.stats.rpc_round_trips == trips_before + 1  # one batch RPC
+            # Mirrored: a re-fetch costs zero additional round trips.
+            trips = remote.stats.rpc_round_trips
+            again = remote.fetch_available([key_a, key_b])
+            assert list(again) == [key_a, key_b]
+            assert remote.stats.rpc_round_trips == trips
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regenerate" in sys.argv:
+        payload = {
+            "_comment": (
+                "Golden wire frames for repro.runtime.wire. Regenerate only on a "
+                "deliberate wire-format change: "
+                "PYTHONPATH=src python tests/test_runtime_wire.py --regenerate"
+            ),
+            "frames": build_golden_frames(),
+        }
+        FIXTURE_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {FIXTURE_PATH}")
+    else:
+        sys.exit(pytest.main([__file__, "-q"]))
