@@ -1,0 +1,252 @@
+"""X7 — client sampling: thousand-peer cohorts at sampled-k cost.
+
+The cross-device regime registers far more clients than any round can
+train: a round samples k participants from the n registered, trains and
+aggregates over that subcohort, and leaves everyone else untouched.
+This bench prices that axis end-to-end — a 1000-peer roster training a
+25-peer subcohort per round — and proves the two contracts that make it
+safe to ship:
+
+* **Work is bounded by the subcohort, not the roster.**  Per-round
+  training logs, instantiated peers, and submitted transactions must all
+  scale with ``sampled * rounds`` (plus the one-off registration sweep),
+  never with the 1000-peer roster.  Peak RSS is reported alongside
+  rounds/sec so regressions in lazy instantiation show up as numbers.
+* **Full participation is untouched.**  ``sampled_k = n`` draws nothing
+  from the participation streams and must reproduce the unsampled run
+  byte for byte (model digests, per-round accuracy tables, chain
+  heights, wait times) — asserted in-bench through one shared
+  :class:`ScenarioContext`, which also exercises the dataset-memo
+  separation between participation variants.
+
+Smoke (``--smoke``, tier-1) trims the roster to 30 registered / 5
+sampled and checks every bound; wall-clock is reported but never
+asserted — a loaded CI box must not flake tier-1 on a timing.
+"""
+
+from __future__ import annotations
+
+import resource
+import time
+from dataclasses import replace
+
+from _bench_util import run_once
+from repro.metrics.tables import render_table
+from repro.scenarios import ScenarioContext, cohort_scenario, run_scenario
+from repro.scenarios.spec import replace_axis
+
+#: One-off setup transactions the driver pays per run (contract
+#: deployments + genesis plumbing) on top of the registration sweep.
+SETUP_TX_ALLOWANCE = 4
+
+#: Per-round transaction allowance beyond one submission per sampled
+#: peer: the round-open call and the finalization vote margin.
+ROUND_TX_OVERHEAD = 2
+
+_CACHE: dict = {}
+
+
+def sampling_params(smoke: bool = False) -> dict:
+    """Roster/subcohort profile for one tier."""
+    if smoke:
+        return {
+            "registered": 30,
+            "sampled": 5,
+            "rounds": 2,
+            "train": 80,
+            "test": 60,
+            "identity_size": 6,
+        }
+    return {
+        "registered": 1000,
+        "sampled": 25,
+        "rounds": 3,
+        "train": 120,
+        "test": 90,
+        "identity_size": 10,
+    }
+
+
+def _profile_spec(size: int, rounds: int, train: int, test: int, seed: int, sampled=None):
+    base = cohort_scenario(size, seed=seed, sampled_k=sampled)
+    return replace(
+        base,
+        rounds=rounds,
+        local_epochs=1,
+        cohort=replace(base.cohort, train_samples=train, test_samples=test),
+        aggregator_test_samples=test,
+    )
+
+
+def _identity_payload(result) -> dict:
+    """Everything participation may not change, in one comparable value."""
+    return {
+        "digests": result.model_digests,
+        "logs": [
+            (
+                log.peer_id,
+                log.round_id,
+                tuple(log.combination_accuracy.items()),
+                log.chosen_combination,
+                log.chosen_accuracy,
+                log.submitted_at,
+                log.aggregated_at,
+            )
+            for log in result.round_logs
+        ],
+        "heights": result.chain_stats["heights"],
+        "offchain_blobs": result.chain_stats["offchain_blobs"],
+        "wait_times": result.wait_times,
+    }
+
+
+def run_sampling_profile(
+    registered: int,
+    sampled: int,
+    rounds: int,
+    train: int,
+    test: int,
+    seed: int = 42,
+) -> dict:
+    """Run one registered/sampled profile and check the work bounds.
+
+    Raises ``AssertionError`` if any round trained other than its sampled
+    subcohort, if instantiation escaped the ever-active bound, or if the
+    transaction count scaled with the roster beyond the one-off
+    registration sweep.
+    """
+    key = (registered, sampled, rounds, train, test, seed)
+    if key in _CACHE:
+        return _CACHE[key]
+    spec = _profile_spec(registered, rounds, train, test, seed, sampled=sampled)
+    context = ScenarioContext()
+
+    start = time.perf_counter()
+    result = run_scenario(spec, context=context)
+    wall = time.perf_counter() - start
+
+    per_round: dict[int, int] = {}
+    for log in result.round_logs:
+        per_round[log.round_id] = per_round.get(log.round_id, 0) + 1
+    assert sorted(per_round) == list(range(1, rounds + 1)), (
+        f"expected rounds 1..{rounds}, got {sorted(per_round)}"
+    )
+    for round_id, count in per_round.items():
+        assert count == sampled, (
+            f"round {round_id} trained {count} peers, expected the "
+            f"sampled {sampled}"
+        )
+
+    stats = result.chain_stats["participation"]
+    assert stats["registered"] == registered
+    assert stats["instantiated"] <= 1 + sampled * rounds, (
+        f"instantiated {stats['instantiated']} peers, expected at most "
+        f"head + {sampled}x{rounds} ever-active"
+    )
+    if registered > 1 + sampled * rounds:
+        assert stats["instantiated"] < registered, (
+            "lazy instantiation escaped: the full roster was materialized"
+        )
+
+    submits = result.chain_stats["gateway"]["requested"]["submits"]
+    tx_budget = registered + SETUP_TX_ALLOWANCE + rounds * (sampled + ROUND_TX_OVERHEAD)
+    assert submits <= tx_budget, (
+        f"submitted {submits} transactions, budget {tx_budget} "
+        f"(registration sweep + per-subcohort round work)"
+    )
+
+    profile = {
+        "registered": registered,
+        "sampled": sampled,
+        "rounds": rounds,
+        "wall_s": wall,
+        "rounds_per_s": rounds / wall,
+        "instantiated": stats["instantiated"],
+        "submits": submits,
+        "peak_rss_mb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024,
+    }
+    _CACHE[key] = profile
+    return profile
+
+
+def check_full_equivalence(size: int, rounds: int, train: int, test: int, seed: int = 42) -> dict:
+    """``sampled_k = n`` must reproduce the unsampled run byte for byte.
+
+    Both runs share one :class:`ScenarioContext`; the participation axis
+    in the dataset-memo keys keeps the variants' splits separate, so a
+    passing comparison also covers the memo regression.
+    """
+    key = ("identity", size, rounds, train, test, seed)
+    if key in _CACHE:
+        return _CACHE[key]
+    context = ScenarioContext()
+    full_spec = _profile_spec(size, rounds, train, test, seed)
+    full = run_scenario(full_spec, context=context)
+    sampled_spec = replace_axis(full_spec, "participation.sampled_k", size)
+    sampled = run_scenario(sampled_spec, context=context)
+    assert _identity_payload(sampled) == _identity_payload(full), (
+        f"sampled_k={size} diverged from full participation at the "
+        f"{size}-peer profile"
+    )
+    stats = sampled.chain_stats["participation"]
+    assert stats["instantiated"] == size, "k = n must instantiate everyone"
+    result = {"size": size, "rounds": rounds, "identical": True}
+    _CACHE[key] = result
+    return result
+
+
+def _print_profile(profile: dict) -> None:
+    print()
+    print(
+        render_table(
+            (
+                f"X7: client sampling ({profile['registered']} registered, "
+                f"{profile['sampled']} sampled, {profile['rounds']} rounds)"
+            ),
+            ["metric", "value"],
+            [
+                ["wall s", f"{profile['wall_s']:.1f}"],
+                ["rounds/s", f"{profile['rounds_per_s']:.3f}"],
+                ["instantiated peers", f"{profile['instantiated']}"],
+                ["submitted txs", f"{profile['submits']}"],
+                ["peak RSS MB", f"{profile['peak_rss_mb']:.0f}"],
+            ],
+        )
+    )
+
+
+def test_sampled_subcohort_bounds_work(benchmark, smoke):
+    """1000 registered / 25 sampled: per-round work tracks the subcohort.
+
+    The work-bound assertions (training logs, instantiation, transaction
+    budget) live inside :func:`run_sampling_profile`, so the timing row
+    is also the proof that roster size stays off the per-round path.
+    """
+    params = sampling_params(smoke)
+    profile = run_once(
+        benchmark,
+        lambda: run_sampling_profile(
+            params["registered"],
+            params["sampled"],
+            params["rounds"],
+            params["train"],
+            params["test"],
+        ),
+    )
+    _print_profile(profile)
+    assert profile["rounds_per_s"] > 0
+
+
+def test_full_participation_unchanged(benchmark, smoke):
+    """``sampled_k = n`` is byte-identical to the unsampled driver."""
+    params = sampling_params(smoke)
+    result = run_once(
+        benchmark,
+        lambda: check_full_equivalence(
+            params["identity_size"],
+            params["rounds"],
+            params["train"],
+            params["test"],
+        ),
+    )
+    assert result["identical"]

@@ -54,8 +54,21 @@ class AggregationCoordinator(Contract):
     # Round lifecycle
     # ------------------------------------------------------------------
 
-    def open_round(self, ctx: CallContext, round_id: int, quorum: Optional[int] = None) -> dict:
-        """Open a round; any participant may do it (no central party)."""
+    def open_round(
+        self,
+        ctx: CallContext,
+        round_id: int,
+        quorum: Optional[int] = None,
+        vote_threshold: Optional[int] = None,
+    ) -> dict:
+        """Open a round; any participant may do it (no central party).
+
+        ``quorum`` and ``vote_threshold`` override the contract defaults
+        for this round only — under client sampling each round is quorate
+        over (and finalized against) its selected subcohort, not the full
+        roster.  When omitted, the record stores the default quorum and no
+        threshold key, so pre-sampling round records are byte-identical.
+        """
         ctx.require(round_id >= 0, "round_id must be non-negative")
         key = _round_key(round_id)
         ctx.require(ctx.sload(key) is None, "round already open")
@@ -68,6 +81,9 @@ class AggregationCoordinator(Contract):
             "finalized_hash": None,
             "finalized_at": None,
         }
+        if vote_threshold is not None:
+            ctx.require(int(vote_threshold) >= 1, "vote_threshold must be >= 1")
+            record["vote_threshold"] = int(vote_threshold)
         ctx.sstore(key, record)
         current = int(ctx.sload("current_round", -1))
         if round_id > current:
@@ -123,7 +139,9 @@ class AggregationCoordinator(Contract):
         ctx.sstore(tally_key, tally)
         ctx.log("GlobalVote", round_id=int(round_id), voter=ctx.sender, aggregate_hash=aggregate_hash)
 
-        threshold = int(ctx.sload("vote_threshold", 1))
+        # Per-round override (partial-participation rounds) falls back to
+        # the contract-wide default set at deployment.
+        threshold = int(record.get("vote_threshold", ctx.sload("vote_threshold", 1)))
         if tally[aggregate_hash] >= threshold and record["finalized_hash"] is None:
             record = dict(record)
             record["finalized_hash"] = aggregate_hash

@@ -43,7 +43,8 @@ from repro.chain.pow import ProofOfWork, RetargetRule
 from repro.chain.runtime import ContractRuntime
 from repro.contracts import register_all
 from repro.core.offchain import OffchainStore
-from repro.core.peer import FullPeer, PeerConfig
+from repro.core.participation import ParticipationPlan, ParticipationSpec
+from repro.core.peer import FullPeer, PeerConfig, registration_transaction
 from repro.core.rounds import RoundTracker
 from repro.data.dataset import Dataset
 from repro.errors import (
@@ -132,6 +133,16 @@ class DecentralizedConfig:
     ``drop_rate`` is the p2p message-drop probability, drawn from the
     dedicated ``network/drop`` stream so fault intensities A/B cleanly
     against each other without perturbing latency draws.
+
+    ``participation`` (a :class:`~repro.core.participation.ParticipationSpec`)
+    activates client sampling and churn: only the round's selected
+    subcohort trains/submits/rates/votes, window/churn absences partition
+    the peer like a PR-7 crash (with the same sync + FedAvg catch-up on
+    rejoin), and peers that are never selected are never materialized at
+    all — which is what lets ``cohort/1000`` run with 25 trainers per
+    round.  The default (full participation) spec changes nothing: the
+    peer set, rng draws, transactions, and results are byte-identical to
+    pre-participation builds.
     """
 
     rounds: int = 10
@@ -153,6 +164,7 @@ class DecentralizedConfig:
     poll_interval: float = 1.0
     faults: FaultSpec = field(default_factory=FaultSpec)
     drop_rate: float = 0.0
+    participation: ParticipationSpec = field(default_factory=ParticipationSpec)
 
     def __post_init__(self) -> None:
         if self.rounds < 1:
@@ -400,6 +412,17 @@ class DecentralizedFL:
             drop_rng=self.rngs.get("network", "drop"),
         )
         self.peer_ids = [pc.peer_id for pc in peer_configs]
+        self.keypairs = keypairs
+        self.addresses: dict[str, Address] = {
+            peer_id: keypairs[peer_id].address for peer_id in self.peer_ids
+        }
+        # Participation plan: who is offline/selected each round, resolved
+        # once from the dedicated participation/* streams.  With the
+        # default spec it draws nothing and selects everyone, so the loop
+        # below materializes the whole cohort exactly as before.
+        self.participation = ParticipationPlan(
+            config.participation, self.peer_ids, config.rounds, self.rngs
+        )
         # Fault harness (inactive spec -> no plan, no injector, and the
         # gateway stack below stays exactly the pre-fault one).
         self.fault_plan: Optional[FaultPlan] = None
@@ -409,6 +432,8 @@ class DecentralizedFL:
             self.fault_injector = FaultInjector(self.fault_plan, self.rngs)
         self.peers: dict[str, FullPeer] = {}
         for pc in peer_configs:
+            if pc.peer_id not in self.participation.ever_active:
+                continue  # registered on chain below, but never trains
             node = Node(keypairs[pc.peer_id], genesis, self.runtime, NodeConfig())
             self.network.add_node(node, hashrate=config.hashrate)
             gateway: ChainGateway = InProcessGateway(
@@ -433,10 +458,10 @@ class DecentralizedFL:
                 pc, keypairs[pc.peer_id], gateway, train_sets, test_sets, model_builder
             )
         self.id_of_address: dict[Address, str] = {
-            peer.address: peer_id for peer_id, peer in self.peers.items()
+            self.addresses[peer_id]: peer_id for peer_id in self.peer_ids
         }
         self.trackers: dict[str, RoundTracker] = {
-            peer_id: RoundTracker(peer_id, config.policy, cohort_size=len(self.peers))
+            peer_id: RoundTracker(peer_id, config.policy, cohort_size=len(self.peer_ids))
             for peer_id in self.peer_ids
         }
         self.round_logs: list[PeerRoundLog] = []
@@ -450,6 +475,11 @@ class DecentralizedFL:
         #: catch-up performed ({"peer", "round", "models"} records).
         self._down_prev: frozenset = frozenset()
         self.catch_ups: list[dict] = []
+        #: Participation bookkeeping: rounds skipped because fewer than two
+        #: peers were available, and the id of the last round that actually
+        #: finished (what rejoin catch-up fetches — never the dense count).
+        self.skipped_rounds: list[int] = []
+        self.last_finished_round = 0
         #: Per-peer scoring engines (empty in the serial reference mode).
         #: Tests may attach an ``instrument`` hook to count evaluations.
         self.engines: dict[str, CombinationEngine] = self._build_engines()
@@ -522,8 +552,8 @@ class DecentralizedFL:
             args={
                 "contract": "aggregation_coordinator",
                 "model_store_address": store_address,
-                "quorum": len(self.peers),
-                "vote_threshold": (len(self.peers) // 2) + 1,
+                "quorum": len(self.peer_ids),
+                "vote_threshold": (len(self.peer_ids) // 2) + 1,
             },
         )
         coordinator_address = self.runtime.contract_address(deployer.address, coord_tx.nonce)
@@ -538,8 +568,7 @@ class DecentralizedFL:
         )
         deployer.gateway.submit(reputation_tx)
 
-        for peer_id in self.peer_ids:
-            peer = self.peers[peer_id]
+        for peer in self.peers.values():
             peer.model_store_address = store_address
             peer.coordinator_address = coordinator_address
 
@@ -556,13 +585,28 @@ class DecentralizedFL:
             "contract deployment",
         )
 
-        # Phase 2: every peer self-registers (open enrollment).
+        # Phase 2: every peer self-registers (open enrollment).  Identities
+        # that participation never materializes still register — the
+        # on-chain roster is the whole cohort — but their transactions,
+        # signed with their own keys, are broadcast through the deployer's
+        # gateway since they have none.  Full-participation runs take only
+        # the first branch, exactly the pre-participation path.
         for peer_id in self.peer_ids:
-            peer = self.peers[peer_id]
-            register_tx = peer.make_transaction(
-                to=registry_address, method="register", args={"display_name": peer_id}
-            )
-            peer.gateway.submit(register_tx)
+            peer = self.peers.get(peer_id)
+            if peer is not None:
+                register_tx = peer.make_transaction(
+                    to=registry_address, method="register", args={"display_name": peer_id}
+                )
+                peer.gateway.submit(register_tx)
+            else:
+                address = self.addresses[peer_id]
+                register_tx = registration_transaction(
+                    self.keypairs[peer_id],
+                    registry_address,
+                    peer_id,
+                    deployer.gateway.next_nonce(address),
+                )
+                deployer.gateway.submit(register_tx)
         self._wait_until(
             lambda: all(self._is_registered(peer, registry_address) for peer in self.peers.values()),
             "participant registration",
@@ -575,8 +619,8 @@ class DecentralizedFL:
         # One batched round trip checks the whole cohort's membership.
         memberships = peer.gateway.batch_call(
             [
-                CallRequest(registry_address, "is_member", {"address": other.address})
-                for other in self.peers.values()
+                CallRequest(registry_address, "is_member", {"address": self.addresses[other_id]})
+                for other_id in self.peer_ids
             ]
         )
         return all(memberships)
@@ -615,19 +659,43 @@ class DecentralizedFL:
         injector = self.fault_injector
         if injector is not None:
             injector.begin_round(round_id)
-            self._apply_crash_transitions(round_id)
-        down = self.fault_plan.down(round_id) if self.fault_plan is not None else frozenset()
-        live = [peer_id for peer_id in self.peer_ids if peer_id not in down]
+        fault_down = (
+            self.fault_plan.down(round_id) if self.fault_plan is not None else frozenset()
+        )
+        if injector is not None or self.participation.has_absences:
+            self._apply_absences(round_id, fault_down)
+        # The round's working set: the participation plan's selected
+        # subcohort (the whole cohort under full participation) minus any
+        # fault-plan crash window.
+        live = [
+            peer_id
+            for peer_id in self.participation.active(round_id)
+            if peer_id not in fault_down
+        ]
+        if self.participation.engaged and len(live) < 2:
+            # Churn/windows left no workable subcohort: the scheduled round
+            # is skipped outright (no open_round, no training) rather than
+            # degenerating to single-peer "federation".
+            self.skipped_rounds.append(round_id)
+            return []
         dropped: set[str] = set()
 
         # The first peer is never in a crash window (windows take the
         # cohort tail and always leave the head live), so the coordinator
         # and the wait-driving gateway stay the same peer as fault-free.
         coordinator = self.peers[self.peer_ids[0]]
+        open_args: dict = {"round_id": round_id}
+        if self.participation.engaged and len(live) != len(self.peer_ids):
+            # Partial participation: the round is quorate over — and its
+            # global vote thresholded against — the selected subcohort, not
+            # the full roster.  Full-participation rounds pass no override,
+            # keeping their transaction bytes identical to older builds.
+            open_args["quorum"] = len(live)
+            open_args["vote_threshold"] = (len(live) // 2) + 1
         open_tx = coordinator.make_transaction(
             to=coordinator.coordinator_address,
             method="open_round",
-            args={"round_id": round_id},
+            args=open_args,
         )
         coordinator.gateway.submit(open_tx)
 
@@ -680,7 +748,11 @@ class DecentralizedFL:
                     dropped.add(peer_id)
                     pending.discard(peer_id)
                     continue
-                expected = len(live) - len(dropped) if injector is not None else None
+                expected = (
+                    len(live) - len(dropped)
+                    if injector is not None or self.participation.engaged
+                    else None
+                )
                 if self.trackers[peer_id].check_ready(
                     round_id, visible, self.sim.now, expected=expected
                 ):
@@ -729,28 +801,40 @@ class DecentralizedFL:
 
         if self.config.enable_reputation:
             self._rate_round(round_id, updates_by_view)
+        self.last_finished_round = round_id
         return logs
 
-    def _apply_crash_transitions(self, round_id: int) -> None:
-        """Enact the fault plan's crash windows at a round boundary.
+    def _apply_absences(self, round_id: int, fault_down: frozenset) -> None:
+        """Enact crash windows and participation absences at a round boundary.
 
-        A peer *entering* its window is partitioned from every other node
-        and stops mining — its chain view freezes, exactly a powered-off
-        VM.  A peer *leaving* its window is healed and restarted; its node
-        catches up over the existing sync-on-orphan path (the next block
-        the others broadcast triggers a chain pull), and the FL layer
-        catches up by adopting the federated average of the last finished
-        round's on-chain updates — the same weights a vanilla client
-        joining late would pull.
+        A peer *entering* an absence (fault-plan crash window, availability
+        window, or churn) is partitioned from every other node and stops
+        mining — its chain view freezes, exactly a powered-off VM.  A peer
+        *leaving* one is healed and restarted; its node catches up over the
+        existing sync-on-orphan path (the next block the others broadcast
+        triggers a chain pull), and the FL layer catches up by adopting the
+        federated average of the last finished round's on-chain updates —
+        the same weights a vanilla client joining late would pull.
+
+        Merely *unsampled* peers are not absences: their nodes keep mining
+        and they simply do no FL work this round.
         """
-        assert self.fault_plan is not None
-        self._transition_crashes(self.fault_plan.down(round_id), round_id)
+        self._transition_crashes(
+            frozenset(fault_down | self.participation.offline(round_id)), round_id
+        )
 
     def _transition_crashes(self, now_down: frozenset, round_id: int) -> None:
+        # Identities participation never materialized have no node to
+        # partition or heal; their planned absences are vacuous.
+        now_down = frozenset(pid for pid in now_down if pid in self.peers)
         entering = now_down - self._down_prev
         leaving = self._down_prev - now_down
         self._down_prev = now_down
-        addresses = {peer_id: self.peers[peer_id].address for peer_id in self.peer_ids}
+        addresses = {
+            peer_id: self.addresses[peer_id]
+            for peer_id in self.peer_ids
+            if peer_id in self.peers
+        }
         for peer_id in sorted(entering):
             addr = addresses[peer_id]
             for other_id, other_addr in addresses.items():
@@ -769,29 +853,44 @@ class DecentralizedFL:
                 lambda: rejoined.gateway.head_hash() == reference.gateway.head_hash(),
                 f"{peer_id} chain catch-up after rejoin",
             )
-            updates = rejoined.fetch_updates(round_id - 1, self.id_of_address)
-            if updates:
-                rejoined.adopt(fedavg(updates))
+            # Fetch the last round that actually *finished* — under
+            # participation skips that can be further back than round_id-1,
+            # and for fault-only runs it is exactly round_id-1 as before.
+            models = self._catch_up_peer(peer_id, self.last_finished_round)
             self.catch_ups.append(
-                {"peer": peer_id, "round": round_id, "models": len(updates)}
+                {"peer": peer_id, "round": round_id, "models": models}
             )
 
-    def _finalize_faults(self) -> None:
-        """Rejoin any peers still crashed when the run ends.
+    def _catch_up_peer(self, peer_id: str, fetch_round: int) -> int:
+        """FL-layer rejoin catch-up: adopt the FedAvg of ``fetch_round``.
 
-        A crash window reaching the final round would otherwise leave its
-        peers partitioned and "down" forever — post-run reporting (height
-        reads, reputation queries) must see a whole cohort again.  The
-        rejoin uses the same heal/catch-up path as a mid-run window end,
-        anchored on the last completed round, and the injector leaves its
-        round context so no further calls count as crashed.
+        Runtime seam — the multiprocess coordinator ships this to the
+        worker that owns the peer, since the model lives worker-side.
+        Returns how many on-chain updates fed the catch-up aggregate.
+        """
+        rejoined = self.peers[peer_id]
+        updates = rejoined.fetch_updates(fetch_round, self.id_of_address)
+        if updates:
+            rejoined.adopt(fedavg(updates))
+        return len(updates)
+
+    def _finalize_faults(self) -> None:
+        """Rejoin any peers still crashed or absent when the run ends.
+
+        A crash or availability window reaching the final round would
+        otherwise leave its peers partitioned and "down" forever —
+        post-run reporting (height reads, reputation queries) must see a
+        whole cohort again.  The rejoin uses the same heal/catch-up path
+        as a mid-run window end, anchored on the last finished round, and
+        the injector leaves its round context so no further calls count
+        as crashed.
         """
         if self.fault_injector is not None:
             # Leave round context first: the rejoin wait below reads the
             # rejoining peer's own gateway, which must no longer refuse.
             self.fault_injector.end_run()
-        if self.fault_plan is not None:
-            self._transition_crashes(frozenset(), self.completed_rounds + 1)
+        if self.fault_plan is not None or self.participation.has_absences:
+            self._transition_crashes(frozenset(), self.last_finished_round + 1)
 
     def _use_greedy(self, n_updates: int) -> bool:
         """Whether this round's combination search should be greedy."""
@@ -955,7 +1054,7 @@ class DecentralizedFL:
                 updates_by_view[rater_id],
                 round_id,
                 self.reputation_address,
-                lambda peer_id: self.peers[peer_id].address,
+                lambda peer_id: self.addresses[peer_id],
                 self.config.reputation_fitness_margin,
             )
 
@@ -964,7 +1063,7 @@ class DecentralizedFL:
         viewer = self.peers[viewer_id if viewer_id is not None else self.peer_ids[0]]
         return int(
             viewer.gateway.call(
-                self.reputation_address, "score_of", address=self.peers[peer_id].address
+                self.reputation_address, "score_of", address=self.addresses[peer_id]
             )
         )
 
@@ -973,8 +1072,8 @@ class DecentralizedFL:
         viewer = self.peers[viewer_id if viewer_id is not None else self.peer_ids[0]]
         scores = viewer.gateway.batch_call(
             [
-                CallRequest(self.reputation_address, "score_of", {"address": peer.address})
-                for peer in (self.peers[peer_id] for peer_id in self.peer_ids)
+                CallRequest(self.reputation_address, "score_of", {"address": self.addresses[peer_id]})
+                for peer_id in self.peer_ids
             ]
         )
         return {peer_id: int(score) for peer_id, score in zip(self.peer_ids, scores)}
@@ -990,8 +1089,11 @@ class DecentralizedFL:
         the original raise-on-failure contract.
         """
         faults_on = self.fault_injector is not None
+        absences_on = self.participation.has_absences
         self.completed_rounds = 0
         self.abort_reason = ""
+        self.skipped_rounds = []
+        self.last_finished_round = 0
         if not self._deployed:
             if faults_on:
                 try:
@@ -1012,8 +1114,10 @@ class DecentralizedFL:
                     break
             else:
                 self.run_round(round_id)
+            if self.skipped_rounds and self.skipped_rounds[-1] == round_id:
+                continue  # scheduled but skipped: not a completed round
             self.completed_rounds += 1
-        if faults_on:
+        if faults_on or absences_on:
             self._finalize_faults()
         if self.config.enable_reputation:
             # Let the final round's rating transactions get mined before
@@ -1044,10 +1148,16 @@ class DecentralizedFL:
         return weights_to_bytes(peer.client.model.get_weights())
 
     def model_digests(self) -> dict[str, str]:
-        """SHA-256 of every peer's exported model bytes, in cohort order."""
+        """SHA-256 of every materialized peer's model bytes, in cohort order.
+
+        Under client sampling, never-selected identities have no model to
+        digest (they were never instantiated); full participation covers
+        the whole cohort as before.
+        """
         return {
             peer_id: sha256_bytes(self.export_model_bytes(peer_id)).hex()
             for peer_id in self.peer_ids
+            if peer_id in self.peers
         }
 
     def wait_time_summary(self) -> dict[str, float]:
@@ -1070,6 +1180,8 @@ class DecentralizedFL:
         transport = GatewayStats()
         everything = GatewayStats()
         for peer_id in self.peer_ids:
+            if peer_id not in self.peers:
+                continue  # never materialized under sampling: no gateway
             gateway = self.peers[peer_id].gateway
             requested.add(gateway.stats)
             # For an undecorated backend this is the same object, so the
@@ -1114,6 +1226,14 @@ class DecentralizedFL:
         stats["offchain_bytes"] = self.offchain.total_bytes()
         stats["offchain_marshalling"] = self.offchain.marshalling_stats()
         stats["gateway"] = self.gateway_stats()
+        if self.participation.engaged:
+            stats["participation"] = {
+                "registered": len(self.peer_ids),
+                "instantiated": len(self.peers),
+                "skipped_rounds": list(self.skipped_rounds),
+                "last_finished_round": self.last_finished_round,
+                "catch_ups": len(self.catch_ups),
+            }
         if self.fault_injector is not None:
             stats["faults"] = {
                 "injected": len(self.fault_injector.trace),

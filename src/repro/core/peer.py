@@ -54,6 +54,29 @@ class PeerConfig:
             raise ConfigError("training_time must be positive")
 
 
+def registration_transaction(
+    keypair: KeyPair, registry_address: Address, display_name: str, nonce: int
+) -> Transaction:
+    """Signed ``register`` call for an identity with no instantiated peer.
+
+    Under client sampling most of a thousand-peer cohort never trains, so
+    the driver materializes no :class:`FullPeer` (no node, no gateway) for
+    those identities — but the on-chain registry must still hold the whole
+    roster.  Any live gateway can broadcast the returned transaction on the
+    absent identity's behalf: it is signed with the identity's own key, so
+    the chain sees exactly the self-registration an instantiated peer would
+    have sent.
+    """
+    tx = Transaction(
+        sender=keypair.address,
+        to=registry_address,
+        nonce=nonce,
+        method="register",
+        args={"display_name": display_name},
+    )
+    return tx.sign_with(keypair)
+
+
 class FullPeer:
     """One fully coupled participant of the decentralized deployment."""
 

@@ -166,6 +166,7 @@ def _run_named_scenario(
     gateway: str | None = None,
     runtime: str | None = None,
     runtime_workers: int = 0,
+    sampled_k: int = 0,
 ) -> int:
     models = None
     if model is not None:
@@ -173,6 +174,16 @@ def _run_named_scenario(
     try:
         definition = get_scenario(name)
         specs = definition.build(seed=seed, quick=quick, models=models)
+        if sampled_k:
+            # Participation knob: each round trains a sampled k-peer
+            # subcohort (deterministic per seed; vanilla specs have no
+            # round structure to sample).
+            specs = tuple(
+                replace_axis(spec, "participation.sampled_k", sampled_k)
+                if spec.kind == "decentralized"
+                else spec
+                for spec in specs
+            )
         if workers:
             # Pure wall-clock knob: the combination-scoring engine produces
             # identical results at any worker count (vanilla specs have no
@@ -223,6 +234,7 @@ def _run_sweep(
     gateway: str | None = None,
     runtime: str | None = None,
     runtime_workers: int = 0,
+    sampled_k: int = 0,
 ) -> int:
     del axis  # only "cohort" exists today; argparse restricts the choice
     try:
@@ -236,6 +248,7 @@ def _run_sweep(
             gateway=gateway,
             runtime=runtime,
             runtime_workers=runtime_workers or None,
+            sampled_k=sampled_k or None,
         )
     except ConfigError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -247,6 +260,9 @@ def _run_sweep(
 def _run_list() -> int:
     rows = [[definition.name, definition.description] for definition in list_scenarios()]
     rows.append(["cohort/<n>", "any cohort size n >= 2 resolves dynamically"])
+    rows.append(
+        ["cohort/<n>/sampled/<k>", "cohort/<n> with k-of-n client sampling per round"]
+    )
     print(render_table("Registered scenarios", ["name", "description"], rows))
     return 0
 
@@ -309,6 +325,12 @@ def main(argv: list[str] | None = None) -> int:
         default=0,
         help="worker processes for --runtime multiprocess (default 2)",
     )
+    run_parser.add_argument(
+        "--sampled-k",
+        type=int,
+        default=0,
+        help="train a sampled k-peer subcohort per round (0 = full participation)",
+    )
 
     sweep_parser = subparsers.add_parser(
         "sweep", help="sweep a scenario axis through the shared-dataset driver"
@@ -346,6 +368,12 @@ def main(argv: list[str] | None = None) -> int:
         default=0,
         help="worker processes for --runtime multiprocess (default 2)",
     )
+    sweep_parser.add_argument(
+        "--sampled-k",
+        type=int,
+        default=0,
+        help="train a sampled k-peer subcohort per round (0 = full participation)",
+    )
 
     subparsers.add_parser("list", help="list registered scenarios")
 
@@ -378,6 +406,7 @@ def main(argv: list[str] | None = None) -> int:
             args.gateway,
             args.runtime,
             args.runtime_workers,
+            args.sampled_k,
         )
     if args.command == "sweep":
         return _run_sweep(
@@ -390,6 +419,7 @@ def main(argv: list[str] | None = None) -> int:
             args.gateway,
             args.runtime,
             args.runtime_workers,
+            args.sampled_k,
         )
     if args.command == "list":
         return _run_list()

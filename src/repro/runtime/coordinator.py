@@ -95,6 +95,9 @@ class MultiprocessDecentralizedFL(DecentralizedFL):
         )
         # Worker i owns peers at cohort positions i, i+W, i+2W, ... — the
         # same assignment rule the workers apply independently in init.
+        # Positions are taken over the *full* roster (stable under
+        # sampling); workers simply skip identities the participation
+        # plan never materializes, mirroring the base-class loop.
         self._owner = {
             peer_id: position % self.num_workers
             for position, peer_id in enumerate(self.peer_ids)
@@ -152,7 +155,9 @@ class MultiprocessDecentralizedFL(DecentralizedFL):
         )
         for index, (peer_ids, _blobs) in owned.items():
             expected = sorted(
-                peer_id for peer_id, owner in self._owner.items() if owner == index
+                peer_id
+                for peer_id, owner in self._owner.items()
+                if owner == index and peer_id in self.peers
             )
             if list(peer_ids) != expected:
                 raise WireProtocolError(
@@ -268,10 +273,7 @@ class MultiprocessDecentralizedFL(DecentralizedFL):
                         "model_store": first.model_store_address,
                         "coordinator": first.coordinator_address,
                         "reputation": self.reputation_address,
-                        "addresses": {
-                            peer_id: self.peers[peer_id].address
-                            for peer_id in self.peer_ids
-                        },
+                        "addresses": dict(self.addresses),
                     },
                 }
                 for handle in self.handles
@@ -292,7 +294,9 @@ class MultiprocessDecentralizedFL(DecentralizedFL):
         return logs
 
     def _collect_exports(self) -> None:
-        groups = self._by_owner(list(self.peer_ids))
+        groups = self._by_owner(
+            [peer_id for peer_id in self.peer_ids if peer_id in self.peers]
+        )
         results = self._run_tasks(
             {
                 index: {"op": "export", "params": {"peers": peer_ids}}
@@ -427,6 +431,15 @@ class MultiprocessDecentralizedFL(DecentralizedFL):
             )
             for peer_id in voters
         ]
+
+    def _catch_up_peer(self, peer_id: str, fetch_round: int) -> int:
+        # The rejoining peer's model lives with its worker, so the FedAvg
+        # catch-up adoption runs there; the chain-side heal/partition and
+        # head-hash wait already happened coordinator-side.
+        value, _blobs = self._run_task(
+            self._owner[peer_id], "catch_up", {"round": fetch_round, "peer": peer_id}
+        )
+        return int(value)
 
     def _rate_round(self, round_id: int, updates_by_view: dict) -> None:
         # One rater at a time, cohort order — rating transactions must

@@ -20,6 +20,7 @@ from typing import Any
 
 from repro.data.synthetic import SyntheticSpec
 from repro.errors import WireProtocolError
+from repro.core.participation import ParticipationSpec
 from repro.faults import FaultSpec, RetryPolicy
 from repro.fl.async_policy import Deadline, WaitForAll, WaitForK
 from repro.scenarios.spec import (
@@ -42,6 +43,7 @@ SPEC_TYPES: dict[str, type] = {
         HeterogeneitySpec,
         ChainSpec,
         FaultSpec,
+        ParticipationSpec,
         RetryPolicy,
         SyntheticSpec,
         WaitForAll,

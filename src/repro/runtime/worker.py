@@ -148,6 +148,7 @@ class WorkerRuntime:
             "rate": self._rate,
             "vote": self._vote,
             "adopt_final": self._adopt_final,
+            "catch_up": self._catch_up,
             "export": self._export,
             "stats": self._stats,
             "ping": lambda params: "pong",
@@ -165,6 +166,7 @@ class WorkerRuntime:
     def _init(self, params: dict):
         # Imported lazily: the scenario runner imports this package back
         # (repro.runtime.coordinator) for the multiprocess dispatch.
+        from repro.core.participation import ParticipationPlan
         from repro.fl.scoring import CombinationEngine
         from repro.core.peer import FullPeer
         from repro.runtime.speccodec import decode_spec
@@ -176,9 +178,20 @@ class WorkerRuntime:
         inputs = decentralized_inputs(spec, rngs, ScenarioContext())
         self.config = inputs.config
         chain = rngs.spawn("chain")
+        # Same plan the coordinator resolved: both sides derive it from the
+        # chain-spawned participation/* streams, so they agree on exactly
+        # which identities are ever materialized.
+        plan = ParticipationPlan(
+            inputs.config.participation,
+            [pc.peer_id for pc in inputs.peer_configs],
+            inputs.config.rounds,
+            chain,
+        )
         for position, pc in enumerate(inputs.peer_configs):
             if position % workers != self.index:
                 continue
+            if pc.peer_id not in plan.ever_active:
+                continue  # registered on chain, never trains: no peer here
             transport = RemoteGateway(
                 self.channel,
                 pc.peer_id,
@@ -319,6 +332,19 @@ class WorkerRuntime:
             self.peers[peer_id], self._fetch(peer_id, round_id), round_id, self.offchain
         )
         return _log_payload(log)
+
+    def _catch_up(self, params: dict):
+        from repro.fl.aggregation import fedavg
+
+        fetch_round = int(params["round"])
+        peer = self.peers[params["peer"]]
+        # Deliberately NOT the per-round view memo: the rejoining peer may
+        # have fetched (an empty view of) this round while partitioned, and
+        # catch-up must see the healed chain.
+        updates = peer.fetch_updates(fetch_round, self.id_of)
+        if updates:
+            peer.adopt(fedavg(updates))
+        return len(updates)
 
     # -- collection tasks --------------------------------------------------
 

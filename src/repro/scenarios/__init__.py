@@ -20,6 +20,7 @@ Quick taste::
     print(result.summary())
 """
 
+from repro.core.participation import ParticipationSpec
 from repro.faults import FaultSpec
 from repro.scenarios.spec import (
     AdversarySpec,
@@ -50,6 +51,7 @@ __all__ = [
     "FaultSpec",
     "HeterogeneitySpec",
     "PAPER_CLIENT_IDS",
+    "ParticipationSpec",
     "ScenarioContext",
     "ScenarioDefinition",
     "ScenarioResult",

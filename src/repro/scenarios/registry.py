@@ -39,6 +39,7 @@ from repro.metrics.tables import (
     format_table1,
     render_table,
 )
+from repro.core.participation import ParticipationSpec
 from repro.faults import FaultSpec
 from repro.scenarios.runner import ScenarioResult
 from repro.scenarios.spec import (
@@ -116,24 +117,30 @@ def list_scenarios() -> list[ScenarioDefinition]:
     return [_REGISTRY[name] for name in sorted(_REGISTRY)]
 
 
-_COHORT_PATTERN = re.compile(r"^cohort/(\d+)$")
+_COHORT_PATTERN = re.compile(r"^cohort/(\d+)(?:/sampled/(\d+))?$")
 
 
 def get_scenario(name: str) -> ScenarioDefinition:
     """Resolve a scenario by name.
 
-    ``cohort/<n>`` resolves for any integer n >= 2, registered or not;
-    anything else must be registered.  Unknown names get a did-you-mean
-    listing built from the registry.
+    ``cohort/<n>`` resolves for any integer n >= 2, registered or not,
+    and ``cohort/<n>/sampled/<k>`` adds per-round client sampling of k
+    peers (2 <= k <= n); anything else must be registered.  Unknown
+    names get a did-you-mean listing built from the registry.
     """
     if name in _REGISTRY:
         return _REGISTRY[name]
     match = _COHORT_PATTERN.match(name)
     if match:
         size = int(match.group(1))
+        sampled_k = int(match.group(2)) if match.group(2) else None
         if size < 2:
             raise ConfigError(f"cohort size must be >= 2, got {name!r}")
-        return _cohort_definition(size)
+        if sampled_k is not None and not 2 <= sampled_k <= size:
+            raise ConfigError(
+                f"sampled k must be in [2, {size}], got {name!r}"
+            )
+        return _cohort_definition(size, sampled_k)
     suggestions = difflib.get_close_matches(name, sorted(_REGISTRY), n=3, cutoff=0.4)
     hint = f"; did you mean: {', '.join(suggestions)}?" if suggestions else ""
     raise ConfigError(
@@ -291,7 +298,12 @@ def _build_tradeoff(seed: int = 42, quick: bool = False, models=None) -> tuple[S
 # ---------------------------------------------------------------------------
 
 
-def cohort_scenario(size: int, seed: int = 42, selection_workers: int = 0) -> ScenarioSpec:
+def cohort_scenario(
+    size: int,
+    seed: int = 42,
+    selection_workers: int = 0,
+    sampled_k: Optional[int] = None,
+) -> ScenarioSpec:
     """Bench-scale ``size``-peer decentralized scenario.
 
     Reduced data and rounds keep 10-50-peer runs tractable; heterogeneous
@@ -300,10 +312,22 @@ def cohort_scenario(size: int, seed: int = 42, selection_workers: int = 0) -> Sc
     exhaustive limit — the configuration behind the ROADMAP's
     speed/precision-at-scale measurement.  ``selection_workers`` fans the
     per-peer combination searches out to worker processes (results are
-    identical at any worker count).
+    identical at any worker count).  ``sampled_k`` trains only a k-peer
+    subcohort per round (``cohort/<n>/sampled/<k>``) — the cross-device
+    configuration that stretches n into the thousands.
     """
+    participation = (
+        ParticipationSpec(sampled_k=sampled_k)
+        if sampled_k is not None
+        else ParticipationSpec()
+    )
+    name = (
+        f"cohort/{size}"
+        if sampled_k is None
+        else f"cohort/{size}/sampled/{sampled_k}"
+    )
     return ScenarioSpec(
-        name=f"cohort/{size}",
+        name=name,
         kind="decentralized",
         model_kind="simple_nn",
         rounds=3,
@@ -313,27 +337,44 @@ def cohort_scenario(size: int, seed: int = 42, selection_workers: int = 0) -> Sc
         seed=seed,
         aggregator_test_samples=150,
         selection_workers=selection_workers,
+        participation=participation,
     )
 
 
-def _cohort_build(size: int, seed: int = 42, quick: bool = False, models=None):
+def _cohort_build(size: int, seed: int = 42, quick: bool = False, models=None, sampled_k=None):
     return tuple(
-        _maybe_quick(replace(cohort_scenario(size, seed=seed), model_kind=model_kind), quick)
+        _maybe_quick(
+            replace(
+                cohort_scenario(size, seed=seed, sampled_k=sampled_k),
+                model_kind=model_kind,
+            ),
+            quick,
+        )
         for model_kind in (models or ("simple_nn",))
     )
 
 
-def _cohort_definition(size: int) -> ScenarioDefinition:
-    """The one source of ``cohort/<n>`` definitions — registered sizes and
-    dynamically resolved ones describe the workload identically."""
-    return ScenarioDefinition(
-        name=f"cohort/{size}",
-        description=(
+def _cohort_definition(size: int, sampled_k: Optional[int] = None) -> ScenarioDefinition:
+    """The one source of ``cohort/<n>[/sampled/<k>]`` definitions —
+    registered sizes and dynamically resolved ones describe the workload
+    identically."""
+    if sampled_k is None:
+        name = f"cohort/{size}"
+        description = (
             f"{size}-peer decentralized cohort at bench scale (greedy selection, "
             "heterogeneous devices)"
-        ),
-        build=lambda seed=42, quick=False, models=None, _n=size: _cohort_build(
-            _n, seed=seed, quick=quick, models=models
+        )
+    else:
+        name = f"cohort/{size}/sampled/{sampled_k}"
+        description = (
+            f"{size}-peer cohort training a sampled {sampled_k}-peer subcohort "
+            "per round (deterministic participation streams)"
+        )
+    return ScenarioDefinition(
+        name=name,
+        description=description,
+        build=lambda seed=42, quick=False, models=None, _n=size, _k=sampled_k: _cohort_build(
+            _n, seed=seed, quick=quick, models=models, sampled_k=_k
         ),
     )
 

@@ -28,6 +28,7 @@ from typing import Optional
 import numpy as np
 
 from repro.core.decentralized import DecentralizedConfig, DecentralizedFL
+from repro.core.participation import ParticipationPlan
 from repro.core.peer import PeerConfig
 from repro.chain.network import LatencyModel
 from repro.data.dataset import Dataset
@@ -103,6 +104,9 @@ class ScenarioResult:
     completed_rounds: int = 0
     #: Why a faults-active run stopped early, or "" (clean / fault-free).
     abort_reason: str = ""
+    #: Scheduled round ids skipped because churn/windows left fewer than
+    #: two available peers (participation-engaged runs only).
+    skipped_rounds: tuple[int, ...] = ()
     #: SHA-256 of every peer's final model bytes (decentralized only) —
     #: the byte surface the runtime-equivalence tests compare.
     model_digests: dict[str, str] = field(default_factory=dict)
@@ -174,6 +178,7 @@ def _cohort_datasets(
     spec: ScenarioSpec,
     rngs: RngFactory,
     ctx: ScenarioContext,
+    only: Optional[frozenset] = None,
 ) -> tuple[dict[str, Dataset], dict[str, Dataset], Dataset]:
     """Per-client train/test splits plus the aggregator's default test set.
 
@@ -181,6 +186,13 @@ def _cohort_datasets(
     ``data/test/aggregator`` for the central set — the seed layout.
     Adversarial dataset corruption (``attack/<id>``) happens here, after
     sampling, so honest splits stay cache-shareable across scenarios.
+
+    ``only`` restricts materialization to the named clients (the ones a
+    participation plan ever selects).  Streams are named per client, so
+    skipping a client draws nothing and cannot perturb anyone else's
+    split; the memo keys include the participation axis, so a sampled
+    run can never hand back (or receive) a full-participation cache
+    entry.
     """
     factory = ctx.factory(spec.data_spec)
     client_ids = spec.client_ids()
@@ -189,6 +201,8 @@ def _cohort_datasets(
     train_sets: dict[str, Dataset] = {}
     test_sets: dict[str, Dataset] = {}
     for index, client_id in enumerate(client_ids):
+        if only is not None and client_id not in only:
+            continue
         probs = client_class_probs(
             index,
             len(client_ids),
@@ -197,7 +211,8 @@ def _cohort_datasets(
         )
         volume = spec.cohort.volume_of(index)
         train_key = (spec.data_spec, spec.seed, "train", client_id, volume,
-                     index, len(client_ids), spec.cohort.label_skew)
+                     index, len(client_ids), spec.cohort.label_skew,
+                     spec.participation)
         train_sets[client_id] = ctx.dataset(
             train_key,
             lambda: factory.sample(
@@ -207,7 +222,8 @@ def _cohort_datasets(
                 class_probs=probs,
             ),
         )
-        test_key = (spec.data_spec, spec.seed, "test", client_id, spec.cohort.test_samples)
+        test_key = (spec.data_spec, spec.seed, "test", client_id,
+                    spec.cohort.test_samples, spec.participation)
         test_sets[client_id] = ctx.dataset(
             test_key,
             lambda: factory.sample(
@@ -220,7 +236,8 @@ def _cohort_datasets(
             train_sets[client_id] = attacker.poison_dataset(
                 train_sets[client_id], rngs.get("attack", client_id)
             )
-    aggregator_key = (spec.data_spec, spec.seed, "aggregator", spec.aggregator_test_samples)
+    aggregator_key = (spec.data_spec, spec.seed, "aggregator",
+                      spec.aggregator_test_samples, spec.participation)
     aggregator_test = ctx.dataset(
         aggregator_key,
         lambda: factory.sample(
@@ -342,8 +359,17 @@ def decentralized_inputs(
     train_sets: dict[str, Dataset] = {}
     test_sets: dict[str, Dataset] = {}
     model_builder = None
+    needed = None
+    if materialize and spec.participation.engaged:
+        # Only the peers the participation plan ever selects need data.
+        # The plan is rebuilt from the same chain-spawned streams the
+        # driver uses, so both sides agree on the set; skipping the rest
+        # is what makes a 1000-registered / 25-sampled cohort affordable.
+        needed = ParticipationPlan(
+            spec.participation, list(client_ids), spec.rounds, rngs.spawn("chain")
+        ).ever_active
     if materialize:
-        train_sets, test_sets, _ = _cohort_datasets(spec, rngs, ctx)
+        train_sets, test_sets, _ = _cohort_datasets(spec, rngs, ctx, only=needed)
         builder = _builder(spec, ctx)
     init_rng_seed = rngs.integers("model-init")
     if materialize:
@@ -369,6 +395,7 @@ def decentralized_inputs(
         poll_interval=spec.chain.poll_interval,
         faults=spec.faults,
         drop_rate=spec.chain.drop_rate,
+        participation=spec.participation,
     )
     train_config = _train_config(spec)
     peer_configs = [
@@ -448,6 +475,7 @@ def _run_decentralized(
         reputation=reputation,
         completed_rounds=driver.completed_rounds,
         abort_reason=driver.abort_reason,
+        skipped_rounds=tuple(driver.skipped_rounds),
         model_digests=driver.model_digests(),
     )
 

@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.chain.gateway import GATEWAY_BACKENDS
 from repro.core.config import MODEL_LEARNING_RATES, ExperimentConfig
+from repro.core.participation import ParticipationSpec
 from repro.data.synthetic import SyntheticSpec
 from repro.errors import ConfigError
 from repro.faults import FaultSpec
@@ -346,6 +347,7 @@ class ScenarioSpec:
     heterogeneity: HeterogeneitySpec = field(default_factory=HeterogeneitySpec)
     chain: ChainSpec = field(default_factory=ChainSpec)
     faults: FaultSpec = field(default_factory=FaultSpec)
+    participation: ParticipationSpec = field(default_factory=ParticipationSpec)
     data_spec: SyntheticSpec = field(default_factory=SyntheticSpec)
     aggregator_test_samples: int = 500
     backbone_sigma: float = 0.55
@@ -403,6 +405,26 @@ class ScenarioSpec:
                 "fault injection targets the FL <-> chain seam; "
                 'the "vanilla" centralized deployment has none'
             )
+        if self.kind == "vanilla" and self.participation.engaged:
+            raise ConfigError(
+                "the participation axis (sampling, windows, churn) targets "
+                'the decentralized deployment; the "vanilla" kind always '
+                "trains every client"
+            )
+        if (
+            self.participation.sampled_k is not None
+            and self.participation.sampled_k > self.cohort.size
+        ):
+            raise ConfigError(
+                f"sampled_k {self.participation.sampled_k} exceeds the "
+                f"cohort size {self.cohort.size}"
+            )
+        for window in self.participation.windows:
+            if window[0] >= self.cohort.size:
+                raise ConfigError(
+                    f"availability window peer index {window[0]} is out of "
+                    f"range for cohort size {self.cohort.size}"
+                )
         if self.heterogeneity.times is not None and len(self.heterogeneity.times) != self.cohort.size:
             raise ConfigError(
                 f"heterogeneity times has {len(self.heterogeneity.times)} entries "

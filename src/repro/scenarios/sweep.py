@@ -106,6 +106,7 @@ def cohort_sweep(
     gateway: Optional[str] = None,
     runtime: Optional[str] = None,
     runtime_workers: Optional[int] = None,
+    sampled_k: Optional[int] = None,
 ) -> list[dict]:
     """The ROADMAP measurement: speed/precision rows per cohort size.
 
@@ -116,7 +117,8 @@ def cohort_sweep(
     template's combination-search parallelism, ``gateway`` its ledger
     backend, and ``runtime``/``runtime_workers`` the process topology
     (all pure wall-clock/transport knobs: rows are identical at any
-    worker count, backend, or runtime).
+    worker count, backend, or runtime).  ``sampled_k`` sweeps the sizes
+    under k-of-n client sampling (every size must admit k peers).
     """
     if not sizes:
         raise ConfigError("cohort_sweep needs at least one size")
@@ -125,6 +127,8 @@ def cohort_sweep(
         template = replace(template, policy=policy)
     if selection_workers is not None:
         template = replace(template, selection_workers=selection_workers)
+    if sampled_k is not None:
+        template = replace_axis(template, "participation.sampled_k", sampled_k)
     if gateway is not None:
         template = replace_axis(template, "chain.gateway", gateway)
     if runtime is not None:

@@ -3,8 +3,9 @@
 Runs the smoke-scale cores of ``bench_chain_throughput``,
 ``bench_commitment_pipeline``, ``bench_block_execution``,
 ``bench_cohort_scaling``, ``bench_selection_engine``,
-``bench_chain_gateway``, ``bench_fault_resilience``, and
-``bench_multiprocess_runtime`` in-process (the same code paths
+``bench_chain_gateway``, ``bench_fault_resilience``,
+``bench_multiprocess_runtime``, and ``bench_client_sampling``
+in-process (the same code paths
 ``pytest benchmarks/... --smoke`` exercises), so the tier-1 suite catches
 benchmark bit-rot and enforces the pipelines' headline numbers in seconds.
 """
@@ -19,6 +20,7 @@ if str(_BENCHMARKS) not in sys.path:
 import bench_block_execution
 import bench_chain_gateway
 import bench_chain_throughput
+import bench_client_sampling
 import bench_cohort_scaling
 import bench_commitment_pipeline
 import bench_fault_resilience
@@ -205,6 +207,48 @@ class TestMultiprocessRuntimeSmoke:
         )
         assert result["remote_trips"] > 0
         assert result["batched_trips"] <= result["remote_trips"]
+
+
+class TestClientSamplingSmoke:
+    """Smoke-tier participation bench: work bounds and full-participation
+    byte-identity.
+
+    Both contracts are asserted inside the bench cores (training logs ==
+    sampled subcohort, instantiation <= ever-active, transaction budget,
+    ``sampled_k = n`` == unsampled); wall-clock is reported but never
+    floored, so a loaded CI box can't flake tier-1 on a timing.
+    """
+
+    @classmethod
+    def _profile(cls):
+        params = bench_client_sampling.sampling_params(smoke=True)
+        return bench_client_sampling.run_sampling_profile(
+            params["registered"],
+            params["sampled"],
+            params["rounds"],
+            params["train"],
+            params["test"],
+        )
+
+    def test_work_bounded_by_subcohort(self):
+        profile = self._profile()
+        assert profile["registered"] == 30
+        assert profile["instantiated"] < profile["registered"]
+        assert profile["rounds_per_s"] > 0
+
+    def test_peak_rss_reported(self):
+        profile = self._profile()
+        assert profile["peak_rss_mb"] > 0
+
+    def test_full_participation_unchanged(self):
+        params = bench_client_sampling.sampling_params(smoke=True)
+        result = bench_client_sampling.check_full_equivalence(
+            params["identity_size"],
+            params["rounds"],
+            params["train"],
+            params["test"],
+        )
+        assert result["identical"]
 
 
 class TestFaultResilienceSmoke:

@@ -91,6 +91,27 @@ class TestRoundLifecycle:
         record = coord(A, "open_round", round_id=1, quorum=3)
         assert record["quorum"] == 3
 
+    def test_per_round_vote_threshold_override(self, env):
+        """Partial-participation rounds finalize against their subcohort's
+        threshold, not the contract-wide default (2 in this fixture)."""
+        _store, coord = env
+        record = coord(A, "open_round", round_id=1, vote_threshold=1)
+        assert record["vote_threshold"] == 1
+        result = coord(A, "vote_global", round_id=1, aggregate_hash="0xg")
+        assert result == {"tally": 1, "finalized": True}
+
+    def test_default_round_record_has_no_threshold_key(self, env):
+        """Unsampled rounds must keep the pre-participation record shape —
+        the state root (and therefore the chain bytes) depends on it."""
+        _store, coord = env
+        record = coord(A, "open_round", round_id=1)
+        assert "vote_threshold" not in record
+
+    def test_zero_vote_threshold_rejected(self, env):
+        _store, coord = env
+        with pytest.raises(ContractRevertError, match="vote_threshold"):
+            coord(A, "open_round", round_id=1, vote_threshold=0)
+
 
 class TestQuorum:
     def test_quorum_counts_store_submissions(self, env):

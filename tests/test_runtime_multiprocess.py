@@ -22,9 +22,10 @@ import dataclasses
 
 import pytest
 
+from repro.core.participation import ParticipationSpec
 from repro.errors import ConfigError, GatewayUnavailableError, WorkerCrashedError
 from repro.scenarios.runner import ScenarioContext, decentralized_inputs, run_scenario
-from repro.scenarios.spec import RUNTIME_KINDS, FaultSpec, ScenarioSpec
+from repro.scenarios.spec import RUNTIME_KINDS, FaultSpec, ScenarioSpec, replace_axis
 from repro.utils.rng import RngFactory
 
 _CACHE: dict = {}
@@ -127,6 +128,50 @@ class TestWorkerInterleavingInvariance:
             dataclasses.replace(base, runtime="multiprocess", runtime_workers=3)
         )
         assert comparable(one) == comparable(three)
+
+
+class TestParticipationEquivalence:
+    """Client sampling composes with the runtime: the participation plan
+    is rebuilt from the spec inside every process, so the selected
+    subcohorts — and therefore the bytes — cannot depend on the topology."""
+
+    def sampled_spec(self, **overrides) -> ScenarioSpec:
+        spec = base_spec(**overrides)
+        spec = dataclasses.replace(
+            spec, cohort=dataclasses.replace(spec.cohort, size=6, client_ids=None)
+        )
+        return replace_axis(spec, "participation.sampled_k", 3)
+
+    def test_sampled_run_matches_inprocess(self):
+        spec = self.sampled_spec()
+        inproc, multi = pair(spec)
+        assert comparable(inproc) == comparable(multi)
+        stats = multi.chain_stats["participation"]
+        assert stats["instantiated"] < 6  # lazy instantiation crossed the wire
+
+    def test_sampled_one_vs_three_workers_identical(self):
+        spec = self.sampled_spec()
+        one = run_cached(
+            dataclasses.replace(spec, runtime="multiprocess", runtime_workers=1)
+        )
+        three = run_cached(
+            dataclasses.replace(spec, runtime="multiprocess", runtime_workers=3)
+        )
+        assert comparable(one) == comparable(three)
+
+    def test_window_rejoin_catch_up_matches_inprocess(self):
+        # The rejoin FedAvg catch-up runs as a worker task ("catch_up");
+        # its adoption must land on the owning worker's peer exactly as
+        # the in-process driver applies it locally.
+        spec = base_spec()
+        spec = dataclasses.replace(
+            spec,
+            cohort=dataclasses.replace(spec.cohort, size=4, client_ids=None),
+            participation=ParticipationSpec(windows=((2, 2, 1),)),
+        )
+        inproc, multi = pair(spec)
+        assert comparable(inproc) == comparable(multi)
+        assert multi.chain_stats["participation"]["catch_ups"] == 1
 
 
 class TestRuntimeStatsSurface:
