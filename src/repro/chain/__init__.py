@@ -15,6 +15,9 @@ package provides the equivalent substrate in-process:
 * :mod:`repro.chain.network` — gossip network with latency and partitions.
 * :mod:`repro.chain.gateway` — the transport-agnostic ledger service API
   the FL layer programs against (in-process and batching backends).
+* :mod:`repro.chain.scale` — scale-out machinery: deterministic parallel
+  transaction execution, spillable cold block/receipt storage, and
+  root-verified snapshot state-sync.
 """
 
 from repro.chain.crypto import KeyPair, Address, sign, verify, recover_check
@@ -27,6 +30,7 @@ from repro.chain.state import WorldState, AccountState, StateError, STATE_STATS
 from repro.chain.mempool import Mempool
 from repro.chain.chainstore import ChainStore
 from repro.chain.runtime import ContractRuntime, Contract, CallContext
+from repro.chain.scale import ColdStore, ColdStoreStats, ExecutionStats
 from repro.chain.node import GenesisSpec, Node, NodeConfig
 from repro.chain.network import P2PNetwork, LatencyModel
 from repro.chain.gateway import (
@@ -68,6 +72,9 @@ __all__ = [
     "ContractRuntime",
     "Contract",
     "CallContext",
+    "ColdStore",
+    "ColdStoreStats",
+    "ExecutionStats",
     "GenesisSpec",
     "Node",
     "NodeConfig",

@@ -58,6 +58,27 @@ class BlockHeader:
         """Hash over the sealed header (payload + nonce)."""
         return keccak_like(self.sealing_payload() + self.nonce.to_bytes(8, "big"))
 
+    def to_dict(self) -> dict:
+        """Canonical-serializable form (cold storage and sync payloads)."""
+        return {
+            "parent_hash": self.parent_hash,
+            "number": self.number,
+            "timestamp": self.timestamp,
+            "miner": self.miner,
+            "difficulty": self.difficulty,
+            "tx_root": self.tx_root,
+            "state_root": self.state_root,
+            "gas_used": self.gas_used,
+            "gas_limit": self.gas_limit,
+            "nonce": self.nonce,
+            "extra": self.extra,
+        }
+
+    @staticmethod
+    def from_dict(payload: dict) -> "BlockHeader":
+        """Inverse of :meth:`to_dict`."""
+        return BlockHeader(**payload)
+
 
 @dataclass
 class Block:
@@ -87,6 +108,21 @@ class Block:
     def body_matches_header(self) -> bool:
         """True iff the header's tx_root commits to the actual body."""
         return self.header.tx_root == self.compute_tx_root()
+
+    def to_dict(self) -> dict:
+        """Canonical-serializable form (cold storage and sync payloads)."""
+        return {
+            "header": self.header.to_dict(),
+            "transactions": [tx.to_dict() for tx in self.transactions],
+        }
+
+    @staticmethod
+    def from_dict(payload: dict) -> "Block":
+        """Inverse of :meth:`to_dict`."""
+        return Block(
+            header=BlockHeader.from_dict(payload["header"]),
+            transactions=[Transaction.from_dict(tx) for tx in payload["transactions"]],
+        )
 
 
 def make_genesis(state_root: str, timestamp: float = 0.0, difficulty: int = 1) -> Block:

@@ -5,15 +5,27 @@ difficulty per tip, and answers "what is the canonical head?" — heaviest
 chain wins, ties broken by earlier arrival (first-seen rule, as in Geth).
 Reorg detection reports the common ancestor plus the blocks rolled back and
 applied, so the node can rebuild its executed state.
+
+The store can optionally *spill*: given a :class:`~repro.chain.scale.ColdStore`
+and a hot window, the node demotes old canonical blocks out of the hot map
+into the cold store, keeping the resident set O(hot window) instead of
+O(chain length).  Spilling is transparent to readers — ``get``,
+``block_at_height``, ``canonical_chain``, and ``__contains__`` read through
+to cold storage — while fork choice and height bookkeeping run entirely on
+two per-hash scalar indices (``number`` and ``parent hash``), so reorgs and
+pruning never decode a cold block.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.chain.block import Block, GENESIS_PARENT
 from repro.errors import InvalidBlockError, UnknownBlockError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (scale -> errors only)
+    from repro.chain.scale import ColdStore
 
 
 @dataclass
@@ -35,39 +47,83 @@ class ReorgInfo:
 class ChainStore:
     """Append-only block DAG plus canonical-head bookkeeping."""
 
-    def __init__(self, genesis: Block) -> None:
+    def __init__(
+        self,
+        genesis: Block,
+        cold: Optional["ColdStore"] = None,
+        hot_window: Optional[int] = None,
+    ) -> None:
         if genesis.header.parent_hash != GENESIS_PARENT or genesis.number != 0:
             raise InvalidBlockError("genesis must have number 0 and null parent")
-        self._blocks: dict[str, Block] = {genesis.block_hash: genesis}
-        self._total_difficulty: dict[str, int] = {genesis.block_hash: genesis.header.difficulty}
-        self._arrival: dict[str, int] = {genesis.block_hash: 0}
+        if hot_window is not None and hot_window < 1:
+            raise ValueError("hot_window must be >= 1")
+        genesis_hash = genesis.block_hash
+        self._blocks: dict[str, Block] = {genesis_hash: genesis}
+        self._total_difficulty: dict[str, int] = {genesis_hash: genesis.header.difficulty}
+        self._arrival: dict[str, int] = {genesis_hash: 0}
         self._arrival_counter = 0
         # height -> canonical block hash, maintained on every head switch,
         # so height lookups (and the node's log range queries) are O(1).
-        self._canonical_by_number: dict[int, str] = {0: genesis.block_hash}
-        self.genesis_hash = genesis.block_hash
-        self.head_hash = genesis.block_hash
+        self._canonical_by_number: dict[int, str] = {0: genesis_hash}
+        # Per-hash scalar indices covering hot AND spilled blocks: fork
+        # choice, reorg paths, and pruning walk these, never block bodies.
+        self._numbers: dict[str, int] = {genesis_hash: 0}
+        self._parents: dict[str, str] = {genesis_hash: GENESIS_PARENT}
+        self._spilled: set[str] = set()
+        self.cold = cold
+        self.hot_window = hot_window
+        self.genesis_hash = genesis_hash
+        self.head_hash = genesis_hash
 
     # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------
 
     def __contains__(self, block_hash: str) -> bool:
-        return block_hash in self._blocks
+        return block_hash in self._numbers
 
     def __len__(self) -> int:
+        return len(self._numbers)
+
+    def hot_count(self) -> int:
+        """Blocks currently resident in the hot map."""
         return len(self._blocks)
 
+    def spilled_count(self) -> int:
+        """Blocks demoted to cold storage."""
+        return len(self._spilled)
+
     def get(self, block_hash: str) -> Block:
-        """Fetch a block or raise :class:`UnknownBlockError`."""
+        """Fetch a block (reviving it from cold storage if spilled) or
+        raise :class:`UnknownBlockError`."""
+        block = self._blocks.get(block_hash)
+        if block is not None:
+            return block
+        if block_hash in self._spilled:
+            return Block.from_dict(self.cold.get(block_hash))
+        raise UnknownBlockError(block_hash)
+
+    def number_of(self, block_hash: str) -> int:
+        """Height of a block, hot or spilled, without decoding it."""
         try:
-            return self._blocks[block_hash]
+            return self._numbers[block_hash]
         except KeyError:
             raise UnknownBlockError(block_hash) from None
 
+    def parent_of(self, block_hash: str) -> str:
+        """Parent hash of a block, hot or spilled, without decoding it."""
+        try:
+            return self._parents[block_hash]
+        except KeyError:
+            raise UnknownBlockError(block_hash) from None
+
+    def canonical_hash(self, number: int) -> Optional[str]:
+        """Canonical block hash at ``number`` (None outside the chain)."""
+        return self._canonical_by_number.get(number)
+
     @property
     def head(self) -> Block:
-        """Current canonical head block."""
+        """Current canonical head block (never spilled)."""
         return self._blocks[self.head_hash]
 
     @property
@@ -83,11 +139,12 @@ class ChainStore:
             raise UnknownBlockError(block_hash) from None
 
     def canonical_chain(self) -> list[Block]:
-        """Genesis-to-head block list."""
+        """Genesis-to-head block list (revives spilled blocks in passing,
+        through the cold store's bounded decode cache)."""
         chain: list[Block] = []
         cursor: Optional[str] = self.head_hash
         while cursor is not None:
-            block = self._blocks[cursor]
+            block = self.get(cursor)
             chain.append(block)
             cursor = None if block.number == 0 else block.header.parent_hash
         chain.reverse()
@@ -99,18 +156,17 @@ class ChainStore:
             return None
         block_hash = self._canonical_by_number.get(number)
         if block_hash is not None:
-            return self._blocks[block_hash]
-        # Defensive fallback: walk down from the head.
-        cursor = self.head
-        while cursor.number > number:
-            cursor = self._blocks[cursor.header.parent_hash]
-        return cursor
+            return self.get(block_hash)
+        # Defensive fallback: walk down from the head on the scalar index.
+        cursor = self.head_hash
+        while self._numbers[cursor] > number:
+            cursor = self._parents[cursor]
+        return self.get(cursor)
 
     def is_canonical(self, block_hash: str) -> bool:
         """True iff the block lies on the canonical chain."""
-        block = self.get(block_hash)
-        at_height = self.block_at_height(block.number)
-        return at_height is not None and at_height.block_hash == block_hash
+        number = self.number_of(block_hash)
+        return self._canonical_by_number.get(number) == block_hash
 
     # ------------------------------------------------------------------
     # Insertion and fork choice
@@ -124,17 +180,19 @@ class ChainStore:
         or ``None`` when the block landed on a losing side branch.
         """
         block_hash = block.block_hash
-        if block_hash in self._blocks:
+        if block_hash in self._numbers:
             return None
         parent_hash = block.header.parent_hash
-        if parent_hash not in self._blocks:
+        if parent_hash not in self._numbers:
             raise UnknownBlockError(f"parent {parent_hash} of block {block_hash}")
-        parent = self._blocks[parent_hash]
-        if block.number != parent.number + 1:
+        parent_number = self._numbers[parent_hash]
+        if block.number != parent_number + 1:
             raise InvalidBlockError(
-                f"block number {block.number} != parent number {parent.number} + 1"
+                f"block number {block.number} != parent number {parent_number} + 1"
             )
         self._blocks[block_hash] = block
+        self._numbers[block_hash] = block.number
+        self._parents[block_hash] = parent_hash
         self._arrival_counter += 1
         self._arrival[block_hash] = self._arrival_counter
         self._total_difficulty[block_hash] = (
@@ -146,15 +204,35 @@ class ChainStore:
             return self._switch_head(block_hash)
         return None
 
+    def demote(self, block_hash: str) -> bool:
+        """Move one block from the hot map into the cold store.
+
+        Only non-head blocks can be demoted; the scalar indices keep
+        answering number/parent/fork-choice queries, and :meth:`get`
+        revives the body on demand.  Returns ``True`` if the block was
+        resident and is now cold.
+        """
+        if self.cold is None:
+            raise ValueError("demote() requires a cold store")
+        if block_hash == self.head_hash:
+            raise ValueError("cannot demote the canonical head")
+        block = self._blocks.get(block_hash)
+        if block is None:
+            return False
+        self.cold.put(block_hash, block.to_dict())
+        del self._blocks[block_hash]
+        self._spilled.add(block_hash)
+        return True
+
     def _switch_head(self, new_head: str) -> ReorgInfo:
         old_head = self.head_hash
         ancestor = self._common_ancestor(old_head, new_head)
         rolled_back = self._path_down(old_head, ancestor)
         applied = list(reversed(self._path_down(new_head, ancestor)))
         for block_hash in rolled_back:
-            self._canonical_by_number.pop(self._blocks[block_hash].number, None)
+            self._canonical_by_number.pop(self._numbers[block_hash], None)
         for block_hash in applied:
-            self._canonical_by_number[self._blocks[block_hash].number] = block_hash
+            self._canonical_by_number[self._numbers[block_hash]] = block_hash
         self.head_hash = new_head
         return ReorgInfo(
             old_head=old_head,
@@ -174,9 +252,9 @@ class ChainStore:
         re-checked then.
         """
         for block_hash in reorg.applied:
-            self._canonical_by_number.pop(self._blocks[block_hash].number, None)
+            self._canonical_by_number.pop(self._numbers[block_hash], None)
         for block_hash in reorg.rolled_back:
-            self._canonical_by_number[self._blocks[block_hash].number] = block_hash
+            self._canonical_by_number[self._numbers[block_hash]] = block_hash
         self.head_hash = reorg.old_head
 
     def _path_down(self, tip: str, ancestor: str) -> list[str]:
@@ -185,16 +263,15 @@ class ChainStore:
         cursor = tip
         while cursor != ancestor:
             path.append(cursor)
-            cursor = self._blocks[cursor].header.parent_hash
+            cursor = self._parents[cursor]
         return path
 
     def _common_ancestor(self, a: str, b: str) -> str:
-        block_a, block_b = self._blocks[a], self._blocks[b]
-        while block_a.number > block_b.number:
-            block_a = self._blocks[block_a.header.parent_hash]
-        while block_b.number > block_a.number:
-            block_b = self._blocks[block_b.header.parent_hash]
-        while block_a.block_hash != block_b.block_hash:
-            block_a = self._blocks[block_a.header.parent_hash]
-            block_b = self._blocks[block_b.header.parent_hash]
-        return block_a.block_hash
+        while self._numbers[a] > self._numbers[b]:
+            a = self._parents[a]
+        while self._numbers[b] > self._numbers[a]:
+            b = self._parents[b]
+        while a != b:
+            a = self._parents[a]
+            b = self._parents[b]
+        return a

@@ -28,8 +28,9 @@ import numpy as np
 from repro.chain.block import Block
 from repro.chain.node import Node
 from repro.chain.pow import ProofOfWork
+from repro.chain.scale import snapshot_key
 from repro.chain.transaction import Transaction
-from repro.errors import InvalidBlockError, MempoolError, NetworkError
+from repro.errors import ChainError, InvalidBlockError, MempoolError, NetworkError
 from repro.utils.events import Simulator
 
 
@@ -86,6 +87,9 @@ class NetworkStats:
     blocks_mined: int = 0
     reorgs: int = 0
     syncs: int = 0
+    snap_syncs: int = 0            # syncs served as snapshot + tail
+    snap_skipped_blocks: int = 0   # blocks adopted without execution
+    snap_executed_blocks: int = 0  # tail blocks executed after a snapshot
 
     def as_dict(self) -> dict:
         return {
@@ -99,6 +103,9 @@ class NetworkStats:
             "blocks_mined": self.blocks_mined,
             "reorgs": self.reorgs,
             "syncs": self.syncs,
+            "snap_syncs": self.snap_syncs,
+            "snap_skipped_blocks": self.snap_skipped_blocks,
+            "snap_executed_blocks": self.snap_executed_blocks,
         }
 
 
@@ -287,9 +294,35 @@ class P2PNetwork:
             if reorg is not None:
                 self._restart_miner(dst)
 
+    def _snapshot_pivot(
+        self, provider_node: Node, dst_node: Node, lineage: list[Block]
+    ) -> Optional[int]:
+        """Index of the best snapshot block in an ancestor-first lineage.
+
+        Snapshot sync only applies to a pure fast-forward — the lineage
+        must extend ``dst``'s current head directly (the shape a peer
+        rejoining after downtime sees).  Divergent histories take the
+        block-by-block replay path, which handles reorgs.
+        """
+        cold = provider_node.config.cold_store
+        if cold is None or not lineage:
+            return None
+        if lineage[0].header.parent_hash != dst_node.store.head_hash:
+            return None
+        for index in range(len(lineage) - 1, -1, -1):
+            if snapshot_key(lineage[index].block_hash) in cold:
+                return index
+        return None
+
     def _schedule_sync(self, dst: str, orphan: Block) -> None:
         """Ship the canonical ancestry of ``orphan`` to ``dst`` from any
-        reachable peer that has it, with one link latency for the batch."""
+        reachable peer that has it, with one link latency for the batch.
+
+        When the provider has a cold snapshot inside the missing range and
+        the range fast-forwards ``dst``'s head, the batch ships as
+        *snapshot + tail*: ``dst`` adopts the root-verified checkpoint and
+        executes only the blocks above it (:meth:`Node.sync_from`) instead
+        of replaying the whole gap."""
         provider = None
         for address in sorted(self._miners):
             if address == dst or not self._link_up(address, dst):
@@ -313,10 +346,31 @@ class P2PNetwork:
             return
         self.stats.syncs += 1
         delay = self.latency.sample(self.rng)
+        lineage = list(reversed(missing))  # ancestor-first
+        pivot_index = self._snapshot_pivot(provider_node, dst_node, lineage)
 
         def deliver_batch() -> None:
             self.stats.messages_delivered += 1
-            for block in reversed(missing):  # ancestor-first
+            if pivot_index is not None:
+                pivot = lineage[pivot_index]
+                try:
+                    payload = provider_node.config.cold_store.get(
+                        snapshot_key(pivot.block_hash)
+                    )
+                    executed = dst_node.sync_from(
+                        payload,
+                        lineage[: pivot_index + 1],
+                        lineage[pivot_index + 1 :],
+                    )
+                except ChainError:
+                    pass  # sync_from commits nothing on failure: replay below
+                else:
+                    self.stats.snap_syncs += 1
+                    self.stats.snap_skipped_blocks += pivot_index + 1
+                    self.stats.snap_executed_blocks += executed
+                    self._restart_miner(dst)
+                    return
+            for block in lineage:
                 try:
                     reorg = dst_node.import_block(block)
                 except InvalidBlockError:

@@ -31,6 +31,15 @@ from repro.chain.gas import GasMeter, GasSchedule, DEFAULT_SCHEDULE, UNBOUNDED_B
 from repro.chain.mempool import Mempool
 from repro.chain.pow import RetargetRule, check_pow
 from repro.chain.runtime import ContractRuntime
+from repro.chain.scale import (
+    ColdStore,
+    ExecutionStats,
+    SnapshotError,
+    encode_snapshot,
+    execute_block_transactions,
+    install_snapshot,
+    snapshot_key,
+)
 from repro.chain.state import WorldState
 from repro.chain.transaction import Receipt, Transaction
 from repro.errors import (
@@ -43,6 +52,10 @@ from repro.errors import (
     NonceError,
     OutOfGasError,
 )
+from repro.utils.serialization import SerializationError
+
+#: Valid values for :attr:`NodeConfig.execution`.
+EXECUTION_MODES = ("serial", "parallel")
 
 
 @dataclass
@@ -55,8 +68,27 @@ class NodeConfig:
 
     ``keep_state_snapshots`` keeps per-block journal marks so reorgs roll
     back cheaply; ``state_history`` bounds how many blocks of undo history
-    the journal retains (deeper reorgs fall back to replay-from-genesis,
-    like a Geth node asked to reorg past its snapshot window).
+    the journal retains (deeper reorgs fall back to replay — from the
+    nearest cold snapshot when one exists, else from genesis, like a Geth
+    node asked to reorg past its snapshot window).
+
+    The scale-out knobs (all off by default, byte-neutral when on):
+
+    ``execution``
+        ``"serial"`` runs block transactions in order; ``"parallel"``
+        routes blocks with at least ``parallel_min_txs`` transactions
+        through the speculate/merge scheduler
+        (:mod:`repro.chain.scale.executor`) with ``execution_workers``
+        processes (``0`` = speculate inline, same byte path).
+    ``cold_store`` / ``hot_window``
+        A shared :class:`~repro.chain.scale.ColdStore` plus a bound on
+        resident canonical blocks: older blocks and their receipts spill
+        to the segment file and are revived on demand.
+    ``snapshot_interval``
+        Every N canonical blocks, persist a root-verified world-state
+        checkpoint to the cold store (requires ``cold_store``); deep
+        reorgs and rejoining peers replay from a checkpoint instead of
+        genesis.
     """
 
     block_gas_limit: int = UNBOUNDED_BLOCK_GAS
@@ -67,6 +99,12 @@ class NodeConfig:
     keep_state_snapshots: bool = True
     state_history: int = 128
     schedule: GasSchedule = DEFAULT_SCHEDULE
+    execution: str = "serial"
+    execution_workers: int = 0
+    parallel_min_txs: int = 64
+    cold_store: Optional[ColdStore] = None
+    hot_window: Optional[int] = None
+    snapshot_interval: int = 0
 
 
 @dataclass
@@ -108,9 +146,25 @@ class Node:
         self.config = config if config is not None else NodeConfig()
         self.runtime = runtime
         self.genesis_spec = genesis_spec
+        if self.config.execution not in EXECUTION_MODES:
+            raise ValueError(f"execution must be one of {EXECUTION_MODES}")
+        if self.config.execution_workers < 0:
+            raise ValueError("execution_workers must be >= 0")
+        if self.config.parallel_min_txs < 1:
+            raise ValueError("parallel_min_txs must be >= 1")
+        if self.config.snapshot_interval < 0:
+            raise ValueError("snapshot_interval must be >= 0")
+        if self.config.hot_window is not None and self.config.cold_store is None:
+            raise ValueError("hot_window requires a cold_store")
+        if self.config.snapshot_interval > 0 and self.config.cold_store is None:
+            raise ValueError("snapshot_interval requires a cold_store")
 
         genesis = genesis_spec.build_genesis()
-        self.store = ChainStore(genesis)
+        self.store = ChainStore(
+            genesis,
+            cold=self.config.cold_store,
+            hot_window=self.config.hot_window,
+        )
         self.state = genesis_spec.build_state()
         self.state.flatten_journal()  # allocation credits never roll back
         self.mempool = Mempool()
@@ -125,6 +179,17 @@ class Node:
         # canonical blocks (the eth_getLogs range index).
         self._receipts_by_block: dict[str, list[Receipt]] = {}
         self._orphans: dict[str, list[Block]] = {}
+        # tx hash -> block hash, for receipts spilled to cold storage.
+        self._receipt_location: dict[str, str] = {}
+        # Next canonical height _spill_cold() will consider demoting.
+        self._spill_floor = 1
+        self.execution_stats = ExecutionStats()
+        self.snapshots_taken = 0
+        self.snapshots_skipped = 0
+        self.snapshot_replays = 0
+        self.last_replay_blocks = 0
+        self.snap_syncs = 0
+        self.snap_skipped_blocks = 0
         self.blocks_mined = 0
         self.reorgs_seen = 0
 
@@ -151,8 +216,21 @@ class Node:
         return self.state.nonce_of(address)
 
     def receipt_of(self, tx_hash: str) -> Optional[Receipt]:
-        """Receipt for a mined transaction, if this node executed it."""
-        return self.receipts.get(tx_hash)
+        """Receipt for a mined transaction, if this node executed it.
+
+        Reads through to cold storage for receipts whose block has been
+        spilled out of the hot window.
+        """
+        receipt = self.receipts.get(tx_hash)
+        if receipt is not None:
+            return receipt
+        block_hash = self._receipt_location.get(tx_hash)
+        if block_hash is None:
+            return None
+        for payload in self.config.cold_store.get(f"receipts:{block_hash}"):
+            if payload["tx_hash"] == tx_hash:
+                return Receipt.from_dict(payload)
+        return None
 
     def has_contract(self, address: Address) -> bool:
         """True iff a contract is deployed at ``address`` in head state."""
@@ -178,10 +256,10 @@ class Node:
         upper = self.height if to_block is None else min(to_block, self.height)
         matches = []
         for number in range(max(from_block, 0), upper + 1):
-            block = self.store.block_at_height(number)
-            if block is None:
+            block_hash = self.store.canonical_hash(number)
+            if block_hash is None:
                 continue
-            for receipt in self._receipts_by_block.get(block.block_hash, ()):
+            for receipt in self._block_receipts(block_hash):
                 if not receipt.success:
                     continue
                 for entry in receipt.logs:
@@ -191,6 +269,16 @@ class Node:
                         continue
                     matches.append(entry)
         return matches
+
+    def _block_receipts(self, block_hash: str) -> list[Receipt]:
+        """Execution receipts of a canonical block, hot or spilled."""
+        receipts = self._receipts_by_block.get(block_hash)
+        if receipts is not None:
+            return receipts
+        cold = self.config.cold_store
+        if cold is not None and f"receipts:{block_hash}" in cold:
+            return [Receipt.from_dict(payload) for payload in cold.get(f"receipts:{block_hash}")]
+        return []
 
     def call_contract(self, contract_address: Address, method: str, **args: Any) -> Any:
         """Read-only contract call against head state (``eth_call``)."""
@@ -227,8 +315,14 @@ class Node:
         block_number: int,
         timestamp: float,
         miner: Address,
+        credit_miner: bool = True,
     ) -> Receipt:
-        """Execute one transaction against ``state`` (mutates it)."""
+        """Execute one transaction against ``state`` (mutates it).
+
+        ``credit_miner=False`` suppresses the miner fee credit: the
+        parallel scheduler speculates with it off (fee credits do not
+        commute with balance reads) and pays the exact fee at merge time.
+        """
         if not tx.verify_signature():
             raise InvalidTransactionError(f"bad signature on {tx.tx_hash[:10]}")
         if state.nonce_of(tx.sender) != tx.nonce:
@@ -276,22 +370,58 @@ class Node:
         receipt.gas_used = meter.used
         # Refund unused gas; fee goes to the miner.
         state.credit(tx.sender, (tx.gas_limit - meter.used) * tx.gas_price)
-        state.credit(miner, meter.used * tx.gas_price)
+        if credit_miner:
+            state.credit(miner, meter.used * tx.gas_price)
         return receipt
 
     def _execute_block(self, state: WorldState, block: Block) -> list[Receipt]:
-        """Execute every transaction of ``block`` plus the coinbase reward."""
-        receipts = []
-        for tx in block.transactions:
-            receipt = self._execute_transaction(
+        """Execute every transaction of ``block`` plus the coinbase reward.
+
+        In ``execution="parallel"`` mode, blocks with at least
+        ``parallel_min_txs`` transactions run through the speculate/merge
+        scheduler — byte-identical to the serial order at any worker
+        count (the import-time state-root check independently enforces
+        this); smaller blocks stay on the serial path.
+        """
+        if (
+            self.config.execution == "parallel"
+            and len(block.transactions) >= self.config.parallel_min_txs
+        ):
+            def execute(st: WorldState, tx: Transaction, credit_miner: bool) -> Receipt:
+                return self._execute_transaction(
+                    st,
+                    tx,
+                    block_number=block.number,
+                    timestamp=block.header.timestamp,
+                    miner=block.header.miner,
+                    credit_miner=credit_miner,
+                )
+
+            receipts = execute_block_transactions(
+                execute,
                 state,
-                tx,
-                block_number=block.number,
-                timestamp=block.header.timestamp,
-                miner=block.header.miner,
+                block.transactions,
+                block.header.miner,
+                workers=self.config.execution_workers,
+                stats=self.execution_stats,
             )
-            receipt.block_hash = block.block_hash
-            receipts.append(receipt)
+            self.execution_stats.parallel_blocks += 1
+            for receipt in receipts:
+                receipt.block_hash = block.block_hash
+        else:
+            if self.config.execution == "parallel":
+                self.execution_stats.serial_blocks += 1
+            receipts = []
+            for tx in block.transactions:
+                receipt = self._execute_transaction(
+                    state,
+                    tx,
+                    block_number=block.number,
+                    timestamp=block.header.timestamp,
+                    miner=block.header.miner,
+                )
+                receipt.block_hash = block.block_hash
+                receipts.append(receipt)
         state.credit(block.header.miner, self.config.block_reward)
         return receipts
 
@@ -426,6 +556,7 @@ class Node:
                 self._state_marks[block_hash] = state.checkpoint()
             else:
                 state.flatten_journal()
+            self._maybe_snapshot(block, state)
             self.mempool.remove(tx.tx_hash for tx in block.transactions)
         if state.can_rollback_to(ancestor_mark):
             state.commit(ancestor_mark)  # abort window closed; mark retired
@@ -437,6 +568,12 @@ class Node:
             except MempoolError:
                 continue  # already mined on the new branch, or stale
         self.mempool.drop_stale(self.state)
+        if reorg.rolled_back:
+            # Heights below the spill floor may have new canonical blocks
+            # now; re-walk them (demote/spill are idempotent).
+            ancestor_number = self.store.number_of(reorg.common_ancestor)
+            self._spill_floor = min(self._spill_floor, ancestor_number + 1)
+        self._spill_cold()
 
     def _abort_head_change(
         self,
@@ -481,7 +618,7 @@ class Node:
         if cutoff <= 0:
             return
         for block_hash in [
-            bh for bh in self._state_marks if self.store.get(bh).number < cutoff
+            bh for bh in self._state_marks if self.store.number_of(bh) < cutoff
         ]:
             del self._state_marks[block_hash]
         if self._state_marks:
@@ -490,21 +627,44 @@ class Node:
                 self.state.prune_journal(floor)
 
     def _replay_to(self, block_hash: str) -> WorldState:
-        """Rebuild state by replaying from genesis to ``block_hash``.
+        """Rebuild state by replaying the lineage ending at ``block_hash``.
 
-        Resets the per-block journal marks to the replayed lineage (marks
-        into the abandoned state object would be meaningless).
+        The walk down the lineage stops at the first block with a
+        root-verified snapshot in the cold store, so a reorg deeper than
+        the journal horizon replays ``snapshot..target`` instead of
+        ``genesis..target`` (spilled blocks revive through the cold store
+        either way).  Resets the per-block journal marks to the replayed
+        lineage (marks into the abandoned state object would be
+        meaningless).
         """
+        cold = self.config.cold_store
         path: list[Block] = []
-        cursor = self.store.get(block_hash)
-        while cursor.number > 0:
-            path.append(cursor)
-            cursor = self.store.get(cursor.header.parent_hash)
-        state = self.genesis_spec.build_state()
+        cursor = block_hash
+        state: Optional[WorldState] = None
+        base_hash = self.store.genesis_hash
+        while self.store.number_of(cursor) > 0:
+            if cold is not None and snapshot_key(cursor) in cold:
+                block = self.store.get(cursor)
+                try:
+                    state = install_snapshot(
+                        cold.get(snapshot_key(cursor)),
+                        expected_state_root=block.header.state_root,
+                    )
+                except SnapshotError:
+                    pass  # corrupt checkpoint: keep walking toward genesis
+                else:
+                    base_hash = cursor
+                    self.snapshot_replays += 1
+                    break
+            path.append(self.store.get(cursor))
+            cursor = self.store.parent_of(cursor)
+        if state is None:
+            state = self.genesis_spec.build_state()
         state.flatten_journal()
         self._state_marks = {}
         if self.config.keep_state_snapshots:
-            self._state_marks[self.store.genesis_hash] = state.checkpoint()
+            self._state_marks[base_hash] = state.checkpoint()
+        self.last_replay_blocks = len(path)
         for block in reversed(path):
             receipts = self._execute_block(state, block)
             self._receipts_by_block[block.block_hash] = receipts
@@ -512,7 +672,151 @@ class Node:
                 self._state_marks[block.block_hash] = state.checkpoint()
             else:
                 state.flatten_journal()
+            self._maybe_snapshot(block, state)
         return state
+
+    # ------------------------------------------------------------------
+    # Scale-out: cold spilling, snapshots, fast sync
+    # ------------------------------------------------------------------
+
+    def _maybe_snapshot(self, block: Block, state: WorldState) -> None:
+        """Persist a world-state checkpoint if ``block`` is on the grid.
+
+        The cold store is content-addressed and shared across a cohort, so
+        the first node to execute the block pays the encode and every
+        other node's call is a dedup hit.
+        """
+        interval = self.config.snapshot_interval
+        cold = self.config.cold_store
+        if cold is None or interval <= 0 or block.number == 0 or block.number % interval:
+            return
+        key = snapshot_key(block.block_hash)
+        if key in cold:
+            return
+        try:
+            cold.put(key, encode_snapshot(state, block))
+        except SerializationError:
+            self.snapshots_skipped += 1
+            return
+        self.snapshots_taken += 1
+
+    def _spill_cold(self) -> None:
+        """Demote canonical blocks (and their receipts) below the hot
+        window into the cold store; resident set stays O(hot window)."""
+        cold = self.config.cold_store
+        window = self.config.hot_window
+        if cold is None or window is None:
+            return
+        target = self.height - window
+        while self._spill_floor <= target:
+            number = self._spill_floor
+            block_hash = self.store.canonical_hash(number)
+            if block_hash is not None:
+                try:
+                    self._spill_receipts(block_hash)
+                    self.store.demote(block_hash)
+                except SerializationError:
+                    pass  # non-canonical payload: keep this block hot
+            self._spill_floor = number + 1
+
+    def _spill_receipts(self, block_hash: str) -> None:
+        """Move one block's receipts to cold storage (idempotent)."""
+        receipts = self._receipts_by_block.get(block_hash)
+        if receipts is None:
+            return
+        self.config.cold_store.put(
+            f"receipts:{block_hash}", [receipt.to_dict() for receipt in receipts]
+        )
+        del self._receipts_by_block[block_hash]
+        for receipt in receipts:
+            self.receipts.pop(receipt.tx_hash, None)
+            self._receipt_location[receipt.tx_hash] = block_hash
+
+    def sync_from(
+        self,
+        snapshot_payload: dict,
+        pre_blocks: list[Block],
+        tail_blocks: list[Block],
+    ) -> int:
+        """Fast-forward sync: adopt a snapshot instead of replaying history.
+
+        ``pre_blocks`` is the ancestor-first lineage from just above this
+        node's head through the snapshot's block; ``tail_blocks`` continue
+        from there to the provider's head.  The pre blocks are validated
+        structurally (header/body commitment, linkage, PoW when enabled)
+        and stored *without execution* — the snapshot replaces their
+        effects, and it is trusted only after the rebuilt state hashes to
+        the ``state_root`` the last pre block's header commits to.  The
+        tail imports through the normal execution path.  Receipts for the
+        skipped range are not materialized (a real snap-synced node has
+        the same property).
+
+        Returns the number of tail blocks imported (i.e. executed);
+        raises :class:`InvalidBlockError` or :class:`SnapshotError` —
+        leaving local state untouched — when the payloads do not line up.
+        """
+        if not pre_blocks:
+            raise InvalidBlockError("snapshot sync requires at least one pre block")
+        if pre_blocks[0].header.parent_hash != self.store.head_hash:
+            raise InvalidBlockError(
+                "snapshot sync must fast-forward the current head"
+            )
+        if snapshot_payload.get("block_hash") != pre_blocks[-1].block_hash:
+            raise InvalidBlockError("snapshot does not match the last pre block")
+        parent = self.head
+        for block in pre_blocks:
+            if block.header.parent_hash != parent.block_hash:
+                raise InvalidBlockError("pre blocks are not a linked lineage")
+            if block.number != parent.number + 1:
+                raise InvalidBlockError("pre block number out of sequence")
+            if block.header.timestamp <= parent.header.timestamp:
+                raise InvalidBlockError("pre block timestamp not after parent")
+            if not block.body_matches_header():
+                raise InvalidBlockError("pre block tx root mismatch")
+            if self.config.verify_pow and not check_pow(block.header):
+                raise InvalidBlockError("pre block PoW seal invalid")
+            parent = block
+        pivot = pre_blocks[-1]
+        state = install_snapshot(
+            snapshot_payload, expected_state_root=pivot.header.state_root
+        )
+        # Structure is verified and the snapshot root-checked: commit.
+        for block in pre_blocks:
+            self.store.add(block)
+        state.flatten_journal()
+        self.state = state
+        self._state_marks = {}
+        if self.config.keep_state_snapshots:
+            self._state_marks[pivot.block_hash] = state.checkpoint()
+        self.snap_syncs += 1
+        self.snap_skipped_blocks += len(pre_blocks)
+        executed = 0
+        for block in tail_blocks:
+            if block.block_hash in self.store:
+                continue
+            self.import_block(block)
+            executed += 1
+        self.mempool.drop_stale(self.state)
+        self._spill_cold()
+        return executed
+
+    def scale_stats(self) -> dict:
+        """Storage and execution counters for ``chain_stats()``."""
+        return {
+            "storage": {
+                "hot_blocks": self.store.hot_count(),
+                "spilled_blocks": self.store.spilled_count(),
+                "hot_receipt_blocks": len(self._receipts_by_block),
+                "cold_receipt_txs": len(self._receipt_location),
+                "snapshots_taken": self.snapshots_taken,
+                "snapshots_skipped": self.snapshots_skipped,
+                "snapshot_replays": self.snapshot_replays,
+                "last_replay_blocks": self.last_replay_blocks,
+                "snap_syncs": self.snap_syncs,
+                "snap_skipped_blocks": self.snap_skipped_blocks,
+            },
+            "execution": self.execution_stats.as_dict(),
+        }
 
     def seal_and_import(self, block: Block, nonce: int) -> Optional[ReorgInfo]:
         """Attach a nonce to a locally built candidate and import it."""

@@ -1,0 +1,76 @@
+"""Root-verified world-state checkpoints.
+
+A snapshot is the canonical-serializable export of the full world state
+at one canonical block, keyed ``snapshot:<block_hash>`` in the cold
+store.  Everything a consumer needs to trust it is inside the header it
+already validated: :func:`install_snapshot` rebuilds the state and
+recomputes its root, refusing any payload whose root does not match the
+block's committed ``state_root``.  That makes snapshots safe to accept
+from untrusted peers — a rejoining node replays ``checkpoint + tail``
+instead of the whole chain (:meth:`repro.chain.node.Node.sync_from`),
+and a deep reorg past the journal horizon restarts replay from the
+nearest checkpoint instead of genesis.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.chain.block import Block
+from repro.chain.state import WorldState
+from repro.errors import ChainError
+
+#: Payload schema version (bump on incompatible layout changes).
+SNAPSHOT_VERSION = 1
+
+
+class SnapshotError(ChainError):
+    """Malformed snapshot payload or state-root mismatch."""
+
+
+def snapshot_key(block_hash: str) -> str:
+    """Cold-store key for the snapshot taken at ``block_hash``."""
+    return f"snapshot:{block_hash}"
+
+
+def encode_snapshot(state: WorldState, block: Block) -> dict:
+    """Snapshot of ``state`` as of (just after executing) ``block``.
+
+    The caller is responsible for the pairing — ``state`` must be the
+    post-execution state whose root the block header commits to; the
+    encoder pins that claim into the payload so installers can check it.
+    """
+    return {
+        "version": SNAPSHOT_VERSION,
+        "block_hash": block.block_hash,
+        "number": block.number,
+        "state_root": block.header.state_root,
+        "accounts": state.export_account_dicts(),
+    }
+
+
+def install_snapshot(payload: dict, expected_state_root: Optional[str] = None) -> WorldState:
+    """Rebuild and root-verify the world state a snapshot carries.
+
+    ``expected_state_root`` is the trusted root from the locally
+    validated block header; when given, the payload's own claim must
+    match it and the rebuilt state must hash to it.  Raises
+    :class:`SnapshotError` on any mismatch — a tampered or corrupt
+    snapshot never becomes live state.
+    """
+    if payload.get("version") != SNAPSHOT_VERSION:
+        raise SnapshotError(f"unsupported snapshot version {payload.get('version')!r}")
+    claimed_root = payload.get("state_root")
+    if expected_state_root is not None and claimed_root != expected_state_root:
+        raise SnapshotError(
+            f"snapshot claims root {claimed_root} but block {payload.get('block_hash')} "
+            f"commits to {expected_state_root}"
+        )
+    state = WorldState.from_account_dicts(payload.get("accounts", {}))
+    actual_root = state.state_root()
+    if actual_root != claimed_root:
+        raise SnapshotError(
+            f"snapshot for block {payload.get('block_hash')} rebuilds to root "
+            f"{actual_root}, expected {claimed_root}"
+        )
+    return state

@@ -250,6 +250,27 @@ class WorldState:
         account.nonce += 1
         return account.nonce
 
+    def set_balance(self, address: Address, balance: int) -> None:
+        """Set the balance outright (journaled).
+
+        Used by the parallel executor to apply a speculated transaction's
+        final balances; rollback restores the previous value exactly like
+        a credit/debit would.
+        """
+        if balance < 0:
+            raise ValueError("balance must be non-negative")
+        account = self._write_account(address)
+        self._log(("balance", address, account.balance), address)
+        account.balance = balance
+
+    def set_nonce(self, address: Address, nonce: int) -> None:
+        """Set the nonce outright (journaled)."""
+        if nonce < 0:
+            raise ValueError("nonce must be non-negative")
+        account = self._write_account(address)
+        self._log(("nonce", address, account.nonce), address)
+        account.nonce = nonce
+
     def deploy(self, address: Address, contract_name: str, initial_storage: Optional[dict] = None) -> None:
         """Mark an address as hosting a contract with optional seed storage."""
         account = self._write_account(address)
@@ -349,6 +370,16 @@ class WorldState:
         """Number of live undo records (diagnostics/benchmarks)."""
         return len(self._journal)
 
+    def journal_records_since(self, mark: int) -> tuple[tuple, ...]:
+        """Undo records appended since ``mark`` (read-only view).
+
+        The parallel executor derives write sets from these records; a
+        rolled-back span leaves no records, so the slice is always the
+        *net* mutation list.
+        """
+        self._check_mark(mark)
+        return tuple(self._journal[mark - self._journal_base :])
+
     def _undo(self, record: tuple) -> None:
         kind = record[0]
         address = record[1]
@@ -387,6 +418,39 @@ class WorldState:
             {address: copy.deepcopy(account) for address, account in self._accounts.items()}
         )
         return snap
+
+    def export_account_dicts(self) -> dict[Address, dict]:
+        """Canonical-serializable form of every account (overlays flattened).
+
+        This is the world-state payload a snapshot checkpoint persists;
+        :meth:`from_account_dicts` is the inverse.  Storage values are
+        shared, not copied — encode or discard the result before mutating
+        the state.
+        """
+        merged: dict[Address, AccountState] = {}
+        for address in self._iter_addresses():
+            account = self._lookup(address)
+            if account is not None:
+                merged[address] = account
+        return {address: merged[address].to_dict() for address in sorted(merged)}
+
+    @classmethod
+    def from_account_dicts(cls, accounts: dict[Address, dict]) -> "WorldState":
+        """Rebuild a detached state from :meth:`export_account_dicts` output.
+
+        The journal starts empty (snapshot contents never roll back),
+        matching how a replayed-from-genesis state begins life.
+        """
+        state = cls()
+        for address in sorted(accounts):
+            payload = accounts[address]
+            state._accounts[address] = AccountState(
+                balance=int(payload["balance"]),
+                nonce=int(payload["nonce"]),
+                contract_name=payload.get("contract_name"),
+                storage=dict(payload.get("storage", {})),
+            )
+        return state
 
     def restore(self, snap: dict) -> None:
         """Restore a snapshot taken by :meth:`snapshot`.

@@ -265,6 +265,19 @@ class LogEntry:
     topic: str
     payload: dict[str, Any] = field(default_factory=dict)
 
+    def to_dict(self) -> dict:
+        """Canonical-serializable form (cold receipt storage)."""
+        return {"address": self.address, "topic": self.topic, "payload": self.payload}
+
+    @staticmethod
+    def from_dict(payload: dict) -> "LogEntry":
+        """Inverse of :meth:`to_dict`."""
+        return LogEntry(
+            address=payload["address"],
+            topic=payload["topic"],
+            payload=payload.get("payload", {}),
+        )
+
 
 @dataclass
 class Receipt:
@@ -284,3 +297,32 @@ class Receipt:
     def failed(self) -> bool:
         """Convenience inverse of ``success``."""
         return not self.success
+
+    def to_dict(self) -> dict:
+        """Canonical-serializable form (cold receipt storage)."""
+        return {
+            "tx_hash": self.tx_hash,
+            "success": self.success,
+            "gas_used": self.gas_used,
+            "block_hash": self.block_hash,
+            "block_number": self.block_number,
+            "contract_address": self.contract_address,
+            "return_value": self.return_value,
+            "revert_reason": self.revert_reason,
+            "logs": [entry.to_dict() for entry in self.logs],
+        }
+
+    @staticmethod
+    def from_dict(payload: dict) -> "Receipt":
+        """Inverse of :meth:`to_dict`."""
+        return Receipt(
+            tx_hash=payload["tx_hash"],
+            success=payload["success"],
+            gas_used=payload["gas_used"],
+            block_hash=payload.get("block_hash", ""),
+            block_number=payload.get("block_number", -1),
+            contract_address=payload.get("contract_address"),
+            return_value=payload.get("return_value"),
+            revert_reason=payload.get("revert_reason", ""),
+            logs=[LogEntry.from_dict(entry) for entry in payload.get("logs", [])],
+        )

@@ -29,7 +29,6 @@ class ParticipantRegistry(Contract):
         """Deployer becomes admin; enrollment defaults to open."""
         ctx.sstore(_ADMIN_KEY, ctx.sender)
         ctx.sstore(_OPEN_KEY, bool(open_enrollment))
-        ctx.sstore("member_count", 0)
 
     # ------------------------------------------------------------------
     # Mutations
@@ -47,7 +46,6 @@ class ParticipantRegistry(Contract):
             "registered_at_block": ctx.block_number,
         }
         ctx.sstore(key, record)
-        ctx.sstore("member_count", int(ctx.sload("member_count", 0)) + 1)
         ctx.log("ParticipantRegistered", address=ctx.sender, display_name=display_name)
         return record
 
@@ -61,7 +59,6 @@ class ParticipantRegistry(Contract):
             "display_name": display_name,
             "registered_at_block": ctx.block_number,
         })
-        ctx.sstore("member_count", int(ctx.sload("member_count", 0)) + 1)
         ctx.log("ParticipantRegistered", address=address, display_name=display_name)
 
     def ban(self, ctx: CallContext, address: str, reason: str = "") -> None:
@@ -74,7 +71,6 @@ class ParticipantRegistry(Contract):
         ctx.sstore(_BANNED_PREFIX + address, True)
         if ctx.sload(_MEMBER_PREFIX + address) is not None:
             ctx.sdelete(_MEMBER_PREFIX + address)
-            ctx.sstore("member_count", int(ctx.sload("member_count", 0)) - 1)
         ctx.log("ParticipantBanned", address=address, reason=reason)
 
     def close_enrollment(self, ctx: CallContext) -> None:
@@ -96,8 +92,10 @@ class ParticipantRegistry(Contract):
         return bool(ctx.sload(_BANNED_PREFIX + address, False))
 
     def member_count(self, ctx: CallContext) -> int:
-        """Number of active participants."""
-        return int(ctx.sload("member_count", 0))
+        """Number of active participants (derived from the member keys —
+        no shared counter slot, so concurrent registrations in one block
+        touch disjoint storage and parallelize conflict-free)."""
+        return len(ctx.skeys(_MEMBER_PREFIX))
 
     def members(self, ctx: CallContext) -> list[str]:
         """Sorted active participant addresses."""

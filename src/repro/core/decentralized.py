@@ -21,7 +21,7 @@ speed/precision claim.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Optional
 
 import numpy as np
@@ -37,7 +37,7 @@ from repro.chain.gateway import (
     stacked_stats,
     transport_stats,
 )
-from repro.chain import GenesisSpec, Node, NodeConfig
+from repro.chain import ColdStore, GenesisSpec, Node, NodeConfig
 from repro.chain.network import LatencyModel, P2PNetwork
 from repro.chain.pow import ProofOfWork, RetargetRule
 from repro.chain.runtime import ContractRuntime
@@ -165,6 +165,12 @@ class DecentralizedConfig:
     faults: FaultSpec = field(default_factory=FaultSpec)
     drop_rate: float = 0.0
     participation: ParticipationSpec = field(default_factory=ParticipationSpec)
+    execution: str = "serial"
+    execution_workers: int = 0
+    parallel_min_txs: int = 64
+    cold_storage: bool = False
+    hot_window: int = 16
+    snapshot_interval: int = 0
 
     def __post_init__(self) -> None:
         if self.rounds < 1:
@@ -199,6 +205,20 @@ class DecentralizedConfig:
             )
         if not 0.0 <= self.drop_rate < 1.0:
             raise ConfigError(f"drop_rate must be in [0, 1), got {self.drop_rate}")
+        if self.execution not in ("serial", "parallel"):
+            raise ConfigError(
+                f"execution must be 'serial' or 'parallel', got {self.execution!r}"
+            )
+        if self.execution_workers < 0:
+            raise ConfigError("execution_workers must be >= 0")
+        if self.parallel_min_txs < 1:
+            raise ConfigError("parallel_min_txs must be >= 1")
+        if self.hot_window < 1:
+            raise ConfigError("hot_window must be >= 1")
+        if self.snapshot_interval < 0:
+            raise ConfigError("snapshot_interval must be >= 0")
+        if self.snapshot_interval > 0 and not self.cold_storage:
+            raise ConfigError("snapshot_interval requires cold_storage")
 
 
 @dataclass
@@ -431,10 +451,22 @@ class DecentralizedFL:
             self.fault_plan = FaultPlan(config.faults, self.peer_ids)
             self.fault_injector = FaultInjector(self.fault_plan, self.rngs)
         self.peers: dict[str, FullPeer] = {}
+        # One content-addressed cold store backs the whole cohort: blocks,
+        # receipts, and snapshots are consensus data, so the first node to
+        # spill pays the encode and everyone else dedups against it.
+        self.cold_store: Optional[ColdStore] = ColdStore() if config.cold_storage else None
+        node_config = NodeConfig(
+            execution=config.execution,
+            execution_workers=config.execution_workers,
+            parallel_min_txs=config.parallel_min_txs,
+            cold_store=self.cold_store,
+            hot_window=config.hot_window if self.cold_store is not None else None,
+            snapshot_interval=config.snapshot_interval,
+        )
         for pc in peer_configs:
             if pc.peer_id not in self.participation.ever_active:
                 continue  # registered on chain below, but never trains
-            node = Node(keypairs[pc.peer_id], genesis, self.runtime, NodeConfig())
+            node = Node(keypairs[pc.peer_id], genesis, self.runtime, replace(node_config))
             self.network.add_node(node, hashrate=config.hashrate)
             gateway: ChainGateway = InProcessGateway(
                 node,
@@ -1226,6 +1258,22 @@ class DecentralizedFL:
         stats["offchain_bytes"] = self.offchain.total_bytes()
         stats["offchain_marshalling"] = self.offchain.marshalling_stats()
         stats["gateway"] = self.gateway_stats()
+        # Scale-out telemetry: per-node storage/execution counters summed
+        # across the cohort, plus the shared cold store's own stats.
+        storage: dict = {}
+        execution: dict = {}
+        for node in self.network.nodes():
+            node_scale = node.scale_stats()
+            for key, value in node_scale["storage"].items():
+                storage[key] = storage.get(key, 0) + value
+            for key, value in node_scale["execution"].items():
+                execution[key] = execution.get(key, 0) + value
+        if self.cold_store is not None:
+            storage["cold"] = self.cold_store.stats.as_dict()
+            storage["cold_entries"] = len(self.cold_store)
+            storage["cold_bytes"] = self.cold_store.bytes_stored()
+        stats["storage"] = storage
+        stats["execution"] = execution
         if self.participation.engaged:
             stats["participation"] = {
                 "registered": len(self.peer_ids),

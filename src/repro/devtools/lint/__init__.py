@@ -59,6 +59,13 @@ Rule catalog
     OS-transport surface — and ``pickle`` nowhere in ``src/`` (the wire
     codec is canonical JSON + raw blobs).  Scope: ``src/``.
 
+``io-discipline`` (seam)
+    ``tempfile``/``shutil`` imports and builtin ``open()`` calls only
+    under ``repro/chain/scale/`` — the cold store (PR 10) is the
+    library's one file-I/O surface; ``os``/``pathlib``/``io`` also
+    tolerated under ``repro/runtime/`` for process plumbing.  Scope:
+    ``src/`` minus ``repro/devtools/`` (the linter reads files).
+
 Suppressing a finding
 ---------------------
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 from repro.devtools.lint.engine import LintRule
 from repro.devtools.lint.rules.comparisons import SuspiciousComparisonRule
 from repro.devtools.lint.rules.config_mutation import ConfigMutationRule
+from repro.devtools.lint.rules.io import IoDisciplineRule
 from repro.devtools.lint.rules.journal import JournalDisciplineRule
 from repro.devtools.lint.rules.retry import RetryDisciplineRule
 from repro.devtools.lint.rules.rng import GlobalRngRule
@@ -28,6 +29,7 @@ ALL_RULES: tuple[type[LintRule], ...] = (
     SuspiciousComparisonRule,
     RetryDisciplineRule,
     WireDisciplineRule,
+    IoDisciplineRule,
 )
 
 
@@ -52,4 +54,5 @@ __all__ = [
     "SuspiciousComparisonRule",
     "RetryDisciplineRule",
     "WireDisciplineRule",
+    "IoDisciplineRule",
 ]

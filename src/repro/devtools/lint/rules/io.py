@@ -1,0 +1,90 @@
+"""``io-discipline`` — file I/O stays in the chain's cold-storage package.
+
+The library is a deterministic simulation: same spec + seed, same bytes,
+no hidden state on disk.  PR 10's cold store
+(:mod:`repro.chain.scale.coldstore`) is the single sanctioned file-I/O
+surface — it spills consensus data (blocks, receipts, snapshots) to an
+anonymous segment file the OS reclaims on exit.  A ``tempfile`` or
+``shutil`` import anywhere else in the library, or a builtin ``open()``
+call outside ``repro/chain/scale/``, is a seam violation: it either
+leaks run state onto disk (breaking reproducibility and the wire-served
+deployment story) or sneaks a second storage subsystem past the one the
+hot-window accounting knows about.
+
+``os``/``pathlib``/``io`` are narrower: the runtime package legitimately
+uses them for worker-process plumbing (the same carve-out
+``wire-discipline`` grants it for sockets), and the scale package may
+use them alongside its segment file.  Everywhere else in the library
+they are flagged.  Host-side tooling under ``repro/devtools/`` is out of
+scope — the linter itself must read source files.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.lint.engine import Finding, LintContext, LintRule
+from repro.devtools.lint.rules.wire import RUNTIME_PREFIX, _imported_roots
+
+#: Modules whose whole purpose is filesystem I/O: cold-store only.
+FILE_IO_MODULES = {"tempfile", "shutil"}
+
+#: OS-facing modules tolerated in process machinery but nowhere else.
+OS_MODULES = {"os", "pathlib", "io"}
+
+SCALE_PREFIX = "src/repro/chain/scale/"
+DEVTOOLS_PREFIX = "src/repro/devtools/"
+
+
+class IoDisciplineRule(LintRule):
+    rule_id = "io-discipline"
+    category = "seam"
+    description = (
+        "file I/O (`tempfile`/`shutil`, builtin `open()`) only under "
+        "`repro/chain/scale/`; `os`/`pathlib`/`io` also allowed under "
+        "`repro/runtime/`"
+    )
+    rationale = (
+        "the cold store is the library's only sanctioned file-I/O "
+        "surface; anything else leaks run state onto disk and breaks "
+        "the deterministic-simulation contract"
+    )
+
+    def applies_to(self, path: str) -> bool:
+        return path.startswith("src/") and not path.startswith(DEVTOOLS_PREFIX)
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        in_scale = ctx.path.startswith(SCALE_PREFIX)
+        in_runtime = ctx.path.startswith(RUNTIME_PREFIX)
+        for node in ast.walk(ctx.tree):
+            for stmt, root in _imported_roots(node):
+                if root in FILE_IO_MODULES and not in_scale:
+                    yield self.finding(
+                        ctx,
+                        stmt,
+                        f"`{root}` import outside repro/chain/scale/ — the "
+                        "cold store is the library's only file-I/O surface; "
+                        "spill payloads through a ColdStore instead",
+                    )
+                elif root in OS_MODULES and not (in_scale or in_runtime):
+                    yield self.finding(
+                        ctx,
+                        stmt,
+                        f"`{root}` import outside repro/chain/scale/ and "
+                        "repro/runtime/ — library layers must not touch the "
+                        "filesystem or process environment",
+                    )
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "open"
+                and not in_scale
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "builtin `open()` outside repro/chain/scale/ — file I/O "
+                    "belongs to the cold store; pass data in memory or over "
+                    "the wire instead",
+                )

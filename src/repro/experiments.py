@@ -167,6 +167,9 @@ def _run_named_scenario(
     runtime: str | None = None,
     runtime_workers: int = 0,
     sampled_k: int = 0,
+    execution: str | None = None,
+    execution_workers: int = 0,
+    cold_storage: bool = False,
 ) -> int:
     models = None
     if model is not None:
@@ -211,6 +214,22 @@ def _run_named_scenario(
                 overrides["runtime_workers"] = runtime_workers
             specs = tuple(
                 replace(spec, **overrides) if spec.kind == "decentralized" else spec
+                for spec in specs
+            )
+        # Chain scale-out knobs: byte-neutral resource axes (parallel
+        # execution and cold storage change memory/wall-clock, never
+        # results).
+        for axis_path, value in (
+            ("chain.execution", execution),
+            ("chain.execution_workers", execution_workers or None),
+            ("chain.cold_storage", True if cold_storage else None),
+        ):
+            if value is None:
+                continue
+            specs = tuple(
+                replace_axis(spec, axis_path, value)
+                if spec.kind == "decentralized"
+                else spec
                 for spec in specs
             )
     except ConfigError as error:
@@ -331,6 +350,23 @@ def main(argv: list[str] | None = None) -> int:
         default=0,
         help="train a sampled k-peer subcohort per round (0 = full participation)",
     )
+    run_parser.add_argument(
+        "--execution",
+        choices=["serial", "parallel"],
+        default=None,
+        help="block transaction execution mode (parallel is byte-identical to serial)",
+    )
+    run_parser.add_argument(
+        "--execution-workers",
+        type=int,
+        default=0,
+        help="speculation worker processes for --execution parallel (0 = inline)",
+    )
+    run_parser.add_argument(
+        "--cold-storage",
+        action="store_true",
+        help="spill old blocks/receipts to a shared cold store (results identical)",
+    )
 
     sweep_parser = subparsers.add_parser(
         "sweep", help="sweep a scenario axis through the shared-dataset driver"
@@ -407,6 +443,9 @@ def main(argv: list[str] | None = None) -> int:
             args.runtime,
             args.runtime_workers,
             args.sampled_k,
+            args.execution,
+            args.execution_workers,
+            args.cold_storage,
         )
     if args.command == "sweep":
         return _run_sweep(

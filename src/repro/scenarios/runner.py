@@ -396,6 +396,12 @@ def decentralized_inputs(
         faults=spec.faults,
         drop_rate=spec.chain.drop_rate,
         participation=spec.participation,
+        execution=spec.chain.execution,
+        execution_workers=spec.chain.execution_workers,
+        parallel_min_txs=spec.chain.parallel_min_txs,
+        cold_storage=spec.chain.cold_storage,
+        hot_window=spec.chain.hot_window,
+        snapshot_interval=spec.chain.snapshot_interval,
     )
     train_config = _train_config(spec)
     peer_configs = [

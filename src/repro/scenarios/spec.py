@@ -272,6 +272,14 @@ class ChainSpec:
     ``drop_rate`` makes the p2p links lossy: each gossiped message is
     dropped with that probability, drawn from the dedicated
     ``network/drop`` stream so sweeping it never perturbs latency draws.
+
+    The scale-out axes are byte-neutral — they change resource usage,
+    never results: ``execution="parallel"`` routes large blocks through
+    the speculate/merge scheduler with ``execution_workers`` processes
+    (0 = inline speculation); ``cold_storage`` gives the cohort a shared
+    content-addressed cold store with ``hot_window`` resident blocks per
+    node and a world-state checkpoint every ``snapshot_interval`` blocks
+    (0 disables checkpoints).
     """
 
     target_block_interval: float = 13.0
@@ -284,6 +292,12 @@ class ChainSpec:
     drop_rate: float = 0.0
     gateway: str = "inprocess"
     gateway_staleness: float = 5.0
+    execution: str = "serial"
+    execution_workers: int = 0
+    parallel_min_txs: int = 64
+    cold_storage: bool = False
+    hot_window: int = 16
+    snapshot_interval: int = 0
 
     def __post_init__(self) -> None:
         if self.target_block_interval <= 0:
@@ -305,6 +319,20 @@ class ChainSpec:
             raise ConfigError(
                 f"gateway_staleness must be positive, got {self.gateway_staleness}"
             )
+        if self.execution not in ("serial", "parallel"):
+            raise ConfigError(
+                f"execution must be 'serial' or 'parallel', got {self.execution!r}"
+            )
+        if self.execution_workers < 0:
+            raise ConfigError("execution_workers must be >= 0")
+        if self.parallel_min_txs < 1:
+            raise ConfigError("parallel_min_txs must be >= 1")
+        if self.hot_window < 1:
+            raise ConfigError("hot_window must be >= 1")
+        if self.snapshot_interval < 0:
+            raise ConfigError("snapshot_interval must be >= 0")
+        if self.snapshot_interval > 0 and not self.cold_storage:
+            raise ConfigError("snapshot_interval requires cold_storage")
 
 
 @dataclass(frozen=True)

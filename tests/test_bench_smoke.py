@@ -4,8 +4,8 @@ Runs the smoke-scale cores of ``bench_chain_throughput``,
 ``bench_commitment_pipeline``, ``bench_block_execution``,
 ``bench_cohort_scaling``, ``bench_selection_engine``,
 ``bench_chain_gateway``, ``bench_fault_resilience``,
-``bench_multiprocess_runtime``, and ``bench_client_sampling``
-in-process (the same code paths
+``bench_multiprocess_runtime``, ``bench_client_sampling``, and
+``bench_chain_scaleout`` in-process (the same code paths
 ``pytest benchmarks/... --smoke`` exercises), so the tier-1 suite catches
 benchmark bit-rot and enforces the pipelines' headline numbers in seconds.
 """
@@ -19,6 +19,7 @@ if str(_BENCHMARKS) not in sys.path:
 
 import bench_block_execution
 import bench_chain_gateway
+import bench_chain_scaleout
 import bench_chain_throughput
 import bench_client_sampling
 import bench_cohort_scaling
@@ -249,6 +250,45 @@ class TestClientSamplingSmoke:
             params["test"],
         )
         assert result["identical"]
+
+
+class TestChainScaleoutSmoke:
+    """Smoke-tier scale-out bench: byte identity, spilling, rejoin bound.
+
+    The contracts are asserted inside the bench cores (parallel import ==
+    serial on head hash / state root / receipts, spill-through to the
+    cold store, rejoin replay bounded by the snapshot interval); timing
+    floors stay out of tier-1 — a single-core CI box only prices the
+    pool overhead.
+    """
+
+    def test_parallel_import_byte_identical(self):
+        params = bench_chain_scaleout.scaleout_params(smoke=True)
+        profile = bench_chain_scaleout.run_parallel_identity(
+            params["block_txs"], params["workers"]
+        )
+        assert profile["clean_txs"] == params["block_txs"]
+        assert profile["serial_s"] > 0 and profile["parallel_s"] > 0
+
+    def test_cold_storage_spills(self):
+        params = bench_chain_scaleout.scaleout_params(smoke=True)
+        profile = bench_chain_scaleout.run_cold_profile(
+            params["registered"],
+            params["sampled"],
+            params["rounds"],
+            params["hot_window"],
+        )
+        assert profile["rounds_per_s"] > 0
+        if profile["height"] > params["hot_window"] + 1:
+            assert profile["spilled_blocks"] > 0
+
+    def test_snapshot_rejoin_bounded(self):
+        params = bench_chain_scaleout.scaleout_params(smoke=True)
+        profile = bench_chain_scaleout.run_rejoin_profile(
+            params["chain_length"], params["snapshot_interval"]
+        )
+        assert profile["replayed"] * 4 <= profile["chain_length"]
+        assert profile["skipped"] > 0
 
 
 class TestFaultResilienceSmoke:

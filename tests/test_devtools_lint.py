@@ -745,6 +745,126 @@ class TestWireDisciplineRule:
 
 
 # ---------------------------------------------------------------------------
+# io-discipline
+# ---------------------------------------------------------------------------
+
+
+SCALE_PATH = "src/repro/chain/scale/somefile.py"
+
+
+class TestIoDisciplineRule:
+    def test_tempfile_import_outside_scale_flagged(self):
+        findings = lint(
+            """
+            import tempfile
+
+            def scratch():
+                return tempfile.TemporaryFile()
+            """,
+            path=CHAIN_PATH,
+        )
+        assert rule_ids(findings) == ["io-discipline"]
+
+    def test_shutil_from_import_flagged(self):
+        findings = lint("from shutil import copyfileobj\n")
+        assert rule_ids(findings) == ["io-discipline"]
+
+    def test_function_local_tempfile_import_flagged(self):
+        # Lazy imports are the classic way disk I/O sneaks past review.
+        findings = lint(
+            """
+            def spill(payload):
+                import tempfile
+                f = tempfile.TemporaryFile()
+                f.write(payload)
+                return f
+            """
+        )
+        assert rule_ids(findings) == ["io-discipline"]
+
+    def test_builtin_open_outside_scale_flagged(self):
+        findings = lint(
+            """
+            def load(path):
+                with open(path) as fh:
+                    return fh.read()
+            """
+        )
+        assert rule_ids(findings) == ["io-discipline"]
+
+    def test_os_import_outside_scale_and_runtime_flagged(self):
+        findings = lint("import os\n")
+        assert rule_ids(findings) == ["io-discipline"]
+
+    def test_file_io_allowed_in_scale(self):
+        findings = lint(
+            """
+            import os
+            import tempfile
+
+            def segment():
+                f = tempfile.TemporaryFile()
+                return f, os.fstat(f.fileno())
+            """,
+            path=SCALE_PATH,
+        )
+        assert findings == []
+
+    def test_os_and_pathlib_allowed_in_runtime(self):
+        findings = lint(
+            """
+            import os
+            from pathlib import Path
+            """,
+            path="src/repro/runtime/worker.py",
+        )
+        assert findings == []
+
+    def test_tempfile_flagged_even_in_runtime(self):
+        # The runtime carve-out covers process plumbing, not spill files.
+        findings = lint(
+            "import tempfile\n", path="src/repro/runtime/worker.py"
+        )
+        assert rule_ids(findings) == ["io-discipline"]
+
+    def test_near_miss_names_are_fine(self):
+        # A method *named* open, an attribute named os, and a module that
+        # merely contains a banned name are not file I/O.
+        findings = lint(
+            """
+            from repro.chain.scale import ColdStore
+
+            def revive(store, key):
+                blob = store.get(key)
+                return blob.os if hasattr(blob, "os") else store.open_count
+            """
+        )
+        assert findings == []
+
+    def test_open_method_call_not_flagged(self):
+        findings = lint(
+            """
+            def start(gateway):
+                return gateway.open()
+            """
+        )
+        assert findings == []
+
+    def test_devtools_and_tests_out_of_scope(self):
+        source = """
+            import os
+            import tempfile
+
+            def read(path):
+                with open(path) as fh:
+                    return fh.read()
+            """
+        assert lint(source, path="src/repro/devtools/lint/engine.py") == []
+        assert lint(source, path="tests/test_x.py") == []
+        assert lint(source, path="benchmarks/bench_x.py") == []
+
+
+# ---------------------------------------------------------------------------
 # Historical-bug regression fixtures (acceptance criterion)
 # ---------------------------------------------------------------------------
 
